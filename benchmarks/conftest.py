@@ -1,0 +1,36 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+prints the rows/series the paper reports (run with ``-s`` to see them;
+they are also attached as ``extra_info`` on the benchmark record).
+Expensive discrete-event runs use ``benchmark.pedantic`` with a single
+round so wall-clock stays reasonable.
+"""
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def emit_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> List[List[str]]:
+    """Print a paper-style table; returns the stringified rows."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print("\n== %s ==" % title)
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rendered:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return rendered
+
+
+def attach(benchmark, **info: Any) -> None:
+    """Record reproduction numbers on the benchmark for the JSON output."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

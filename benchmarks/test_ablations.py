@@ -1,0 +1,180 @@
+"""Ablation benches for the design choices the paper calls out.
+
+* **AES on the switch** (section 4.1): the ~0.1 ms per-cookie decrypt
+  is charged in the pipeline; how much of the Snatch path is it?
+* **Bloom-filter dedup** (Appendix B.4): repeated requests within one
+  period double-count without the filter and do not with it.
+* **UDP aggregation packets** (Appendix B.3): the paper argues <0.01 %
+  WAN loss costs almost nothing; quantify aggregate error vs loss.
+* **Stage budget vs offload depth** (section 6): fewer stages per
+  application means less of the query runs in-network.
+"""
+
+import random
+
+from conftest import attach, emit_table
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.insa import InsaPlanner, PlanOp
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.switch.pipeline import AES_PASS_LATENCY_MS, LINE_RATE_LATENCY_MS
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 100),
+        ),
+    )
+
+
+def _specs():
+    return [
+        StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender"),
+        StatSpec("demand_sum", StatKind.SUM, "demand"),
+    ]
+
+
+def test_ablation_aes_cost_share(benchmark):
+    """AES decode dominates switch latency but is negligible against
+    any propagation delay on the Snatch path (~60 ms at the median)."""
+
+    def compute():
+        lark = LarkSwitch("lark", random.Random(1))
+        lark.register_application(APP, _schema(), KEY, _specs())
+        codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(2))
+        result = lark.process_quic_packet(codec.encode({"gender": "f"}))
+        return result.latency_ms
+
+    latency = benchmark(compute)
+    snatch_path_ms = 60.3  # median Trans-1RTT + INSA total
+    emit_table(
+        "Ablation: AES share of switch latency",
+        ["component", "ms", "share of Snatch path"],
+        [
+            ["line-rate forward", LINE_RATE_LATENCY_MS,
+             "%.4f%%" % (100 * LINE_RATE_LATENCY_MS / snatch_path_ms)],
+            ["AES-128 pass", AES_PASS_LATENCY_MS,
+             "%.3f%%" % (100 * AES_PASS_LATENCY_MS / snatch_path_ms)],
+            ["total switch", latency,
+             "%.3f%%" % (100 * latency / snatch_path_ms)],
+        ],
+    )
+    attach(benchmark, switch_latency_ms=latency)
+    assert latency == LINE_RATE_LATENCY_MS + AES_PASS_LATENCY_MS
+    assert latency / snatch_path_ms < 0.005
+
+
+def test_ablation_bloom_dedup(benchmark):
+    """Appendix B.4: within a period, a chatty user inflates counts
+    2.5x without the Bloom filter and not at all with it."""
+
+    def compute():
+        users = 200
+        repeats = 5
+        outcomes = {}
+        for dedup in (False, True):
+            lark = LarkSwitch("lark", random.Random(3))
+            lark.register_application(
+                APP, _schema(), KEY, _specs(),
+                mode=ForwardingMode.PERIODICAL, period_ms=100, dedup=dedup,
+            )
+            codec = TransportCookieCodec(
+                APP, _schema(), KEY, random.Random(4)
+            )
+            rng = random.Random(5)
+            for _user in range(users):
+                cid = codec.encode(
+                    {"gender": rng.choice(["f", "m", "x"]), "demand": 1}
+                )
+                for _ in range(repeats):
+                    lark.process_quic_packet(cid)
+            report = lark.stats_report(APP)
+            outcomes[dedup] = sum(report["by_gender"].values())
+        return users, repeats, outcomes
+
+    users, repeats, outcomes = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    emit_table(
+        "Ablation: Bloom-filter deduplication (%d users x %d requests)"
+        % (users, repeats),
+        ["dedup", "distinct-user count", "error"],
+        [
+            ["off", outcomes[False],
+             "%.0f%%" % (100 * (outcomes[False] - users) / users)],
+            ["on", outcomes[True],
+             "%.0f%%" % (100 * (outcomes[True] - users) / users)],
+        ],
+    )
+    attach(benchmark, without_dedup=outcomes[False], with_dedup=outcomes[True])
+    assert outcomes[False] == users * repeats
+    assert outcomes[True] == users
+
+
+def test_ablation_udp_loss_tolerance(benchmark):
+    """Appendix B.3: at WAN loss rates (<0.01 %) the aggregate error is
+    negligible; even 1 % loss only shifts counts by ~1 %."""
+
+    def compute():
+        total_packets = 5000
+        rows = []
+        for loss_rate in (0.0001, 0.001, 0.01):
+            rng = random.Random(int(loss_rate * 1e6))
+            delivered = sum(
+                1 for _ in range(total_packets) if rng.random() >= loss_rate
+            )
+            error = (total_packets - delivered) / total_packets
+            rows.append((loss_rate, delivered, error))
+        return total_packets, rows
+
+    total, rows = benchmark(compute)
+    emit_table(
+        "Ablation: aggregate error from UDP loss (%d packets)" % total,
+        ["loss rate", "delivered", "count error"],
+        [
+            ["%.2f%%" % (100 * rate), delivered, "%.3f%%" % (100 * error)]
+            for rate, delivered, error in rows
+        ],
+    )
+    for rate, _delivered, error in rows:
+        assert error < 3 * rate + 0.002
+
+
+def test_ablation_stage_budget_vs_offload(benchmark):
+    """Section 6: supporting more applications shrinks each one's stage
+    budget, which truncates the offloadable prefix of the query."""
+    query = [
+        PlanOp("filter", ("eq",)),
+        PlanOp("map", ("and", "shr")),
+        PlanOp("reduceByKey", ("add",)),
+        PlanOp("countByValue"),
+        PlanOp("reduceByKeyAndWindow", ("add",), stages_needed=2),
+        PlanOp("window"),
+    ]
+
+    def compute():
+        rows = []
+        for budget in (1, 2, 4, 7, 12):
+            plan = InsaPlanner(stage_budget=budget).plan(query)
+            rows.append((budget, len(plan.offloaded), plan.offload_fraction))
+        return rows
+
+    rows = benchmark(compute)
+    emit_table(
+        "Ablation: stage budget vs in-network offload depth",
+        ["stages/app", "ops offloaded", "offload fraction"],
+        [[b, n, "%.0f%%" % (100 * f)] for b, n, f in rows],
+    )
+    fractions = [f for _b, _n, f in rows]
+    assert fractions == sorted(fractions)
+    assert fractions[0] < 0.5
+    assert fractions[-1] == 1.0

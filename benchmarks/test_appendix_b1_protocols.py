@@ -1,0 +1,90 @@
+"""Appendix B.1/B.2: speedups across all six protocol variants.
+
+Equations (1)-(6): QUIC 1-RTT and 0-RTT at both layers, plus TCP
+(1-RTT handshake) and TCP+TLS 1.2 (3 RTTs, i.e. 7 one-way delays).
+TCP+TLS suffers the largest baseline handshake cost, so Snatch's
+*relative* gain there is the largest among application-layer options.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import median_scenario
+from repro.model.speedup import (
+    Protocol,
+    baseline_latency_ms,
+    snatch_latency_ms,
+    speedup,
+)
+
+ORDERED = [
+    Protocol.APP_HTTP_TCP,
+    Protocol.APP_HTTPS_TCP,
+    Protocol.APP_HTTPS_0RTT,
+    Protocol.APP_HTTPS_1RTT,
+    Protocol.TRANS_0RTT,
+    Protocol.TRANS_1RTT,
+]
+
+
+def _compute():
+    params = median_scenario()
+    rows = []
+    for protocol in ORDERED:
+        rows.append(
+            {
+                "protocol": protocol,
+                "baseline": baseline_latency_ms(params, protocol),
+                "snatch": snatch_latency_ms(params, protocol, False),
+                "snatch_insa": snatch_latency_ms(params, protocol, True),
+                "speedup": speedup(params, protocol, False),
+                "speedup_insa": speedup(params, protocol, True),
+            }
+        )
+    return rows
+
+
+def test_appendix_b1_protocol_matrix(benchmark):
+    rows = benchmark(_compute)
+
+    emit_table(
+        "Appendix B: speedup by protocol (median delays)",
+        ["protocol", "baseline ms", "snatch ms", "+INSA ms",
+         "speedup", "speedup+INSA"],
+        [
+            [
+                row["protocol"].value,
+                round(row["baseline"], 1),
+                round(row["snatch"], 1),
+                round(row["snatch_insa"], 1),
+                "%.2fx" % row["speedup"],
+                "%.1fx" % row["speedup_insa"],
+            ]
+            for row in rows
+        ],
+    )
+    by_protocol = {row["protocol"]: row for row in rows}
+    attach(
+        benchmark,
+        tcp_tls_insa=round(
+            by_protocol[Protocol.APP_HTTPS_TCP]["speedup_insa"], 1
+        ),
+        trans_1rtt_insa=round(
+            by_protocol[Protocol.TRANS_1RTT]["speedup_insa"], 1
+        ),
+    )
+    # TCP+TLS has the heaviest baseline (7 one-way delays per leg).
+    baselines = [row["baseline"] for row in rows]
+    assert by_protocol[Protocol.APP_HTTPS_TCP]["baseline"] == max(baselines)
+    # Transport cookies beat application cookies at equal handshakes.
+    assert (
+        by_protocol[Protocol.TRANS_1RTT]["speedup_insa"]
+        > by_protocol[Protocol.APP_HTTPS_1RTT]["speedup_insa"]
+    )
+    assert (
+        by_protocol[Protocol.TRANS_0RTT]["speedup_insa"]
+        > by_protocol[Protocol.APP_HTTPS_0RTT]["speedup_insa"]
+    )
+    # Every variant gains from Snatch, more with INSA.
+    for row in rows:
+        assert row["speedup"] >= 1.0
+        assert row["speedup_insa"] >= row["speedup"]

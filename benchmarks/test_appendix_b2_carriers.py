@@ -1,0 +1,99 @@
+"""Appendix B.2: transport-layer cookie carriers compared.
+
+IPv6 LSBs (64 bits, root privileges), TCP timestamps (32 bits, dies
+with the connection), QUIC connection IDs (160 bits, userspace): only
+QUIC satisfies Snatch's requirements.  This bench makes the capacity
+dimension concrete: how many sub-cookies of the ad-campaign schema fit
+each carrier.
+"""
+
+import random
+
+from conftest import attach, emit_table
+
+from repro.core.alt_carriers import (
+    Ipv6Carrier,
+    TcpTimestampCarrier,
+    carrier_comparison,
+)
+from repro.core.schema import CookieSchema, Feature
+
+KEY = bytes(range(16))
+
+
+def _demo_schema():
+    """A realistic multi-application feature set: rich enough that the
+    32- and 64-bit carriers cannot hold it all."""
+    return CookieSchema(
+        "demo",
+        (
+            Feature.categorical("event", ["view", "click"]),
+            Feature.categorical("campaign", ["c%d" % i for i in range(64)]),
+            Feature.number("visits", 0, 4095),
+            Feature.number("dwell", 0, 240),
+            Feature.categorical("region", ["r%d" % i for i in range(16)]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("history", 0, 2**26 - 1),
+        ),
+    )
+
+
+def _fit(features, budget_bits):
+    """How many leading features (bitmap + stack) fit the budget."""
+    used = 0
+    count = 0
+    for feature in features:
+        cost = 1 + feature.bits
+        if used + cost > budget_bits:
+            break
+        used += cost
+        count += 1
+    return count, used
+
+
+def _compute():
+    schema = _demo_schema()
+    rows = []
+    for profile in carrier_comparison():
+        count, used = _fit(schema.features, profile.cookie_bits
+                           if profile.name != "quic-connection-id" else 128)
+        rows.append((profile, count, used))
+    return schema, rows
+
+
+def test_appendix_b2_carrier_capacity(benchmark):
+    schema, rows = benchmark(_compute)
+
+    emit_table(
+        "Appendix B.2: carriers vs a rich feature set (%d features, "
+        "%d bits)" % (len(schema.features), schema.total_bits),
+        ["carrier", "budget bits", "features fitting", "bits used",
+         "reconnect", "suitable"],
+        [
+            [
+                profile.name,
+                profile.cookie_bits,
+                count,
+                used,
+                "yes" if profile.survives_reconnect else "no",
+                "yes" if profile.suitable_for_snatch else "no",
+            ]
+            for profile, count, used in rows
+        ],
+    )
+    fits = {profile.name: count for profile, count, _used in rows}
+    attach(benchmark, **{k.replace("-", "_"): v for k, v in fits.items()})
+    # Only the QUIC carrier fits the full schema.
+    assert fits["quic-connection-id"] == len(schema.features)
+    assert fits["ipv6-lsb"] < len(schema.features)
+    assert fits["tcp-timestamp"] < fits["ipv6-lsb"]
+
+    # And the two rejected carriers actually round-trip what little
+    # they can carry (the implementations are real).
+    small = CookieSchema("s", schema.features[:2])
+    v6 = Ipv6Carrier(small, KEY, rng=random.Random(1))
+    values = {"event": "click", "campaign": "c3"}
+    assert v6.decode(v6.encode(values)) == values
+    tcp = TcpTimestampCarrier(small, KEY, rng=random.Random(2))
+    tcp.open_connection()
+    assert tcp.decode(tcp.encode(values)) == values

@@ -1,0 +1,93 @@
+"""Appendix C extensions: in-switch table joins and sketched counters.
+
+* The join bench executes the appendix's fullOuterJoin example on
+  register tables and prices its SRAM cost (the appendix warns joins
+  are storage-hungry).
+* The sketch bench quantifies the exact-counter vs count-min trade-off
+  for a high-cardinality class feature: SRAM shrinks by an order of
+  magnitude while per-key error stays within the CM bound.
+"""
+
+import random
+
+from conftest import attach, emit_table
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.switch_join import JoinKind, SwitchJoinTable
+from repro.switch.registers import RegisterFile
+from repro.switch.sketch import CountMinSketch
+
+REGION = Feature.categorical("region", ["r%d" % i for i in range(16)])
+
+
+def _join_example():
+    left = CookieSchema("views", (REGION, Feature.number("views", 0, 999)))
+    right = CookieSchema("clicks", (REGION, Feature.number("clicks", 0, 999)))
+    registers = RegisterFile()
+    table = SwitchJoinTable("region", left, right, registers=registers)
+    rng = random.Random(5)
+    for i in range(12):
+        table.insert_left({"region": "r%d" % i, "views": rng.randrange(1000)})
+    for i in range(6, 16):
+        table.insert_right(
+            {"region": "r%d" % i, "clicks": rng.randrange(1000)}
+        )
+    return table
+
+
+def test_appendix_c_full_outer_join(benchmark):
+    table = benchmark(_join_example)
+    rows = table.result(JoinKind.FULL)
+    emit_table(
+        "Appendix C: fullOuterJoin at the AggSwitch (first 6 rows)",
+        ["region", "views", "clicks"],
+        [
+            [
+                row.key,
+                row.left.get("views") if row.left else "-",
+                row.right.get("clicks") if row.right else "-",
+            ]
+            for row in rows[:6]
+        ],
+    )
+    attach(benchmark, rows=len(rows), sram_bits=table.sram_bits)
+    assert len(rows) == 16                       # union of both sides
+    assert len(table.result(JoinKind.INNER)) == 6  # overlap r6..r11
+    assert table.sram_bits > 1000                # joins are pricey
+
+
+def test_appendix_c_sketch_vs_exact(benchmark):
+    """Counting a 10k-category feature: exact counters vs count-min."""
+    categories = 10_000
+    stream_len = 50_000
+
+    def compute():
+        rng = random.Random(7)
+        cms = CountMinSketch(width=2048, depth=4)
+        truth = {}
+        for _ in range(stream_len):
+            key = b"cat-%d" % (int(rng.paretovariate(1.2)) % categories)
+            truth[key] = truth.get(key, 0) + 1
+            cms.add(key)
+        worst = max(
+            cms.estimate(key) - count for key, count in truth.items()
+        )
+        return cms, truth, worst
+
+    cms, truth, worst = benchmark.pedantic(compute, rounds=1, iterations=1)
+    exact_bits = categories * 48
+    sketch_bits = cms.width * cms.depth * 32
+    emit_table(
+        "Appendix C: exact counters vs count-min sketch",
+        ["approach", "SRAM bits", "worst overestimate"],
+        [
+            ["exact (10k x 48b)", exact_bits, 0],
+            ["count-min 2048x4", sketch_bits, worst],
+        ],
+    )
+    attach(benchmark, exact_bits=exact_bits, sketch_bits=sketch_bits,
+           worst_error=worst)
+    assert sketch_bits < exact_bits
+    assert worst <= cms.error_bound()
+    # No underestimates, ever.
+    assert all(cms.estimate(k) >= c for k, c in truth.items())

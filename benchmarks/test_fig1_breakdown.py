@@ -1,0 +1,53 @@
+"""Figure 1: time-cost breakdown of the ad-campaign example.
+
+Paper: 1008.3 ms total without Snatch (508.3 ms before the data even
+reaches the analytics server); 228.6 ms with application-layer
+semantic cookies + INSA; ~48 ms with transport-layer cookies + INSA.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.breakdown import (
+    app_insa_breakdown,
+    baseline_breakdown,
+    trans_insa_breakdown,
+)
+
+
+def _compute():
+    return (
+        baseline_breakdown(),
+        app_insa_breakdown(),
+        trans_insa_breakdown(),
+    )
+
+
+def test_fig1_breakdown(benchmark):
+    base, app, trans = benchmark(_compute)
+
+    emit_table(
+        "Figure 1(a): no semantic cookies",
+        ["step", "ms"],
+        base.rows(),
+    )
+    emit_table(
+        "Figure 1(b): Snatch pathways",
+        ["pathway", "total ms", "paper"],
+        [
+            ["no-Snatch", round(base.total_ms, 1), 1008.3],
+            ["App semantic cookies + INSA", round(app.total_ms, 1), 228.6],
+            ["Transport semantic cookies + INSA",
+             round(trans.total_ms, 1), "~48"],
+        ],
+    )
+    attach(
+        benchmark,
+        baseline_ms=round(base.total_ms, 1),
+        app_insa_ms=round(app.total_ms, 1),
+        trans_insa_ms=round(trans.total_ms, 1),
+    )
+    # Shape: ~80 % and ~95 % reductions.
+    assert abs(base.total_ms - 1008.3) < 5
+    assert abs(app.total_ms - 228.6) < 5
+    assert abs(trans.total_ms - 48.0) < 3
+    assert base.until("web -> analytics delivery") > 0.5 * base.total_ms

@@ -1,0 +1,26 @@
+"""Figure 4: measurement-site census (2,253 dVPN nodes, 87 countries;
+US most sites, then UK and Germany)."""
+
+from conftest import attach, emit_table
+
+from repro.measurement.sites import generate_sites
+
+
+def test_fig4_site_census(benchmark):
+    census = benchmark(generate_sites)
+
+    top = census.top_countries(10)
+    emit_table(
+        "Figure 4: per-country measurement sites (top 10)",
+        ["country", "sites"],
+        top,
+    )
+    attach(
+        benchmark,
+        total_sites=len(census.sites),
+        countries=census.countries(),
+        top3=[c for c, _n in top[:3]],
+    )
+    assert len(census.sites) == 2253
+    assert census.countries() == 87
+    assert [c for c, _n in top[:3]] == ["US", "GB", "DE"]

@@ -1,0 +1,52 @@
+"""Figure 5(a): delay CDFs between Snatch components, regenerated from
+the synthetic measurement campaign.
+
+Paper medians: client-ISP 1.4 ms, client-edge 6.7 ms, client-closest-
+cloud 13.1 ms, client-web 60.1 ms, edge-cloud 43.6 ms.
+"""
+
+from conftest import attach, emit_table
+
+from repro.measurement.study import MeasurementStudy
+
+PAPER_MEDIANS = {
+    "d_ci": 1.4,
+    "d_ce": 6.7,
+    "d_cc": 13.1,
+    "d_cw": 60.1,
+    "d_ew": 43.6,
+}
+
+
+def _run_campaign():
+    return MeasurementStudy(seed=7).run(max_sites=800)
+
+
+def test_fig5a_delay_cdfs(benchmark):
+    result = benchmark.pedantic(_run_campaign, rounds=1, iterations=1)
+
+    rows = []
+    for metric, paper in PAPER_MEDIANS.items():
+        rows.append(
+            [
+                metric,
+                round(result.percentile(metric, 25), 1),
+                round(result.median(metric), 1),
+                round(result.percentile(metric, 75), 1),
+                paper,
+            ]
+        )
+    emit_table(
+        "Figure 5(a): component delay distributions (ms)",
+        ["metric", "p25", "median", "p75", "paper median"],
+        rows,
+    )
+    attach(benchmark, **{
+        metric: round(result.median(metric), 1) for metric in PAPER_MEDIANS
+    })
+    # Shape: medians within 35 % of the paper, and the layering holds.
+    for metric, paper in PAPER_MEDIANS.items():
+        assert abs(result.median(metric) - paper) / paper < 0.35, metric
+    assert result.median("d_ci") < result.median("d_ce")
+    assert result.median("d_ce") < result.median("d_cc")
+    assert result.median("d_cc") < result.median("d_cw")

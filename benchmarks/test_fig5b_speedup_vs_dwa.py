@@ -1,0 +1,79 @@
+"""Figure 5(b): Snatch speedup vs the web->analytics delay d_WA.
+
+Paper anchors: Trans-1RTT + INSA is 31x in the US (d_WA = 26.3 ms) and
+12x worldwide (75.5 ms); App-HTTPS + INSA is 5.5x / 4.4x.  INSA buys
+up to two orders of magnitude over redirection-only; the speedup falls
+as d_WA grows; the protocol order is Trans-1RTT > Trans-0RTT >
+App-HTTPS.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import interpolated_scenario
+from repro.model.speedup import Protocol, speedup
+
+D_WA_SWEEP = [0.8, 10, 26.3, 50, 75.5, 100, 150, 206]
+PROTOCOLS = [Protocol.TRANS_1RTT, Protocol.TRANS_0RTT, Protocol.APP_HTTPS_1RTT]
+
+
+def _sweep():
+    rows = []
+    for d_wa in D_WA_SWEEP:
+        params = interpolated_scenario(d_wa)
+        row = {"d_wa": d_wa}
+        for protocol in PROTOCOLS:
+            row[(protocol, False)] = speedup(params, protocol, False)
+            row[(protocol, True)] = speedup(params, protocol, True)
+        rows.append(row)
+    return rows
+
+
+def test_fig5b_speedup_vs_dwa(benchmark):
+    rows = benchmark(_sweep)
+
+    emit_table(
+        "Figure 5(b): speedup vs d_WA (solid = redirection only, "
+        "dashed = +INSA)",
+        ["d_WA", "T1RTT", "T1RTT+INSA", "T0RTT", "T0RTT+INSA",
+         "App", "App+INSA"],
+        [
+            [
+                row["d_wa"],
+                round(row[(Protocol.TRANS_1RTT, False)], 2),
+                round(row[(Protocol.TRANS_1RTT, True)], 1),
+                round(row[(Protocol.TRANS_0RTT, False)], 2),
+                round(row[(Protocol.TRANS_0RTT, True)], 1),
+                round(row[(Protocol.APP_HTTPS_1RTT, False)], 2),
+                round(row[(Protocol.APP_HTTPS_1RTT, True)], 1),
+            ]
+            for row in rows
+        ],
+    )
+    us = next(r for r in rows if r["d_wa"] == 26.3)
+    ww = next(r for r in rows if r["d_wa"] == 75.5)
+    attach(
+        benchmark,
+        us_trans_insa=round(us[(Protocol.TRANS_1RTT, True)], 1),
+        ww_trans_insa=round(ww[(Protocol.TRANS_1RTT, True)], 1),
+        us_app_insa=round(us[(Protocol.APP_HTTPS_1RTT, True)], 1),
+        ww_app_insa=round(ww[(Protocol.APP_HTTPS_1RTT, True)], 1),
+    )
+    # Paper anchors within 15 %.
+    assert abs(us[(Protocol.TRANS_1RTT, True)] - 31) / 31 < 0.15
+    assert abs(ww[(Protocol.TRANS_1RTT, True)] - 12) / 12 < 0.15
+    assert abs(us[(Protocol.APP_HTTPS_1RTT, True)] - 5.5) / 5.5 < 0.15
+    assert abs(ww[(Protocol.APP_HTTPS_1RTT, True)] - 4.4) / 4.4 < 0.15
+    # Shape: INSA >> redirection-only; speedups fall with d_WA;
+    # Trans-1RTT >= Trans-0RTT >= App-HTTPS under INSA.
+    for row in rows:
+        assert row[(Protocol.TRANS_1RTT, True)] > row[
+            (Protocol.TRANS_1RTT, False)
+        ]
+        assert (
+            row[(Protocol.TRANS_1RTT, True)]
+            >= row[(Protocol.TRANS_0RTT, True)]
+            >= row[(Protocol.APP_HTTPS_1RTT, True)]
+        )
+    insa_series = [r[(Protocol.TRANS_1RTT, True)] for r in rows]
+    assert insa_series == sorted(insa_series, reverse=True)
+    assert insa_series[0] / rows[0][(Protocol.TRANS_1RTT, False)] > 50

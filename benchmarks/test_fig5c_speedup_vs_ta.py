@@ -1,0 +1,70 @@
+"""Figure 5(c): speedup vs the analytics time cost T_A (1 ms - 10 s).
+
+Paper: with INSA the speedup *grows* with T_A (at 10 s: 183x for
+Trans-1RTT, 181x for Trans-0RTT, 53x for App-HTTPS); without INSA it
+*shrinks*; Snatch always wins.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import median_scenario
+from repro.model.speedup import Protocol, speedup
+
+TA_SWEEP_MS = [1, 10, 100, 500, 1000, 5000, 10_000]
+
+
+def _sweep():
+    rows = []
+    for t_a in TA_SWEEP_MS:
+        params = median_scenario(t_analytics=float(t_a))
+        rows.append(
+            {
+                "t_a": t_a,
+                "trans1_insa": speedup(params, Protocol.TRANS_1RTT, True),
+                "trans0_insa": speedup(params, Protocol.TRANS_0RTT, True),
+                "app_insa": speedup(params, Protocol.APP_HTTPS_1RTT, True),
+                "trans1": speedup(params, Protocol.TRANS_1RTT, False),
+                "app": speedup(params, Protocol.APP_HTTPS_1RTT, False),
+            }
+        )
+    return rows
+
+
+def test_fig5c_speedup_vs_ta(benchmark):
+    rows = benchmark(_sweep)
+
+    emit_table(
+        "Figure 5(c): speedup vs analytics time cost T_A",
+        ["T_A ms", "T1RTT+INSA", "T0RTT+INSA", "App+INSA", "T1RTT", "App"],
+        [
+            [
+                row["t_a"],
+                round(row["trans1_insa"], 1),
+                round(row["trans0_insa"], 1),
+                round(row["app_insa"], 1),
+                round(row["trans1"], 2),
+                round(row["app"], 2),
+            ]
+            for row in rows
+        ],
+    )
+    at_10s = rows[-1]
+    attach(
+        benchmark,
+        trans1_insa_at_10s=round(at_10s["trans1_insa"], 1),
+        trans0_insa_at_10s=round(at_10s["trans0_insa"], 1),
+        app_insa_at_10s=round(at_10s["app_insa"], 1),
+    )
+    # Paper anchors at T_A = 10 s (within 15 %).
+    assert abs(at_10s["trans1_insa"] - 183) / 183 < 0.15
+    assert abs(at_10s["trans0_insa"] - 181) / 181 < 0.15
+    assert abs(at_10s["app_insa"] - 53) / 53 < 0.15
+    # Shape: INSA series increase with T_A, non-INSA decrease,
+    # and every speedup stays >= 1 ("Snatch always boosts").
+    insa = [r["trans1_insa"] for r in rows]
+    plain = [r["trans1"] for r in rows]
+    assert insa == sorted(insa)
+    assert plain == sorted(plain, reverse=True)
+    for row in rows:
+        for key in ("trans1_insa", "app_insa", "trans1", "app"):
+            assert row[key] >= 1.0

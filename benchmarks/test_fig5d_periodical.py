@@ -1,0 +1,61 @@
+"""Figure 5(d): speedup under periodical forwarding vs the interval.
+
+Paper: at a 5 ms interval the speedup approaches per-packet (18x for
+Trans-1RTT); at 200 ms it falls to 4.3x.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import median_scenario
+from repro.model.periodical import periodical_speedup
+from repro.model.speedup import Protocol, speedup
+
+INTERVALS_MS = [5, 10, 25, 50, 100, 150, 200]
+PROTOCOLS = [Protocol.TRANS_1RTT, Protocol.TRANS_0RTT, Protocol.APP_HTTPS_1RTT]
+
+
+def _sweep():
+    params = median_scenario()
+    rows = []
+    for interval in INTERVALS_MS:
+        rows.append(
+            {
+                "interval": interval,
+                **{
+                    protocol: periodical_speedup(params, protocol, interval)
+                    for protocol in PROTOCOLS
+                },
+            }
+        )
+    return params, rows
+
+
+def test_fig5d_periodical_speedup(benchmark):
+    params, rows = benchmark(_sweep)
+
+    emit_table(
+        "Figure 5(d): speedup vs periodical-forwarding interval (+INSA)",
+        ["interval ms", "Trans-1RTT", "Trans-0RTT", "App-HTTPS"],
+        [
+            [
+                row["interval"],
+                round(row[Protocol.TRANS_1RTT], 1),
+                round(row[Protocol.TRANS_0RTT], 1),
+                round(row[Protocol.APP_HTTPS_1RTT], 1),
+            ]
+            for row in rows
+        ],
+    )
+    attach(
+        benchmark,
+        speedup_at_5ms=round(rows[0][Protocol.TRANS_1RTT], 1),
+        speedup_at_200ms=round(rows[-1][Protocol.TRANS_1RTT], 1),
+    )
+    # Paper anchors (within 15 %).
+    assert abs(rows[0][Protocol.TRANS_1RTT] - 18) / 18 < 0.15
+    assert abs(rows[-1][Protocol.TRANS_1RTT] - 4.3) / 4.3 < 0.15
+    # Shape: monotone decrease; 5 ms close to per-packet.
+    series = [row[Protocol.TRANS_1RTT] for row in rows]
+    assert series == sorted(series, reverse=True)
+    per_packet = speedup(params, Protocol.TRANS_1RTT, True)
+    assert rows[0][Protocol.TRANS_1RTT] > 0.85 * per_packet

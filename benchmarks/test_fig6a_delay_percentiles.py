@@ -1,0 +1,92 @@
+"""Figure 6(a): testbed total time cost vs delay percentile.
+
+Six curves: {no-Snatch, App-HTTPS, Trans-1RTT} x {-, +INSA}, at
+10 req/s per-packet forwarding.  Paper anchors: median speedups
+1.9x/2.0x (no INSA) and 6.3x/8.3x (+INSA); the baseline reaches
+~2807 ms at the 100th percentile where Trans-1RTT+INSA still wins
+>= 3.8x.
+"""
+
+from conftest import attach, emit_table
+
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import TestbedExperiment
+
+PERCENTILES = [1, 25, 50, 75, 95, 100]
+DURATION_MS = 3000.0
+
+
+def _run(scheme, insa, percentile):
+    config = TestbedConfig(
+        scheme=scheme,
+        insa=insa,
+        delay_percentile=percentile,
+        requests_per_second=10,
+        duration_ms=DURATION_MS,
+    )
+    return TestbedExperiment(config).run().median_latency_ms
+
+
+def _sweep():
+    rows = []
+    for percentile in PERCENTILES:
+        rows.append(
+            {
+                "pct": percentile,
+                "baseline": _run(Scheme.BASELINE, False, percentile),
+                "app": _run(Scheme.APP_HTTPS, False, percentile),
+                "app_insa": _run(Scheme.APP_HTTPS, True, percentile),
+                "trans": _run(Scheme.TRANS_1RTT, False, percentile),
+                "trans_insa": _run(Scheme.TRANS_1RTT, True, percentile),
+            }
+        )
+    return rows
+
+
+def test_fig6a_delay_percentiles(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    emit_table(
+        "Figure 6(a): total time cost (ms) vs delay percentile",
+        ["pct", "no-Snatch", "App", "App+INSA", "Trans", "Trans+INSA"],
+        [
+            [
+                row["pct"],
+                round(row["baseline"]),
+                round(row["app"]),
+                round(row["app_insa"]),
+                round(row["trans"]),
+                round(row["trans_insa"]),
+            ]
+            for row in rows
+        ],
+    )
+    median = next(r for r in rows if r["pct"] == 50)
+    worst = next(r for r in rows if r["pct"] == 100)
+    attach(
+        benchmark,
+        median_speedup_app=round(median["baseline"] / median["app"], 2),
+        median_speedup_app_insa=round(
+            median["baseline"] / median["app_insa"], 2
+        ),
+        median_speedup_trans=round(median["baseline"] / median["trans"], 2),
+        median_speedup_trans_insa=round(
+            median["baseline"] / median["trans_insa"], 2
+        ),
+        p100_baseline_ms=round(worst["baseline"]),
+    )
+    # Paper anchors at the median.
+    assert abs(median["baseline"] / median["app"] - 1.9) < 0.4
+    assert abs(median["baseline"] / median["app_insa"] - 6.3) < 1.0
+    assert abs(median["baseline"] / median["trans"] - 2.0) < 0.4
+    assert abs(median["baseline"] / median["trans_insa"] - 8.3) < 1.2
+    # Worst case: ~2807 ms baseline, Snatch still >= 3.8x.
+    assert abs(worst["baseline"] - 2807) / 2807 < 0.15
+    assert worst["baseline"] / worst["trans_insa"] >= 3.8
+    # Shape: every curve grows with the percentile; Snatch always wins.
+    for key in ("baseline", "app", "app_insa", "trans", "trans_insa"):
+        series = [row[key] for row in rows]
+        assert series == sorted(series), key
+    for row in rows:
+        assert row["trans_insa"] < row["baseline"]
+        assert row["app_insa"] < row["app"]

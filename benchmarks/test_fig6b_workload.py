@@ -1,0 +1,77 @@
+"""Figure 6(b): total time cost vs workload (requests per second).
+
+Paper: stable below ~100 req/s; no-Snatch and App-HTTPS rise sharply
+from ~300 req/s (edge/web congestion); Trans-1RTT + INSA stays flat at
+~61 ms regardless of workload ("no parallelism inflation").
+"""
+
+from conftest import attach, emit_table
+
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import TestbedExperiment
+
+WORKLOADS_RPS = [10, 50, 100, 200, 300, 500]
+DURATION_MS = 2000.0
+
+
+def _run(scheme, insa, rps):
+    config = TestbedConfig(
+        scheme=scheme,
+        insa=insa,
+        requests_per_second=rps,
+        duration_ms=DURATION_MS,
+    )
+    return TestbedExperiment(config).run().median_latency_ms
+
+
+def _sweep():
+    rows = []
+    for rps in WORKLOADS_RPS:
+        rows.append(
+            {
+                "rps": rps,
+                "baseline": _run(Scheme.BASELINE, False, rps),
+                "app_insa": _run(Scheme.APP_HTTPS, True, rps),
+                "trans": _run(Scheme.TRANS_1RTT, False, rps),
+                "trans_insa": _run(Scheme.TRANS_1RTT, True, rps),
+            }
+        )
+    return rows
+
+
+def test_fig6b_workload(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    emit_table(
+        "Figure 6(b): total time cost (ms) vs workload",
+        ["req/s", "no-Snatch", "App+INSA", "Trans", "Trans+INSA"],
+        [
+            [
+                row["rps"],
+                round(row["baseline"]),
+                round(row["app_insa"]),
+                round(row["trans"]),
+                round(row["trans_insa"]),
+            ]
+            for row in rows
+        ],
+    )
+    flat = [row["trans_insa"] for row in rows]
+    attach(
+        benchmark,
+        trans_insa_latencies=flat,
+        baseline_at_500rps=round(rows[-1]["baseline"]),
+    )
+    # Trans-1RTT + INSA is workload-invariant at ~61 ms.
+    assert max(flat) - min(flat) < 2.0
+    assert abs(flat[0] - 61) < 4
+    # Congestion: baseline at 300+ req/s far above its low-load value.
+    low = rows[0]["baseline"]
+    at_300 = next(r for r in rows if r["rps"] == 300)["baseline"]
+    assert at_300 > 3 * low
+    # App-HTTPS with INSA eventually loses to Trans without INSA
+    # under heavy load (paper: congestion at the edge server).
+    heavy = rows[-1]
+    assert heavy["app_insa"] > heavy["trans"]
+    # And at low load the opposite holds.
+    assert rows[0]["app_insa"] < rows[0]["trans"]

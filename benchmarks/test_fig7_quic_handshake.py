@@ -1,0 +1,47 @@
+"""Figure 7: QUIC connection establishment — 1-RTT vs 0-RTT.
+
+The handshake traces and one-way-delay counts feed the coefficients of
+the speedup equations: 3 one-way delays before the server holds data
+under 1-RTT, 1 under 0-RTT.
+"""
+
+import random
+
+from conftest import attach, emit_table
+
+from repro.quic.connection import HandshakeMode, QuicClient, QuicServer
+
+
+def _handshakes():
+    rng = random.Random(1)
+    server = QuicServer("web", rng=rng)
+    client = QuicClient("user", rng=rng)
+    first = client.connect(server)
+    second = client.connect(server)
+    return first, second
+
+
+def test_fig7_quic_handshakes(benchmark):
+    first, second = benchmark(_handshakes)
+
+    emit_table(
+        "Figure 7 (left): QUIC 1-RTT handshake",
+        ["direction", "packet"],
+        [[e.direction, e.description] for e in first.trace],
+    )
+    emit_table(
+        "Figure 7 (right): QUIC 0-RTT handshake",
+        ["direction", "packet"],
+        [[e.direction, e.description] for e in second.trace],
+    )
+    attach(
+        benchmark,
+        one_rtt_ow_delays=first.one_way_delays_to_server_data,
+        zero_rtt_ow_delays=second.one_way_delays_to_server_data,
+    )
+    assert first.mode is HandshakeMode.ONE_RTT
+    assert second.mode is HandshakeMode.ZERO_RTT
+    assert first.one_way_delays_to_server_data == 3
+    assert second.one_way_delays_to_server_data == 1
+    # 0-RTT replays the previous DstConnID* (the cookie carrier).
+    assert second.dst_conn_id == first.dst_conn_id

@@ -1,0 +1,56 @@
+"""Figure 9(a): AWS intra-/inter-data-center delay matrix.
+
+Paper: delays range 0.8 ms (intra) to 206 ms (ap-southeast-2 to
+af-south-1); inter-DC median 75.5 ms worldwide, 26.3 ms in the US.
+"""
+
+from conftest import attach, emit_table
+
+from repro.measurement.interdc import (
+    AWS_REGIONS,
+    US_REGIONS,
+    matrix_stats,
+    region_delay_ms,
+)
+
+SHOW_REGIONS = (
+    "us-east-1", "us-west-2", "eu-west-1", "sa-east-1",
+    "af-south-1", "ap-south-1", "ap-southeast-2",
+)
+
+
+def _compute():
+    world = matrix_stats()
+    us = matrix_stats(US_REGIONS)
+    sample = [
+        [a] + [region_delay_ms(a, b) for b in SHOW_REGIONS]
+        for a in SHOW_REGIONS
+    ]
+    return world, us, sample
+
+
+def test_fig9a_interdc_matrix(benchmark):
+    world, us, sample = benchmark(_compute)
+
+    emit_table(
+        "Figure 9(a): inter-DC delays (ms), sample of %d regions"
+        % len(AWS_REGIONS),
+        ["region"] + [r.split("-")[0] + "-" + r.split("-")[-1]
+                      for r in SHOW_REGIONS],
+        sample,
+    )
+    emit_table(
+        "Summary",
+        ["scope", "min", "median", "max", "paper"],
+        [
+            ["worldwide", world["min"], world["median"], world["max"],
+             "4.7 / 75.5 / 206"],
+            ["US", us["min"], us["median"], us["max"], "median 26.3"],
+        ],
+    )
+    attach(benchmark, **{("world_" + k): v for k, v in world.items()})
+    assert world["min"] == 4.7
+    assert world["max"] == 206.0
+    assert abs(world["median"] - 75.5) < 2.0
+    assert abs(us["median"] - 26.3) < 9.0
+    assert region_delay_ms("us-east-1", "us-east-1") == 0.8

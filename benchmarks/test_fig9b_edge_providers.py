@@ -1,0 +1,74 @@
+"""Figure 9(b): client->edge delay per provider.
+
+Paper: off-net servers are much closer than regular CDNs but cover
+only 57.9 % of clients; Amazon CloudFront outperforms Cloudflare; the
+analysis takes the per-site minimum over available providers.
+"""
+
+import statistics
+
+from conftest import attach, emit_table
+
+from repro.measurement.providers import (
+    OFFNET_COVERAGE,
+    best_edge_delay,
+    site_edge_delays,
+)
+from repro.measurement.sites import generate_sites
+
+
+def _measure(n_sites=800):
+    sites = generate_sites().sites[:n_sites]
+    per_provider = {"offnet": [], "cloudfront": [], "cloudflare": []}
+    best = []
+    for site in sites:
+        delays = site_edge_delays(site)
+        for name, value in delays.items():
+            per_provider[name].append(value)
+        best.append(min(delays.values()))
+    return sites, per_provider, best
+
+
+def test_fig9b_edge_providers(benchmark):
+    sites, per_provider, best = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in ("offnet", "cloudfront", "cloudflare"):
+        values = sorted(per_provider[name])
+        rows.append(
+            [
+                name,
+                round(values[len(values) // 4], 1),
+                round(statistics.median(values), 1),
+                round(values[3 * len(values) // 4], 1),
+                "%.1f%%" % (100.0 * len(values) / len(sites)),
+            ]
+        )
+    rows.append(
+        ["best-of-providers", "", round(statistics.median(best), 1), "", ""]
+    )
+    emit_table(
+        "Figure 9(b): client->edge delay per provider (ms)",
+        ["provider", "p25", "median", "p75", "coverage"],
+        rows,
+    )
+    coverage = len(per_provider["offnet"]) / len(sites)
+    attach(
+        benchmark,
+        offnet_coverage=round(coverage, 3),
+        offnet_median=round(statistics.median(per_provider["offnet"]), 1),
+        best_median=round(statistics.median(best), 1),
+    )
+    # Off-net closest, CloudFront beats Cloudflare.
+    assert statistics.median(per_provider["offnet"]) < statistics.median(
+        per_provider["cloudfront"]
+    )
+    assert statistics.median(per_provider["cloudfront"]) < statistics.median(
+        per_provider["cloudflare"]
+    )
+    # Coverage near the paper's 57.9 %.
+    assert abs(coverage - OFFNET_COVERAGE) < 0.06
+    # Best-of-providers median near the paper's 6.7 ms client-edge.
+    assert 3.0 < statistics.median(best) < 10.0

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the hot paths: AES, cookie codecs, switch
+pipeline throughput, and the streaming engine.
+
+These are classic pytest-benchmark timings (many rounds), useful for
+tracking regressions in the substrate implementations.
+"""
+
+import random
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.larkswitch import LarkSwitch
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.crypto.aes import AES
+from repro.streaming.context import StreamingContext
+from repro.streaming.rdd import RDD
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 1000),
+        ),
+    )
+
+
+def test_micro_aes_block(benchmark):
+    cipher = AES(KEY)
+    block = bytes(range(16))
+    out = benchmark(cipher.encrypt_block, block)
+    assert cipher.decrypt_block(out) == block
+
+
+def test_micro_transport_cookie_encode(benchmark):
+    codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(1))
+    values = {"gender": "f", "demand": 512}
+    cid = benchmark(codec.encode, values)
+    assert codec.decode(cid).values == values
+
+
+def test_micro_transport_cookie_decode(benchmark):
+    codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(2))
+    cid = codec.encode({"gender": "m", "demand": 7})
+    decoded = benchmark(codec.decode, cid)
+    assert decoded.values == {"gender": "m", "demand": 7}
+
+
+def test_micro_larkswitch_packet(benchmark):
+    lark = LarkSwitch("lark", random.Random(3))
+    lark.register_application(
+        APP, _schema(), KEY,
+        [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")],
+    )
+    codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(4))
+    cid = codec.encode({"gender": "x"})
+    result = benchmark(lark.process_quic_packet, cid)
+    assert result.matched
+
+
+def test_micro_rdd_reduce_by_key(benchmark):
+    rng = random.Random(5)
+    pairs = [(rng.randrange(64), 1) for _ in range(5000)]
+    rdd = RDD.of(pairs, num_partitions=4)
+    result = benchmark(rdd.reduce_by_key, lambda a, b: a + b)
+    assert sum(v for _k, v in result.collect()) == 5000
+
+
+def test_micro_streaming_batch(benchmark):
+    def run_batch():
+        ssc = StreamingContext(batch_interval_ms=100)
+        inp = ssc.input_stream(num_partitions=2)
+        counts = inp.map(lambda e: (e % 16, 1)).reduceByKey(
+            lambda a, b: a + b
+        )
+        out = []
+        counts.foreachRDD(lambda rdd, i: out.append(rdd.count()))
+        for i in range(1000):
+            inp.push(i, 50)
+        ssc.run_batch()
+        return out[0]
+
+    assert benchmark(run_batch) == 16

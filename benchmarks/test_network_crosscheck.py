@@ -1,0 +1,50 @@
+"""Cross-validation: two independent testbed implementations.
+
+The chain-based experiment (`repro.testbed.experiment`) and the
+packet-routed network testbed (`repro.testbed.network_testbed`) model
+the same Trans-1RTT + INSA pathway with different machinery; their
+medians must agree, and both must equal the analytic model's
+prediction ``d_CI + d_IA + switch costs``.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import percentile_scenario
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import TestbedExperiment
+from repro.testbed.network_testbed import NetworkTestbed
+
+
+def _compute():
+    rows = []
+    for percentile in (25, 50, 75):
+        config = TestbedConfig(
+            scheme=Scheme.TRANS_1RTT,
+            insa=True,
+            delay_percentile=percentile,
+            requests_per_second=20,
+            duration_ms=2500,
+        )
+        chain = TestbedExperiment(config).run().median_latency_ms
+        network = NetworkTestbed(config).run().median_latency_ms
+        params = percentile_scenario(percentile)
+        analytic = params.d_ci + params.d_ia + 2 * 0.101  # two switch hops
+        rows.append((percentile, chain, network, analytic))
+    return rows
+
+
+def test_testbed_crosscheck(benchmark):
+    rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    emit_table(
+        "Cross-check: Trans-1RTT + INSA median latency (ms)",
+        ["percentile", "chain DES", "packet DES", "analytic"],
+        [
+            [p, round(chain, 2), round(network, 2), round(analytic, 2)]
+            for p, chain, network, analytic in rows
+        ],
+    )
+    attach(benchmark, medians=[round(r[1], 2) for r in rows])
+    for _percentile, chain, network, analytic in rows:
+        assert abs(chain - network) / chain < 0.02
+        assert abs(chain - analytic) / analytic < 0.05

@@ -1,0 +1,89 @@
+"""Sensitivity analysis: which delay/cost dominates the speedup?
+
+A tornado-style sweep over the median scenario: each parameter is
+halved and doubled in isolation and the Trans-1RTT + INSA speedup
+recorded.  The paper's qualitative claims fall out: the Snatch-side
+path (``d_IA``, ``d_CI``) and the baseline's analytics/processing
+costs dominate; the web->analytics hop matters only for the baseline.
+"""
+
+from dataclasses import replace
+
+from conftest import attach, emit_table
+
+from repro.model.params import median_scenario
+from repro.model.speedup import Protocol, speedup
+
+PARAMETERS = (
+    "d_ci", "d_ce", "d_ew", "d_wa", "d_ia",
+    "t_edge", "t_web", "t_analytics",
+)
+
+
+def _sweep():
+    base = median_scenario()
+    nominal = speedup(base, Protocol.TRANS_1RTT, True)
+    rows = []
+    for name in PARAMETERS:
+        value = getattr(base, name)
+        low = speedup(
+            replace(base, **{name: value * 0.5}),
+            Protocol.TRANS_1RTT, True,
+        )
+        high = speedup(
+            replace(base, **{name: value * 2.0}),
+            Protocol.TRANS_1RTT, True,
+        )
+        rows.append(
+            {
+                "param": name,
+                "nominal_value": value,
+                "speedup_half": low,
+                "speedup_double": high,
+                "swing": abs(high - low),
+            }
+        )
+    rows.sort(key=lambda r: -r["swing"])
+    return nominal, rows
+
+
+def test_sensitivity_tornado(benchmark):
+    nominal, rows = benchmark(_sweep)
+
+    emit_table(
+        "Sensitivity of Trans-1RTT+INSA speedup (nominal %.1fx)" % nominal,
+        ["parameter", "nominal", "speedup @ x0.5", "@ x2", "swing"],
+        [
+            [
+                row["param"],
+                row["nominal_value"],
+                "%.1f" % row["speedup_half"],
+                "%.1f" % row["speedup_double"],
+                "%.1f" % row["swing"],
+            ]
+            for row in rows
+        ],
+    )
+    attach(
+        benchmark,
+        nominal=round(nominal, 1),
+        most_sensitive=rows[0]["param"],
+    )
+    by_param = {row["param"]: row for row in rows}
+    # The Snatch-path delay d_IA dominates everything else.
+    assert rows[0]["param"] == "d_ia"
+    # Baseline-side costs move the speedup *up* when doubled...
+    for name in ("t_web", "t_analytics", "d_wa", "d_ew"):
+        assert (
+            by_param[name]["speedup_double"]
+            > by_param[name]["speedup_half"]
+        ), name
+    # ...while Snatch-path delays move it *down*.
+    for name in ("d_ia", "d_ci"):
+        assert (
+            by_param[name]["speedup_double"]
+            < by_param[name]["speedup_half"]
+        ), name
+    # d_CE cancels out of the transport path entirely... almost: it
+    # only appears in the baseline numerator.
+    assert by_param["d_ce"]["speedup_double"] > nominal

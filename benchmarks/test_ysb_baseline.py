@@ -1,0 +1,69 @@
+"""The Yahoo Streaming Benchmark baseline (section 5.2).
+
+The paper's workload extends YSB; this bench runs the *original*
+benchmark query (filter -> project -> join to campaign -> windowed
+count) on our engine, verifies exactness, and contrasts its
+server-side latency with Snatch's in-network pathway for the same
+aggregation semantics.
+"""
+
+from conftest import attach, emit_table
+
+from repro.model.params import median_scenario
+from repro.model.speedup import Protocol, snatch_latency_ms
+from repro.testbed.spark_model import SparkLatencyModel
+from repro.workloads.ysb import YsbPipeline, YsbWorkload
+
+
+def _compute():
+    workload = YsbWorkload(num_campaigns=10, ads_per_campaign=10, seed=3)
+    events = workload.generate_events(rate_per_second=500, duration_ms=5000)
+    pipeline = YsbPipeline(workload, window_ms=1000, batch_interval_ms=500)
+    pipeline.feed(events)
+    pipeline.run(6000)
+    return workload, events, pipeline.results()
+
+
+def test_ysb_baseline(benchmark):
+    workload, events, results = benchmark.pedantic(
+        _compute, rounds=1, iterations=1
+    )
+    reference = workload.reference_window_counts(events, 1000)
+    assert results == reference
+
+    views = sum(count for count in reference.values())
+    emit_table(
+        "YSB on the micro-batch engine (%d events, %d views)"
+        % (len(events), views),
+        ["window", "campaign", "views"],
+        [
+            [window, campaign, count]
+            for (window, campaign), count in sorted(reference.items())[:8]
+        ],
+    )
+
+    # Latency contrast: the YSB answer needs the Spark path (batch
+    # boundary + processing) *after* the WAN detour; Snatch's
+    # in-network counting needs only the ISP hop.
+    spark = SparkLatencyModel(interval_ms=1000, batch_processing_ms=115)
+    params = median_scenario()
+    server_side_ms = (
+        3 * params.d_ce + 3 * params.d_ew + params.d_wa
+        + params.t_edge + params.t_web + spark.mean_latency_ms
+    )
+    snatch_ms = snatch_latency_ms(params, Protocol.TRANS_1RTT, insa=True)
+    emit_table(
+        "Same aggregation, two placements",
+        ["placement", "latency ms"],
+        [
+            ["YSB at the analytics server", round(server_side_ms, 1)],
+            ["Snatch in-network", round(snatch_ms, 1)],
+        ],
+    )
+    attach(
+        benchmark,
+        events=len(events),
+        server_side_ms=round(server_side_ms, 1),
+        snatch_ms=round(snatch_ms, 1),
+    )
+    assert server_side_ms / snatch_ms > 10

@@ -1,0 +1,77 @@
+"""Privacy walkthrough: the three attackers of the threat model.
+
+1. A third-party eavesdropper sees only AES-128 ciphertext in the
+   connection ID — flipping any plaintext feature flips ~half the
+   cookie bits (no structure leaks).
+2. An honest-but-curious edge is given transformed values and decoy
+   cookie pairs it cannot interpret.
+3. A malicious developer trying to smuggle a user ID into the schema
+   is rejected by the controller-side audit.
+
+Run:  python examples/privacy_audit.py
+"""
+
+import random
+
+from repro.core import (
+    CookieSchema,
+    CorrelatedCookies,
+    Feature,
+    IdentifiabilityError,
+    ValueTransform,
+    audit_schema,
+)
+from repro.core.transport_cookie import TransportCookieCodec
+
+
+def hamming(a: bytes, b: bytes) -> int:
+    return sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+
+
+def main() -> None:
+    schema = CookieSchema(
+        "demo",
+        (
+            Feature.categorical("segment", ["a", "b", "c", "d"]),
+            Feature.number("score", 0, 100),
+        ),
+    )
+    key = bytes(range(16))
+    rng = random.Random(0)
+
+    # 1. Eavesdropper: ciphertext diffusion.
+    codec = TransportCookieCodec(0x10, schema, key, rng)
+    base = bytes(codec.encode({"segment": "a", "score": 50}))[2:18]
+    flipped = bytes(codec.encode({"segment": "b", "score": 50}))[2:18]
+    print("cipher-bit distance for a one-feature change: %d / 128"
+          % hamming(base, flipped))
+
+    # 2. Honest-but-curious edge: affine transform + decoy shares.
+    transform = ValueTransform(a=37, b=11, modulus=101)
+    true_score = 73
+    on_wire = transform.forward(true_score)
+    print("edge sees score %d; developer recovers %d"
+          % (on_wire, transform.inverse(on_wire)))
+    pair = CorrelatedCookies(random.Random(1))
+    shares = pair.split(40)
+    for delta in (3, -1, 5):
+        shares = pair.update(shares, delta)
+    print("decoy shares %s combine to %d" % (shares, pair.combine(shares)))
+
+    # 3. Malicious developer: identifier smuggling is rejected.
+    bad = CookieSchema(
+        "tracking",
+        (Feature.number("user_id", 0, 2**31 - 1),),
+    )
+    try:
+        audit_schema(bad, expected_population=10_000_000)
+    except IdentifiabilityError as exc:
+        print("schema audit rejected the 'user_id' feature:\n  %s" % exc)
+
+    findings = audit_schema(schema, expected_population=10_000_000)
+    print("legitimate schema audit findings: %s"
+          % (findings or "none — approved"))
+
+
+if __name__ == "__main__":
+    main()

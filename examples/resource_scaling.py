@@ -1,0 +1,70 @@
+"""Faster autoscaling from in-network demand aggregation.
+
+Paper section 2.3, example 3: cloud services must deploy containers
+before demand arrives, so an aggregate-demand signal that is available
+~500 ms earlier (the Snatch speedup) means replicas are ready sooner.
+This example aggregates per-tier demand sums in-network and feeds an
+autoscaler, comparing the reaction time against the conventional
+pipeline's analytics latency.
+
+Run:  python examples/resource_scaling.py
+"""
+
+import random
+
+from repro.core import AggSwitch, LarkSwitch
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.model import Protocol, median_scenario, baseline_latency_ms, snatch_latency_ms
+from repro.workloads import Autoscaler, ResourceDemandWorkload
+
+APP_ID = 0x71
+
+
+def main() -> None:
+    rng = random.Random(3)
+    workload = ResourceDemandWorkload(num_tenants=400, seed=21)
+    schema = workload.schema()
+    specs = workload.specs()
+    key = bytes(rng.getrandbits(8) for _ in range(16))
+
+    lark = LarkSwitch("isp", random.Random(1))
+    lark.register_application(APP_ID, schema, key, specs)
+    agg = AggSwitch("agg", random.Random(2))
+    agg.register_application(APP_ID, schema, key, specs)
+    codec = TransportCookieCodec(APP_ID, schema, key, random.Random(4))
+
+    autoscaler = Autoscaler(units_per_replica=5000, max_replicas=32)
+    sessions = workload.sessions(rate_per_second=300, duration_ms=4000)
+
+    total_demand = 0.0
+    for time_ms, tenant in sessions:
+        result = lark.process_quic_packet(codec.encode(tenant.semantic_values()))
+        agg.process_packet(result.aggregation_payload)
+        report = agg.report(APP_ID)
+        total_demand = sum(
+            v for v in report["demand_sum"].values() if v is not None
+        )
+        autoscaler.observe(time_ms, total_demand)
+
+    truth = workload.reference_demand_sum(sessions)
+    report = agg.report(APP_ID)
+    print("per-tier demand sums (in-network vs ground truth):")
+    for tier, expected in sorted(truth.items()):
+        got = report["demand_sum"].get(tier, 0)
+        marker = "OK" if got == expected else "MISMATCH"
+        print("  %-9s %9d  %9d  %s" % (tier, got, expected, marker))
+
+    print("\nautoscaler: %d scaling decisions, final replicas %d"
+          % (len(autoscaler.scaling_events), autoscaler.current_replicas))
+
+    # How much earlier is each demand sample available with Snatch?
+    params = median_scenario()
+    conventional = baseline_latency_ms(params, Protocol.TRANS_1RTT)
+    snatch = snatch_latency_ms(params, Protocol.TRANS_1RTT, insa=True)
+    print("\ndemand signal latency: %.0f ms conventional vs %.0f ms with "
+          "Snatch (%.0fx earlier scaling trigger)"
+          % (conventional, snatch, conventional / snatch))
+
+
+if __name__ == "__main__":
+    main()

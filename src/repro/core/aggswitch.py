@@ -1,0 +1,219 @@
+"""AggSwitch: the second-tier aggregating switch (paper sections 3.1, 4.1).
+
+The AggSwitch sits on the last hop to the analytics server and inspects
+all incoming packets.  Packets whose first 16 bits carry the Snatch SID
+are aggregation packets from LarkSwitches or edge servers; the switch
+decrypts them, folds their contents into its own register-backed
+statistics, and either forwards per-packet increments immediately or
+flushes merged statistics at period boundaries.
+
+It is built on the same pipeline substrate as the LarkSwitch: a
+match-action table on the SID/app-ID fields selects the merge action,
+and AES passes are charged the ~0.1 ms cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.aggregation import (
+    AggregationCodec,
+    AggregationPacket,
+    ForwardingMode,
+    SNATCH_SID,
+)
+from repro.core.larkswitch import unflatten_snapshot
+from repro.core.schema import CookieSchema
+from repro.core.stats import (
+    StatSpec,
+    SwitchStatistics,
+    merge_snapshots,
+    min_array_names,
+)
+from repro.switch.pipeline import AES_PASS_LATENCY_MS, PHV, SwitchPipeline
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+)
+
+__all__ = ["AggSwitch", "AggResult"]
+
+
+@dataclass
+class _AggApp:
+    app_id: int
+    schema: CookieSchema
+    specs: List[StatSpec]
+    codec: AggregationCodec
+    stats: SwitchStatistics
+    destination: str = "analytics"
+    packets_merged: int = 0
+
+
+@dataclass
+class AggResult:
+    """Outcome of processing one packet at the AggSwitch."""
+
+    is_aggregation: bool
+    merged: bool
+    latency_ms: float
+    forward_report: Optional[Dict[str, Any]] = None
+    destination: Optional[str] = None
+
+
+class AggSwitch:
+    """The aggregating switch in front of the analytics server."""
+
+    def __init__(self, name: str = "agg", rng: Optional[random.Random] = None):
+        self.name = name
+        self._rng = rng or random.Random()
+        self.pipeline = SwitchPipeline(name)
+        self._apps: Dict[int, _AggApp] = {}
+        self._match_table = MatchActionTable(
+            "%s.sid_app_match" % name,
+            keys=[
+                MatchKey("sid", MatchKind.EXACT, 16),
+                MatchKey("app_id", MatchKind.EXACT, 8),
+            ],
+            max_entries=256,
+            default_action="NoAction",
+        )
+        self.pipeline.add_table(stage=0, table=self._match_table)
+        self.pipeline.register_action("snatch_merge", self._action_merge)
+
+    # -- controller RPC surface ---------------------------------------------
+
+    def register_application(
+        self,
+        app_id: int,
+        schema: CookieSchema,
+        key: bytes,
+        specs: List[StatSpec],
+        destination: str = "analytics",
+    ) -> None:
+        if app_id in self._apps:
+            raise ValueError("app-ID %d already registered" % app_id)
+        self._apps[app_id] = _AggApp(
+            app_id=app_id,
+            schema=schema,
+            specs=list(specs),
+            codec=AggregationCodec(app_id, key, self._rng),
+            stats=SwitchStatistics(
+                schema,
+                specs,
+                self.pipeline.registers,
+                prefix="%s.app%02x" % (self.name, app_id),
+            ),
+            destination=destination,
+        )
+        self._match_table.insert(
+            TableEntry((SNATCH_SID, app_id), "snatch_merge", {"app_id": app_id})
+        )
+
+    def rekey_application(self, app_id: int, new_key: bytes) -> None:
+        """In-place AES-key replacement (see LarkSwitch.rekey_application
+        for why this is the naive, unsafe update path)."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        app.codec = AggregationCodec(app_id, new_key, self._rng)
+
+    def revoke_application(self, app_id: int) -> bool:
+        app = self._apps.pop(app_id, None)
+        if app is None:
+            return False
+        self._match_table.remove((SNATCH_SID, app_id))
+        for array_name in list(self.pipeline.registers.names()):
+            if array_name.startswith("%s.app%02x" % (self.name, app_id)):
+                self.pipeline.registers.free(array_name)
+        return True
+
+    def registered_app_ids(self) -> List[int]:
+        return sorted(self._apps)
+
+    # -- data plane -----------------------------------------------------------
+
+    def _action_merge(
+        self, pipeline: SwitchPipeline, phv: PHV, params: Dict[str, Any]
+    ) -> None:
+        app = self._apps[params["app_id"]]
+        pipeline.charge_latency(AES_PASS_LATENCY_MS)  # AES decrypt
+        try:
+            packet = app.codec.decode(phv["payload"])
+        except ValueError:
+            phv.metadata["decode_failed"] = True
+            return
+        if packet.mode == ForwardingMode.PER_PACKET:
+            # Items are (feature_index, wire_value) for one cookie.
+            values: Dict[str, Any] = {}
+            for index, wire in packet.items:
+                if index >= len(app.schema.features):
+                    phv.metadata["decode_failed"] = True
+                    return
+                feature = app.schema.features[index]
+                values[feature.name] = feature.decode_value(wire)
+            app.stats.update(values)
+        else:
+            # Items are a flattened statistics snapshot from one source.
+            mins = min_array_names(app.specs)
+            incoming = unflatten_snapshot(
+                packet.items, app.stats.snapshot(), mins
+            )
+            merged = merge_snapshots(
+                app.specs, app.stats.snapshot(), incoming
+            )
+            self._write_snapshot(app, merged)
+        app.packets_merged += 1
+        phv.metadata["merged_app"] = app.app_id
+
+    def _write_snapshot(
+        self, app: _AggApp, snapshot: Dict[str, List[int]]
+    ) -> None:
+        for name, cells in snapshot.items():
+            array = self.pipeline.registers.get(
+                "%s.app%02x.%s" % (self.name, app.app_id, name)
+            )
+            for index, value in enumerate(cells):
+                array.write(index, value)
+
+    def process_packet(self, payload: bytes) -> AggResult:
+        """Inspect one packet heading for the analytics server."""
+        is_agg = AggregationCodec.is_aggregation_packet(payload)
+        sid = int.from_bytes(payload[0:2], "big") if len(payload) >= 2 else 0
+        app_id = payload[2] if len(payload) >= 3 else -1
+        result = self.pipeline.process(
+            {"sid": sid, "app_id": app_id, "payload": payload}
+        )
+        merged_app = result.phv.metadata.get("merged_app")
+        forward_report = None
+        destination = None
+        if merged_app is not None:
+            app = self._apps[merged_app]
+            forward_report = app.stats.report()
+            destination = app.destination
+        return AggResult(
+            is_aggregation=is_agg,
+            merged=merged_app is not None,
+            latency_ms=result.latency_ms,
+            forward_report=forward_report,
+            destination=destination,
+        )
+
+    # -- read-out ----------------------------------------------------------------
+
+    def report(self, app_id: int) -> Dict[str, Any]:
+        """The aggregated analytics result for an application."""
+        if app_id not in self._apps:
+            raise KeyError("no application %d registered" % app_id)
+        return self._apps[app_id].stats.report()
+
+    def reset(self, app_id: int) -> None:
+        """Period-boundary reset after delivering results."""
+        self._apps[app_id].stats.reset()
+
+    def packets_merged(self, app_id: int) -> int:
+        return self._apps[app_id].packets_merged

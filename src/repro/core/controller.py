@@ -1,0 +1,336 @@
+"""The Snatch controller (paper sections 3.5, 4.3).
+
+A trusted party runs the controller; application developers submit
+analytics tasks, and the controller distributes per-application
+parameters — application-ID byte, AES-128 key, cookie schema,
+statistics program, forwarding scheme — to every participating device
+over RPC, strictly in the order **AggSwitch -> LarkSwitches -> edge
+servers** so no device ever reports data the tier above cannot parse.
+
+The developer-facing API surface (section 3.5):
+
+1. add / remove applications;
+2. add / remove cookies (features) — transport layer preferred,
+   spill to the application layer when the 160-bit budget is short;
+3. change feature types and valid ranges;
+4. change the forwarding scheme (per-packet vs periodical).
+
+Consistency (section 4.3): every update creates a **new version with a
+new application-ID**; the old version's rules are revoked only after a
+grace period, so in-flight cookies in either format stay decodable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatSpec
+from repro.crypto.keys import AES128_KEY_LEN
+
+__all__ = ["SnatchController", "ApplicationHandle", "RpcLog"]
+
+
+@dataclass
+class ApplicationHandle:
+    """What the developer gets back: everything needed to mint cookies
+    at the web server and decode results at the analytics server."""
+
+    name: str
+    app_id: int
+    version: int
+    key: bytes
+    schema: CookieSchema
+    transport_schema: CookieSchema
+    overflow_schema: Optional[CookieSchema]
+    specs: List[StatSpec]
+    mode: str
+    period_ms: float
+
+
+@dataclass
+class RpcLog:
+    """Record of one controller -> device RPC (for consistency tests)."""
+
+    order: int
+    device: str
+    action: str
+    app_id: int
+
+
+class SnatchController:
+    """Coordinates AggSwitches, LarkSwitches and edge servers."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+        self._agg_switches: List[Any] = []
+        self._lark_switches: List[Any] = []
+        self._edge_servers: List[Any] = []
+        self._apps: Dict[str, ApplicationHandle] = {}
+        self._used_app_ids: set = set()
+        self._retired: List[Tuple[str, int]] = []  # (name, old app_id)
+        self.rpc_log: List[RpcLog] = []
+        self._rpc_counter = 0
+
+    # -- device enrollment ------------------------------------------------------
+
+    def attach_agg_switch(self, switch: Any) -> None:
+        self._agg_switches.append(switch)
+
+    def attach_lark_switch(self, switch: Any) -> None:
+        self._lark_switches.append(switch)
+
+    def attach_edge_server(self, server: Any) -> None:
+        self._edge_servers.append(server)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _log(self, device: str, action: str, app_id: int) -> None:
+        self.rpc_log.append(
+            RpcLog(self._rpc_counter, device, action, app_id)
+        )
+        self._rpc_counter += 1
+
+    def _new_app_id(self) -> int:
+        """A random unused byte (section 4.3: 'generates a random byte
+        as the application ID')."""
+        available = [b for b in range(256) if b not in self._used_app_ids]
+        if not available:
+            raise RuntimeError("application-ID space exhausted")
+        app_id = self._rng.choice(available)
+        self._used_app_ids.add(app_id)
+        return app_id
+
+    def _new_key(self) -> bytes:
+        return bytes(
+            self._rng.getrandbits(8) for _ in range(AES128_KEY_LEN)
+        )
+
+    def _install(
+        self, handle: ApplicationHandle, event_filter=None
+    ) -> None:
+        """Push parameters in the consistency-preserving order."""
+        for switch in self._agg_switches:
+            switch.register_application(
+                handle.app_id,
+                handle.transport_schema,
+                handle.key,
+                handle.specs,
+            )
+            self._log(switch.name, "register", handle.app_id)
+        for switch in self._lark_switches:
+            switch.register_application(
+                handle.app_id,
+                handle.transport_schema,
+                handle.key,
+                handle.specs,
+                mode=handle.mode,
+                period_ms=handle.period_ms,
+                version=handle.version,
+            )
+            self._log(switch.name, "register", handle.app_id)
+        for server in self._edge_servers:
+            server.register_application(
+                handle.app_id,
+                handle.transport_schema,
+                handle.key,
+                handle.specs,
+                mode=handle.mode,
+                period_ms=handle.period_ms,
+                event_filter=event_filter,
+                version=handle.version,
+            )
+            self._log(server.name, "register", handle.app_id)
+
+    # -- developer API 1: add/remove applications -------------------------------------
+
+    def add_application(
+        self,
+        name: str,
+        features: List[Feature],
+        specs: List[StatSpec],
+        mode: str = ForwardingMode.PER_PACKET,
+        period_ms: float = 0.0,
+        event_filter=None,
+    ) -> ApplicationHandle:
+        if name in self._apps:
+            raise ValueError("application %r already exists" % name)
+        schema = CookieSchema(name, tuple(features))
+        transport_schema, overflow = schema.split_for_transport()
+        handle = ApplicationHandle(
+            name=name,
+            app_id=self._new_app_id(),
+            version=0,
+            key=self._new_key(),
+            schema=schema,
+            transport_schema=transport_schema,
+            overflow_schema=overflow,
+            specs=list(specs),
+            mode=mode,
+            period_ms=period_ms,
+        )
+        self._install(handle, event_filter)
+        self._apps[name] = handle
+        return handle
+
+    def remove_application(self, name: str) -> None:
+        handle = self._apps.pop(name, None)
+        if handle is None:
+            raise KeyError("no application %r" % name)
+        self._revoke(handle.app_id)
+
+    def _revoke(self, app_id: int) -> None:
+        # Revocation order mirrors installation.
+        for switch in self._agg_switches:
+            switch.revoke_application(app_id)
+            self._log(switch.name, "revoke", app_id)
+        for switch in self._lark_switches:
+            switch.revoke_application(app_id)
+            self._log(switch.name, "revoke", app_id)
+        for server in self._edge_servers:
+            server.revoke_application(app_id)
+            self._log(server.name, "revoke", app_id)
+
+    # -- developer APIs 2-4: versioned updates ------------------------------------------
+
+    def update_application(
+        self,
+        name: str,
+        features: Optional[List[Feature]] = None,
+        specs: Optional[List[StatSpec]] = None,
+        mode: Optional[str] = None,
+        period_ms: Optional[float] = None,
+        event_filter=None,
+    ) -> ApplicationHandle:
+        """Create a new version with a fresh application-ID and key; the
+        old version keeps running until :meth:`retire_old_versions`."""
+        old = self._apps.get(name)
+        if old is None:
+            raise KeyError("no application %r" % name)
+        schema = (
+            CookieSchema(name, tuple(features))
+            if features is not None
+            else old.schema
+        )
+        transport_schema, overflow = schema.split_for_transport()
+        new_mode = mode if mode is not None else old.mode
+        new_period = period_ms if period_ms is not None else old.period_ms
+        if new_mode == ForwardingMode.PERIODICAL and new_period <= 0:
+            raise ValueError("periodical forwarding needs a positive period")
+        handle = ApplicationHandle(
+            name=name,
+            app_id=self._new_app_id(),
+            version=old.version + 1,
+            key=self._new_key(),
+            schema=schema,
+            transport_schema=transport_schema,
+            overflow_schema=overflow,
+            specs=list(specs) if specs is not None else list(old.specs),
+            mode=new_mode,
+            period_ms=new_period,
+        )
+        self._install(handle, event_filter)
+        self._apps[name] = handle
+        self._retired.append((name, old.app_id))
+        return handle
+
+    def add_cookie(self, name: str, feature: Feature) -> ApplicationHandle:
+        """Developer API 2 (add): append a sub-cookie."""
+        old = self._apps[name]
+        return self.update_application(
+            name, features=list(old.schema.features) + [feature]
+        )
+
+    def remove_cookie(self, name: str, feature_name: str) -> ApplicationHandle:
+        """Developer API 2 (remove)."""
+        old = self._apps[name]
+        remaining = [
+            f for f in old.schema.features if f.name != feature_name
+        ]
+        if len(remaining) == len(old.schema.features):
+            raise KeyError("no feature %r in application %r" % (feature_name, name))
+        return self.update_application(name, features=remaining)
+
+    def change_feature(
+        self, name: str, feature: Feature
+    ) -> ApplicationHandle:
+        """Developer API 3: replace a feature's type / valid range."""
+        old = self._apps[name]
+        features = [
+            feature if f.name == feature.name else f
+            for f in old.schema.features
+        ]
+        if feature.name not in [f.name for f in old.schema.features]:
+            raise KeyError("no feature %r in application %r" % (feature.name, name))
+        return self.update_application(name, features=features)
+
+    def change_forwarding(
+        self, name: str, mode: str, period_ms: float = 0.0
+    ) -> ApplicationHandle:
+        """Developer API 4: switch between per-packet and periodical."""
+        return self.update_application(name, mode=mode, period_ms=period_ms)
+
+    def retire_old_versions(self) -> int:
+        """After the grace period, revoke superseded versions' rules."""
+        count = 0
+        for _name, app_id in self._retired:
+            self._revoke(app_id)
+            count += 1
+        self._retired.clear()
+        return count
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def application(self, name: str) -> ApplicationHandle:
+        return self._apps[name]
+
+    def applications(self) -> List[str]:
+        return sorted(self._apps)
+
+    def pending_retirements(self) -> int:
+        return len(self._retired)
+
+    def resync(self, name: str) -> int:
+        """Fault repair (section 6): re-push the current version's
+        parameters to every device that lost them (e.g. after a failed
+        key update).  Returns the number of devices re-provisioned."""
+        handle = self._apps[name]
+        resynced = 0
+        for switch in self._agg_switches:
+            if handle.app_id not in switch.registered_app_ids():
+                switch.register_application(
+                    handle.app_id, handle.transport_schema, handle.key,
+                    handle.specs,
+                )
+                self._log(switch.name, "resync", handle.app_id)
+                resynced += 1
+        for switch in self._lark_switches:
+            if handle.app_id not in switch.registered_app_ids():
+                switch.register_application(
+                    handle.app_id, handle.transport_schema, handle.key,
+                    handle.specs, mode=handle.mode,
+                    period_ms=handle.period_ms, version=handle.version,
+                )
+                self._log(switch.name, "resync", handle.app_id)
+                resynced += 1
+        for server in self._edge_servers:
+            if handle.app_id not in server.registered_app_ids():
+                server.register_application(
+                    handle.app_id, handle.transport_schema, handle.key,
+                    handle.specs, mode=handle.mode,
+                    period_ms=handle.period_ms, version=handle.version,
+                )
+                self._log(server.name, "resync", handle.app_id)
+                resynced += 1
+        return resynced
+
+    def is_consistent(self, name: str) -> bool:
+        """Every device knows the application's current version."""
+        handle = self._apps[name]
+        devices = self._agg_switches + self._lark_switches + self._edge_servers
+        return all(
+            handle.app_id in device.registered_app_ids() for device in devices
+        )

@@ -1,0 +1,108 @@
+"""Digest offload: complex operations via the switch control plane.
+
+Paper section 4.1: operations the match-action ALU cannot execute
+(modulo, logarithm, quantiles, ...) "can be resolved by using P4's
+digest to complete the operations with the help of the control plane"
+[20].  The data plane punts the raw value in a digest message; the
+switch-local control-plane CPU — slow, but Turing-complete — folds it
+into whatever statistic is needed and contributes the result at period
+boundaries.
+
+:class:`DigestQuantileEstimator` implements the canonical example (the
+p-quantile a switch cannot compute), with a bounded-memory reservoir so
+the control plane's RAM, like the data plane's SRAM, is a budgeted
+resource.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.switch.pipeline import Digest
+
+__all__ = ["DigestQuantileEstimator", "DigestModulo"]
+
+
+class DigestQuantileEstimator:
+    """Quantiles over digested values, with reservoir sampling.
+
+    The data plane emits one digest per matched packet; the control
+    plane keeps at most ``reservoir_size`` values (uniform reservoir),
+    so memory stays bounded while quantile estimates remain unbiased.
+    """
+
+    def __init__(
+        self,
+        feature: str,
+        reservoir_size: int = 1024,
+        rng: Optional[random.Random] = None,
+    ):
+        if reservoir_size <= 0:
+            raise ValueError("reservoir size must be positive")
+        self.feature = feature
+        self.reservoir_size = reservoir_size
+        self._rng = rng or random.Random(0)
+        self._reservoir: List[float] = []
+        self.values_seen = 0
+
+    def consume(self, digest: Digest) -> bool:
+        """Fold one digest in; returns False for digests about other
+        features (a control plane serves many programs)."""
+        if digest.data.get("feature") != self.feature:
+            return False
+        value = float(digest.data["value"])
+        self.values_seen += 1
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.values_seen)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+        return True
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile estimate (nearest-rank on the reservoir)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._reservoir:
+            raise ValueError("no digested values yet")
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    def reset(self) -> None:
+        """Period boundary: report and clear."""
+        self._reservoir.clear()
+        self.values_seen = 0
+
+    @property
+    def memory_bound(self) -> int:
+        return self.reservoir_size
+
+
+class DigestModulo:
+    """Per-class counting keyed on ``value % modulus`` — the paper's
+    other named non-ALU operand, computed control-plane-side."""
+
+    def __init__(self, feature: str, modulus: int):
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        self.feature = feature
+        self.modulus = modulus
+        self.counts: Dict[int, int] = {}
+
+    def consume(self, digest: Digest) -> bool:
+        if digest.data.get("feature") != self.feature:
+            return False
+        residue = int(digest.data["value"]) % self.modulus
+        self.counts[residue] = self.counts.get(residue, 0) + 1
+        return True
+
+    def report(self) -> Dict[int, int]:
+        return dict(self.counts)
+
+    def reset(self) -> None:
+        self.counts.clear()

@@ -1,0 +1,123 @@
+"""Fault detection and repair (paper section 6, "Fault Tolerance").
+
+All of Snatch's failure modes — controller/device inconsistency,
+missed AES-key updates, dropped aggregation packets — surface the same
+way: the in-network aggregate drifts from the truth.  The paper's
+remedy: re-run the same analytics on the data that reaches the web
+servers (it arrives later but is complete), diff the results, and have
+the application developer report discrepancies to the controller,
+which re-pushes parameters over RPC.
+
+:class:`ResultVerifier` performs the diff with a configurable relative
+tolerance (per-packet UDP loss legitimately drops a data point or
+two); :class:`FaultRepairLoop` drives detection -> controller resync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Discrepancy", "ResultVerifier", "FaultRepairLoop"]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One aggregate cell that disagrees with ground truth."""
+
+    statistic: str
+    key: Any
+    in_network: float
+    ground_truth: float
+
+    @property
+    def relative_error(self) -> float:
+        denom = max(abs(self.ground_truth), 1.0)
+        return abs(self.in_network - self.ground_truth) / denom
+
+
+class ResultVerifier:
+    """Diffs the in-network aggregate against web-server-side truth."""
+
+    def __init__(self, relative_tolerance: float = 0.01):
+        if relative_tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.relative_tolerance = relative_tolerance
+
+    def diff(
+        self,
+        in_network: Dict[str, Dict[Any, Any]],
+        ground_truth: Dict[str, Dict[Any, Any]],
+    ) -> List[Discrepancy]:
+        """Cells outside tolerance.  Ground-truth statistics absent
+        from the report count as fully missing."""
+        out: List[Discrepancy] = []
+        for statistic, truth_cells in ground_truth.items():
+            report_cells = in_network.get(statistic, {})
+            keys = set(truth_cells) | {
+                k for k, v in report_cells.items() if v
+            }
+            for key in keys:
+                truth = float(truth_cells.get(key, 0) or 0)
+                got_raw = report_cells.get(key, 0)
+                got = float(got_raw if got_raw is not None else 0)
+                denom = max(abs(truth), 1.0)
+                if abs(got - truth) / denom > self.relative_tolerance:
+                    out.append(
+                        Discrepancy(
+                            statistic=statistic,
+                            key=key,
+                            in_network=got,
+                            ground_truth=truth,
+                        )
+                    )
+        out.sort(key=lambda d: (-d.relative_error, d.statistic, repr(d.key)))
+        return out
+
+    def consistent(
+        self,
+        in_network: Dict[str, Dict[Any, Any]],
+        ground_truth: Dict[str, Dict[Any, Any]],
+    ) -> bool:
+        return not self.diff(in_network, ground_truth)
+
+
+@dataclass
+class RepairRecord:
+    application: str
+    discrepancies: int
+    devices_resynced: int
+
+
+class FaultRepairLoop:
+    """Detection -> report -> controller resync, as section 6 sketches.
+
+    The developer calls :meth:`check` with the (delayed) ground truth;
+    on any discrepancy the loop asks the controller to re-push the
+    application's parameters to every device that lost them.
+    """
+
+    def __init__(self, controller, verifier: Optional[ResultVerifier] = None):
+        self.controller = controller
+        self.verifier = verifier or ResultVerifier()
+        self.history: List[RepairRecord] = []
+
+    def check(
+        self,
+        application: str,
+        in_network: Dict[str, Dict[Any, Any]],
+        ground_truth: Dict[str, Dict[Any, Any]],
+    ) -> List[Discrepancy]:
+        """Diff and, if needed, trigger a resync.  Returns the
+        discrepancies that prompted the repair (empty when healthy)."""
+        discrepancies = self.verifier.diff(in_network, ground_truth)
+        if discrepancies:
+            resynced = self.controller.resync(application)
+            self.history.append(
+                RepairRecord(
+                    application=application,
+                    discrepancies=len(discrepancies),
+                    devices_resynced=resynced,
+                )
+            )
+        return discrepancies

@@ -1,0 +1,367 @@
+"""LarkSwitch: the first-tier ISP switch (paper sections 3.1, 4.1).
+
+A LarkSwitch sits in the edge ISP and inspects QUIC traffic:
+
+1. a match-action table keyed on the connection-ID's application-ID
+   byte recognizes Snatch packets (parameters installed by the
+   controller);
+2. on a hit, the switch decrypts the cookie block (one AES pass,
+   ~0.1 ms [45]), decodes bitmap + cookie-stack, and updates its
+   statistics registers;
+3. the original packet is forwarded unchanged toward the web server,
+   while a *clone* is rewritten into a custom aggregation packet for
+   the AggSwitch — immediately (per-packet forwarding) or at period
+   boundaries (periodical forwarding);
+4. optionally, a Bloom filter deduplicates repeat visitors within a
+   period (Appendix B.4).
+
+The switch logic genuinely runs on the :mod:`repro.switch` pipeline
+substrate (tables, registers, clones, latency accounting), so hardware
+resource limits apply.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.aggregation import (
+    AggregationCodec,
+    AggregationPacket,
+    ForwardingMode,
+)
+from repro.core.schema import CookieSchema
+from repro.core.stats import StatSpec, SwitchStatistics, min_array_names
+from repro.core.transport_cookie import (
+    APP_ID_BYTE_INDEX,
+    TransportCookieCodec,
+)
+from repro.quic.connection_id import ConnectionID
+from repro.switch.bloom import BloomFilter
+from repro.switch.pipeline import (
+    AES_PASS_LATENCY_MS,
+    PHV,
+    SwitchPipeline,
+)
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+)
+
+__all__ = ["LarkSwitch", "LarkResult", "RegisteredApp", "lark_process_raw"]
+
+
+@dataclass
+class RegisteredApp:
+    """Per-application state installed by the controller."""
+
+    app_id: int
+    schema: CookieSchema
+    cookie_codec: TransportCookieCodec
+    agg_codec: AggregationCodec
+    stats: SwitchStatistics
+    specs: List[StatSpec] = field(default_factory=list)
+    mode: str = ForwardingMode.PER_PACKET
+    period_ms: float = 0.0
+    dedup: Optional[BloomFilter] = None
+    digest_features: List[str] = field(default_factory=list)
+    version: int = 0
+
+
+@dataclass
+class LarkResult:
+    """Outcome of processing one QUIC packet."""
+
+    matched: bool
+    forwarded_original: bool
+    aggregation_payload: Optional[bytes]
+    latency_ms: float
+    decoded_values: Optional[Dict[str, Any]] = None
+    deduplicated: bool = False
+    digests: List[Any] = field(default_factory=list)
+
+
+class LarkSwitch:
+    """A Snatch-programmed ISP switch."""
+
+    def __init__(self, name: str = "lark", rng: Optional[random.Random] = None):
+        self.name = name
+        self._rng = rng or random.Random()
+        self.pipeline = SwitchPipeline(name)
+        self._apps: Dict[int, RegisteredApp] = {}
+        self._app_table = MatchActionTable(
+            "%s.app_match" % name,
+            keys=[MatchKey("app_id", MatchKind.EXACT, 8)],
+            max_entries=256,
+            default_action="NoAction",
+        )
+        self.pipeline.add_table(stage=0, table=self._app_table)
+        self.pipeline.register_action("snatch_decode", self._action_decode)
+
+    # -- controller RPC surface ---------------------------------------------
+
+    def register_application(
+        self,
+        app_id: int,
+        schema: CookieSchema,
+        key: bytes,
+        specs: List[StatSpec],
+        mode: str = ForwardingMode.PER_PACKET,
+        period_ms: float = 0.0,
+        dedup: bool = False,
+        digest_features: Optional[List[str]] = None,
+        version: int = 0,
+    ) -> RegisteredApp:
+        """Install an application's parameters (table entry, AES key,
+        cookie format, statistics program)."""
+        if app_id in self._apps:
+            raise ValueError("app-ID %d already registered" % app_id)
+        if mode == ForwardingMode.PERIODICAL and period_ms <= 0:
+            raise ValueError("periodical forwarding needs a positive period")
+        app = RegisteredApp(
+            app_id=app_id,
+            schema=schema,
+            cookie_codec=TransportCookieCodec(app_id, schema, key, self._rng),
+            agg_codec=AggregationCodec(app_id, key, self._rng),
+            stats=SwitchStatistics(
+                schema,
+                specs,
+                self.pipeline.registers,
+                prefix="%s.app%02x" % (self.name, app_id),
+            ),
+            specs=list(specs),
+            mode=mode,
+            period_ms=period_ms,
+            dedup=BloomFilter(name="%s.dedup%02x" % (self.name, app_id))
+            if dedup
+            else None,
+            digest_features=list(digest_features or []),
+            version=version,
+        )
+        self._apps[app_id] = app
+        self._app_table.insert(
+            TableEntry((app_id,), "snatch_decode", {"app_id": app_id})
+        )
+        return app
+
+    def rekey_application(self, app_id: int, new_key: bytes) -> None:
+        """In-place AES-key replacement — the *naive* update that the
+        controller's versioning scheme exists to avoid (section 4.3):
+        until every device has rekeyed, tiers disagree about the cookie
+        format and data is silently lost."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        app.cookie_codec = TransportCookieCodec(
+            app_id, app.schema, new_key, self._rng
+        )
+        app.agg_codec = AggregationCodec(app_id, new_key, self._rng)
+
+    def revoke_application(self, app_id: int) -> bool:
+        """Remove an application (controller version cleanup)."""
+        app = self._apps.pop(app_id, None)
+        if app is None:
+            return False
+        self._app_table.remove((app_id,))
+        for array_name in list(self.pipeline.registers.names()):
+            if array_name.startswith("%s.app%02x" % (self.name, app_id)):
+                self.pipeline.registers.free(array_name)
+        return True
+
+    def registered_app_ids(self) -> List[int]:
+        return sorted(self._apps)
+
+    # -- data plane -----------------------------------------------------------
+
+    def _action_decode(
+        self, pipeline: SwitchPipeline, phv: PHV, params: Dict[str, Any]
+    ) -> None:
+        app = self._apps[params["app_id"]]
+        cid = ConnectionID(phv["dcid"])
+        pipeline.charge_latency(AES_PASS_LATENCY_MS)  # AES decrypt
+        decoded = app.cookie_codec.try_decode(cid)
+        if decoded is None:
+            phv.metadata["decode_failed"] = True
+            return
+        if app.dedup is not None:
+            # Dedup on the raw encrypted cookie bytes: stable per user
+            # across connections (the Snatch CID policy preserves them).
+            cookie_bytes = bytes(cid)[1:18]
+            if app.dedup.add(cookie_bytes):
+                phv.metadata["duplicate"] = True
+                return
+        app.stats.update(decoded.values)
+        phv.metadata["decoded"] = decoded.values
+        # Punt values of digest-designated features to the control
+        # plane (paper section 4.1: complex ops via P4 digests).
+        for feature_name in app.digest_features:
+            if feature_name in decoded.values:
+                pipeline.emit_digest(
+                    "snatch_value",
+                    {"feature": feature_name,
+                     "value": decoded.values[feature_name]},
+                )
+        if app.mode == ForwardingMode.PER_PACKET:
+            clone = pipeline.clone_packet(phv)
+            clone.metadata["aggregation"] = self._per_packet_payload(
+                app, decoded.values
+            )
+
+    def _per_packet_payload(
+        self, app: RegisteredApp, values: Dict[str, Any]
+    ) -> bytes:
+        items: List[Tuple[int, int]] = []
+        for index, feature in enumerate(app.schema.features):
+            if feature.name in values:
+                items.append(
+                    (index, feature.encode_value(values[feature.name]))
+                )
+        packet = AggregationPacket(
+            app_id=app.app_id,
+            mode=ForwardingMode.PER_PACKET,
+            items=items,
+            source=self.name,
+        )
+        return app.agg_codec.encode(packet)
+
+    def process_quic_packet(self, dcid: ConnectionID) -> LarkResult:
+        """Run one QUIC short-header packet through the pipeline."""
+        raw = bytes(dcid)
+        app_id = raw[APP_ID_BYTE_INDEX] if len(raw) > APP_ID_BYTE_INDEX else -1
+        result = self.pipeline.process({"app_id": app_id, "dcid": raw})
+        payload: Optional[bytes] = None
+        for clone in result.clones:
+            payload = clone.metadata.get("aggregation", payload)
+        decoded = result.phv.metadata.get("decoded")
+        return LarkResult(
+            matched=decoded is not None
+            or result.phv.metadata.get("duplicate", False)
+            or result.phv.metadata.get("decode_failed", False),
+            forwarded_original=result.forwarded,
+            aggregation_payload=payload,
+            latency_ms=result.latency_ms,
+            decoded_values=decoded,
+            deduplicated=result.phv.metadata.get("duplicate", False),
+            digests=list(result.digests),
+        )
+
+    # -- periodical forwarding -----------------------------------------------------
+
+    def end_period(self, app_id: int) -> Optional[bytes]:
+        """Close the current period: emit the statistics snapshot as an
+        aggregation packet and reset the registers + Bloom filter."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        if app.mode != ForwardingMode.PERIODICAL:
+            raise ValueError("application %d is per-packet" % app_id)
+        if app.stats.updates == 0:
+            self._reset_period(app)
+            return None
+        items = flatten_snapshot(
+            app.stats.snapshot(), min_array_names(app.specs)
+        )
+        packet = AggregationPacket(
+            app_id=app.app_id,
+            mode=ForwardingMode.PERIODICAL,
+            items=items,
+            source=self.name,
+        )
+        payload = app.agg_codec.encode(packet)
+        self._reset_period(app)
+        return payload
+
+    def _reset_period(self, app: RegisteredApp) -> None:
+        app.stats.reset()
+        if app.dedup is not None:
+            app.dedup.reset()
+
+    def stats_report(self, app_id: int) -> Dict[str, Any]:
+        return self._apps[app_id].stats.report()
+
+
+_MIN_SENTINEL = (1 << 48) - 1  # matches repro.core.stats
+
+
+def flatten_snapshot(
+    snapshot: Dict[str, List[int]],
+    min_arrays: Optional[set] = None,
+) -> List[Tuple[int, int]]:
+    """Flatten a stats snapshot into (tag, value) items.
+
+    The tag packs (array ordinal, cell index); both sides derive the
+    same array ordering from the application's StatSpec list, so tags
+    are unambiguous.  Idle cells (zero, or the sentinel for MIN
+    arrays) are skipped to keep packets small.
+    """
+    min_arrays = min_arrays or set()
+    items: List[Tuple[int, int]] = []
+    for ordinal, name in enumerate(sorted(snapshot)):
+        idle = _MIN_SENTINEL if name in min_arrays else 0
+        for index, value in enumerate(snapshot[name]):
+            if value != idle:
+                items.append(((ordinal << 10) | index, value))
+    return items
+
+
+def unflatten_snapshot(
+    items: List[Tuple[int, int]],
+    reference: Dict[str, List[int]],
+    min_arrays: Optional[set] = None,
+) -> Dict[str, List[int]]:
+    """Inverse of :func:`flatten_snapshot` given a reference snapshot
+    (for array names and sizes)."""
+    min_arrays = min_arrays or set()
+    names = sorted(reference)
+    out = {
+        name: [_MIN_SENTINEL if name in min_arrays else 0]
+        * len(reference[name])
+        for name in names
+    }
+    for tag, value in items:
+        ordinal, index = tag >> 10, tag & 0x3FF
+        if ordinal >= len(names):
+            raise ValueError("tag ordinal %d out of range" % ordinal)
+        name = names[ordinal]
+        if index >= len(out[name]):
+            raise ValueError("tag index %d out of range for %s" % (index, name))
+        out[name][index] = value
+    return out
+
+
+def lark_process_raw(lark: "LarkSwitch", packet_bytes: bytes) -> LarkResult:
+    """Process a raw on-the-wire packet through a LarkSwitch.
+
+    Runs the P4-style parser (eth/ipv4/udp/quic) to recover the
+    connection ID, then hands it to the match-action pipeline —
+    the full data-plane path from bytes to statistics.  Non-QUIC
+    traffic (the parser accepts before reaching the quic state)
+    passes through untouched.
+    """
+    from repro.switch.parser import ParseError, snatch_parser
+
+    try:
+        fields, _payload_offset = snatch_parser().parse(packet_bytes)
+    except ParseError:
+        return LarkResult(
+            matched=False,
+            forwarded_original=True,
+            aggregation_payload=None,
+            latency_ms=0.001,
+        )
+    if "quic.app_id" not in fields:
+        return LarkResult(
+            matched=False,
+            forwarded_original=True,
+            aggregation_payload=None,
+            latency_ms=0.001,
+        )
+    dcid = (
+        bytes([fields["quic.dcid_b0"], fields["quic.app_id"]])
+        + fields["quic.cookie_block"].to_bytes(16, "big")
+        + fields["quic.dcid_r2"].to_bytes(2, "big")
+    )
+    return lark.process_quic_packet(ConnectionID(dcid))

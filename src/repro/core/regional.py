@@ -1,0 +1,202 @@
+"""Regional deployments: per-region AES keys with rotation.
+
+Paper section 3.6: "The AES encryption keys should be set differently
+in different regions and changed regularly to strengthen security
+protection."  A compromise of one region's edge infrastructure then
+exposes only that region's cookie traffic, and only until the next
+rotation.
+
+Concretely, a regional application is one logical analytics task
+deployed as one (application-ID, key) pair *per region*: LarkSwitches
+and edge servers in region R hold only region R's parameters, while
+every AggSwitch holds all of them (it must merge the global stream).
+Keys derive from a per-application master via the labelled KDF, so the
+developer holds one secret; rotation mints a fresh epoch label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatSpec
+from repro.crypto.keys import derive_subkey
+
+__all__ = ["RegionalDeployment", "RegionalHandle"]
+
+
+@dataclass
+class _RegionState:
+    app_id: int
+    key: bytes
+    epoch: int
+
+
+@dataclass
+class RegionalHandle:
+    """Developer-side view of a regional application."""
+
+    name: str
+    master_key: bytes
+    schema: CookieSchema
+    transport_schema: CookieSchema
+    specs: List[StatSpec]
+    regions: Dict[str, _RegionState] = field(default_factory=dict)
+
+    def key_for(self, region: str) -> bytes:
+        return self.regions[region].key
+
+    def app_id_for(self, region: str) -> int:
+        return self.regions[region].app_id
+
+    def region_names(self) -> List[str]:
+        return sorted(self.regions)
+
+
+class RegionalDeployment:
+    """Deploys one application across regions with distinct keys.
+
+    Devices are attached with a region label; AggSwitches are global.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+        self._agg_switches: List[Any] = []
+        self._regional_larks: Dict[str, List[Any]] = {}
+        self._regional_edges: Dict[str, List[Any]] = {}
+        self._handles: Dict[str, RegionalHandle] = {}
+        self._used_app_ids: set = set()
+
+    # -- enrollment ----------------------------------------------------------
+
+    def attach_agg_switch(self, switch: Any) -> None:
+        self._agg_switches.append(switch)
+
+    def attach_lark_switch(self, switch: Any, region: str) -> None:
+        self._regional_larks.setdefault(region, []).append(switch)
+
+    def attach_edge_server(self, server: Any, region: str) -> None:
+        self._regional_edges.setdefault(region, []).append(server)
+
+    def regions(self) -> List[str]:
+        return sorted(
+            set(self._regional_larks) | set(self._regional_edges)
+        )
+
+    # -- deployment -----------------------------------------------------------
+
+    def _new_app_id(self) -> int:
+        available = [b for b in range(256) if b not in self._used_app_ids]
+        if not available:
+            raise RuntimeError("application-ID space exhausted")
+        app_id = self._rng.choice(available)
+        self._used_app_ids.add(app_id)
+        return app_id
+
+    def _region_key(self, master: bytes, region: str, epoch: int) -> bytes:
+        return derive_subkey(master, "region:%s:epoch:%d" % (region, epoch))
+
+    def deploy(
+        self,
+        name: str,
+        features: List[Feature],
+        specs: List[StatSpec],
+        mode: str = ForwardingMode.PER_PACKET,
+        period_ms: float = 0.0,
+    ) -> RegionalHandle:
+        if name in self._handles:
+            raise ValueError("application %r already deployed" % name)
+        if not self.regions():
+            raise RuntimeError("no regional devices attached")
+        schema = CookieSchema(name, tuple(features))
+        transport_schema, _overflow = schema.split_for_transport()
+        master = bytes(self._rng.getrandbits(8) for _ in range(16))
+        handle = RegionalHandle(
+            name=name,
+            master_key=master,
+            schema=schema,
+            transport_schema=transport_schema,
+            specs=list(specs),
+        )
+        for region in self.regions():
+            state = _RegionState(
+                app_id=self._new_app_id(),
+                key=self._region_key(master, region, epoch=0),
+                epoch=0,
+            )
+            handle.regions[region] = state
+            self._install_region(handle, region, state, mode, period_ms)
+        self._handles[name] = handle
+        return handle
+
+    def _install_region(
+        self,
+        handle: RegionalHandle,
+        region: str,
+        state: _RegionState,
+        mode: str,
+        period_ms: float,
+    ) -> None:
+        # AggSwitches first (they must understand every region).
+        for switch in self._agg_switches:
+            switch.register_application(
+                state.app_id, handle.transport_schema, state.key,
+                handle.specs,
+            )
+        for switch in self._regional_larks.get(region, []):
+            switch.register_application(
+                state.app_id, handle.transport_schema, state.key,
+                handle.specs, mode=mode, period_ms=period_ms,
+            )
+        for server in self._regional_edges.get(region, []):
+            server.register_application(
+                state.app_id, handle.transport_schema, state.key,
+                handle.specs, mode=mode, period_ms=period_ms,
+            )
+
+    # -- rotation --------------------------------------------------------------------
+
+    def rotate_region(self, name: str, region: str) -> _RegionState:
+        """Mint a new epoch for one region: new app-ID + derived key
+        (the old epoch's rules are revoked, as after the controller's
+        grace period)."""
+        handle = self._handles[name]
+        old = handle.regions[region]
+        for switch in self._agg_switches:
+            switch.revoke_application(old.app_id)
+        for switch in self._regional_larks.get(region, []):
+            switch.revoke_application(old.app_id)
+        for server in self._regional_edges.get(region, []):
+            server.revoke_application(old.app_id)
+        state = _RegionState(
+            app_id=self._new_app_id(),
+            key=self._region_key(handle.master_key, region, old.epoch + 1),
+            epoch=old.epoch + 1,
+        )
+        handle.regions[region] = state
+        self._install_region(
+            handle, region, state, ForwardingMode.PER_PACKET, 0.0
+        )
+        return state
+
+    # -- results ------------------------------------------------------------------------
+
+    def combined_report(self, name: str) -> Dict[str, Dict[Any, Any]]:
+        """Merge the per-region aggregates into the global result
+        (counts and sums add across regions)."""
+        handle = self._handles[name]
+        combined: Dict[str, Dict[Any, Any]] = {}
+        for region in handle.region_names():
+            app_id = handle.app_id_for(region)
+            for switch in self._agg_switches:
+                report = switch.report(app_id)
+                for stat, cells in report.items():
+                    into = combined.setdefault(stat, {})
+                    for key, value in cells.items():
+                        if value is None:
+                            continue
+                        into[key] = into.get(key, 0) + value
+        return combined

@@ -1,0 +1,111 @@
+"""Controller RPC over the simulated network (paper section 4.3).
+
+The controller updates devices "through RPCs to the corresponding
+control plane"; those RPCs take real time to reach switches scattered
+across ISPs, which is exactly why naive in-place updates create
+inconsistency windows: "some edge servers might change the format of
+transport-layer cookies before a LarkSwitch [...] They may result in
+missing or incorrect results being reported."
+
+:class:`RpcBus` delivers method calls to named devices after per-device
+delays on a :class:`~repro.net.simulator.Simulator`; the consistency
+tests and the versioning demo drive it to make the paper's failure
+mode — and its version-control fix — observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.simulator import Simulator
+
+__all__ = ["RpcBus", "RpcCall"]
+
+
+@dataclass
+class RpcCall:
+    """One in-flight or completed control-plane call."""
+
+    device: str
+    method: str
+    sent_at_ms: float
+    deliver_at_ms: float
+    completed: bool = False
+    error: Optional[str] = None
+
+
+class RpcBus:
+    """Delivers controller -> device calls with per-device latency."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 default_delay_ms: float = 50.0):
+        if default_delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim or Simulator()
+        self.default_delay_ms = default_delay_ms
+        self._devices: Dict[str, Any] = {}
+        self._delays: Dict[str, float] = {}
+        self.log: List[RpcCall] = []
+
+    def register_device(self, name: str, device: Any,
+                        delay_ms: Optional[float] = None) -> None:
+        if name in self._devices:
+            raise ValueError("device %r already registered" % name)
+        self._devices[name] = device
+        self._delays[name] = (
+            self.default_delay_ms if delay_ms is None else delay_ms
+        )
+
+    def device(self, name: str) -> Any:
+        return self._devices[name]
+
+    def delay_to(self, name: str) -> float:
+        if name not in self._devices:
+            raise KeyError("unknown device %r" % name)
+        return self._delays[name]
+
+    def call(self, device_name: str, method: str, *args: Any,
+             **kwargs: Any) -> RpcCall:
+        """Schedule ``device.method(*args)`` after the device's RPC
+        delay; returns the call record (updated on completion)."""
+        if device_name not in self._devices:
+            raise KeyError("unknown device %r" % device_name)
+        delay = self._delays[device_name]
+        record = RpcCall(
+            device=device_name,
+            method=method,
+            sent_at_ms=self.sim.now,
+            deliver_at_ms=self.sim.now + delay,
+        )
+        self.log.append(record)
+        target = self._devices[device_name]
+
+        def deliver() -> None:
+            try:
+                getattr(target, method)(*args, **kwargs)
+                record.completed = True
+            except Exception as exc:  # surfaced via the record, not raised
+                record.error = "%s: %s" % (type(exc).__name__, exc)
+
+        self.sim.schedule(delay, deliver)
+        return record
+
+    def call_all(self, method: str, *args: Any, **kwargs: Any) -> List[RpcCall]:
+        """Broadcast a call to every device (delays differ per device,
+        so completion is staggered — the root of the consistency
+        problem)."""
+        return [
+            self.call(name, method, *args, **kwargs)
+            for name in sorted(self._devices)
+        ]
+
+    def pending(self) -> int:
+        return sum(
+            1 for record in self.log
+            if not record.completed and record.error is None
+        )
+
+    def quiesce(self) -> None:
+        """Run the simulator until all in-flight RPCs delivered."""
+        self.sim.run()

@@ -1,0 +1,252 @@
+"""On-switch statistics for semantic-cookie features.
+
+The prototype implements (paper section 4.1 "Statistics Calculation"):
+
+* for **class** features: counting by matched value, optionally grouped
+  by another class feature (e.g. per-campaign demographic counts);
+* for **number** features: sum, min, max, and average (sum + count).
+
+Statistics live in register arrays allocated from a switch pipeline's
+register file, so SRAM budgeting applies; snapshots are plain dicts
+that aggregation packets carry and the AggSwitch merges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.schema import CookieSchema, FeatureType
+from repro.switch.registers import RegisterFile
+
+__all__ = [
+    "StatKind",
+    "StatSpec",
+    "SwitchStatistics",
+    "merge_snapshots",
+    "min_array_names",
+]
+
+_NUMBER_WIDTH = 48  # register width for sums (wrap-safe for our runs)
+_MIN_SENTINEL = (1 << _NUMBER_WIDTH) - 1
+
+
+class StatKind(enum.Enum):
+    COUNT_BY_CLASS = "count_by_class"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class StatSpec:
+    """One requested statistic over a feature.
+
+    ``group_by`` names a class feature whose categories partition the
+    statistic (the ad-campaign workload groups by campaign).
+    """
+
+    name: str
+    kind: StatKind
+    feature: str
+    group_by: Optional[str] = None
+
+
+class SwitchStatistics:
+    """Register-backed statistics for one application on one switch."""
+
+    def __init__(
+        self,
+        schema: CookieSchema,
+        specs: List[StatSpec],
+        registers: RegisterFile,
+        prefix: str = "stats",
+    ):
+        self.schema = schema
+        self.specs = list(specs)
+        self._registers = registers
+        self._arrays: Dict[str, Any] = {}
+        self.updates = 0
+        for spec in self.specs:
+            self._validate_spec(spec)
+            self._allocate(spec, prefix)
+
+    # -- setup ------------------------------------------------------------
+
+    def _validate_spec(self, spec: StatSpec) -> None:
+        feature = self.schema.feature(spec.feature)
+        if spec.kind is StatKind.COUNT_BY_CLASS:
+            if feature.ftype != FeatureType.CLASS:
+                raise ValueError(
+                    "%s: count_by_class needs a class feature" % spec.name
+                )
+        else:
+            if feature.ftype != FeatureType.NUMBER:
+                raise ValueError(
+                    "%s: %s needs a number feature" % (spec.name, spec.kind.value)
+                )
+        if spec.group_by is not None:
+            group = self.schema.feature(spec.group_by)
+            if group.ftype != FeatureType.CLASS:
+                raise ValueError(
+                    "%s: group_by needs a class feature" % spec.name
+                )
+
+    def _group_size(self, spec: StatSpec) -> int:
+        if spec.group_by is None:
+            return 1
+        return self.schema.feature(spec.group_by).cardinality
+
+    def _allocate(self, spec: StatSpec, prefix: str) -> None:
+        groups = self._group_size(spec)
+        base = "%s.%s" % (prefix, spec.name)
+        if spec.kind is StatKind.COUNT_BY_CLASS:
+            classes = self.schema.feature(spec.feature).cardinality
+            self._arrays[spec.name] = self._registers.allocate(
+                base, groups * classes, _NUMBER_WIDTH
+            )
+        elif spec.kind is StatKind.AVG:
+            self._arrays[spec.name + ".sum"] = self._registers.allocate(
+                base + ".sum", groups, _NUMBER_WIDTH
+            )
+            self._arrays[spec.name + ".count"] = self._registers.allocate(
+                base + ".count", groups, _NUMBER_WIDTH
+            )
+        else:
+            array = self._registers.allocate(base, groups, _NUMBER_WIDTH)
+            if spec.kind is StatKind.MIN:
+                array.fill(_MIN_SENTINEL)
+            self._arrays[spec.name] = array
+
+    # -- update path (per decoded cookie) ------------------------------------
+
+    def _group_index(self, spec: StatSpec, values: Dict[str, Any]) -> Optional[int]:
+        if spec.group_by is None:
+            return 0
+        if spec.group_by not in values:
+            return None
+        group = self.schema.feature(spec.group_by)
+        return group.encode_value(values[spec.group_by])
+
+    def update(self, values: Dict[str, Any]) -> None:
+        """Fold one decoded cookie's values into the registers."""
+        self.updates += 1
+        for spec in self.specs:
+            if spec.feature not in values:
+                continue
+            group_index = self._group_index(spec, values)
+            if group_index is None:
+                continue
+            feature = self.schema.feature(spec.feature)
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                classes = feature.cardinality
+                wire = feature.encode_value(values[spec.feature])
+                self._arrays[spec.name].add(group_index * classes + wire)
+            else:
+                raw = int(values[spec.feature])
+                if spec.kind is StatKind.SUM:
+                    self._arrays[spec.name].add(group_index, raw)
+                elif spec.kind is StatKind.MIN:
+                    self._arrays[spec.name].update_min(group_index, raw)
+                elif spec.kind is StatKind.MAX:
+                    self._arrays[spec.name].update_max(group_index, raw)
+                elif spec.kind is StatKind.AVG:
+                    self._arrays[spec.name + ".sum"].add(group_index, raw)
+                    self._arrays[spec.name + ".count"].add(group_index, 1)
+
+    # -- read-out ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, List[int]]:
+        """Raw register contents per statistic (control-plane read)."""
+        return {
+            name: array.snapshot() for name, array in self._arrays.items()
+        }
+
+    def reset(self) -> None:
+        """Period-boundary reset of all arrays."""
+        for spec in self.specs:
+            if spec.kind is StatKind.AVG:
+                self._arrays[spec.name + ".sum"].reset()
+                self._arrays[spec.name + ".count"].reset()
+            elif spec.kind is StatKind.MIN:
+                self._arrays[spec.name].fill(_MIN_SENTINEL)
+            else:
+                self._arrays[spec.name].reset()
+        self.updates = 0
+
+    def report(self) -> Dict[str, Any]:
+        """Human-readable results: class counts keyed by (group, class)
+        labels, numbers as scalars per group, averages computed."""
+        out: Dict[str, Any] = {}
+        for spec in self.specs:
+            feature = self.schema.feature(spec.feature)
+            groups = (
+                list(self.schema.feature(spec.group_by).classes)
+                if spec.group_by
+                else [None]
+            )
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                cells = self._arrays[spec.name].snapshot()
+                classes = list(feature.classes)
+                result = {}
+                for gi, group in enumerate(groups):
+                    for ci, cls in enumerate(classes):
+                        key = cls if group is None else (group, cls)
+                        result[key] = cells[gi * len(classes) + ci]
+                out[spec.name] = result
+            elif spec.kind is StatKind.AVG:
+                sums = self._arrays[spec.name + ".sum"].snapshot()
+                counts = self._arrays[spec.name + ".count"].snapshot()
+                result = {}
+                for gi, group in enumerate(groups):
+                    value = sums[gi] / counts[gi] if counts[gi] else None
+                    result[group if group is not None else "all"] = value
+                out[spec.name] = result
+            else:
+                cells = self._arrays[spec.name].snapshot()
+                result = {}
+                for gi, group in enumerate(groups):
+                    value = cells[gi]
+                    if spec.kind is StatKind.MIN and value == _MIN_SENTINEL:
+                        value = None
+                    result[group if group is not None else "all"] = value
+                out[spec.name] = result
+        return out
+
+
+def merge_snapshots(
+    specs: List[StatSpec],
+    a: Dict[str, List[int]],
+    b: Dict[str, List[int]],
+) -> Dict[str, List[int]]:
+    """AggSwitch-side merge of two raw snapshots: counts and sums add,
+    minima take min, maxima take max."""
+    out: Dict[str, List[int]] = {}
+    kinds: Dict[str, StatKind] = {}
+    for spec in specs:
+        if spec.kind is StatKind.AVG:
+            kinds[spec.name + ".sum"] = StatKind.SUM
+            kinds[spec.name + ".count"] = StatKind.SUM
+        else:
+            kinds[spec.name] = spec.kind
+    for name, kind in kinds.items():
+        left, right = a.get(name), b.get(name)
+        if left is None or right is None:
+            out[name] = list(left or right or [])
+            continue
+        if len(left) != len(right):
+            raise ValueError("snapshot shape mismatch for %r" % name)
+        if kind is StatKind.MIN:
+            out[name] = [min(x, y) for x, y in zip(left, right)]
+        elif kind is StatKind.MAX:
+            out[name] = [max(x, y) for x, y in zip(left, right)]
+        else:
+            out[name] = [x + y for x, y in zip(left, right)]
+    return out
+
+
+def min_array_names(specs: List[StatSpec]) -> set:
+    """Names of snapshot arrays whose idle value is the MIN sentinel."""
+    return {spec.name for spec in specs if spec.kind is StatKind.MIN}

@@ -1,0 +1,200 @@
+"""Transport-layer semantic cookies in the QUIC connection ID.
+
+Paper Figure 3 splits the up-to-160-bit ``DstConnID*`` into:
+
+    [ 8-bit DCID | 8-bit application-ID | bitmap | cookie-stack | DCID-R2 ]
+
+with everything after the application-ID encrypted with AES-128.  Our
+concrete layout fixes the encrypted region to exactly one AES block so
+a switch decrypts with a single table-based AES pass [45]:
+
+    byte 0      : DCID (random, connection identification)
+    byte 1      : application-ID (plaintext so the LarkSwitch's
+                  match-action table can recognize Snatch packets)
+    bytes 2..17 : AES-128-ECB(block) where block = bitmap || cookie-stack
+                  || random padding
+    bytes 18..19: DCID-R2 (random)
+
+The Snatch 1-RTT client policy preserves bytes [1, 18) across
+connections and regenerates bytes 0 and 18-19, so decryption cannot
+depend on the regenerated bits — hence ECB over the self-contained
+block rather than a DCID-derived CTR nonce.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.aes import AES
+from repro.quic.connection_id import ConnectionID, MAX_CONNECTION_ID_BYTES
+from repro.core.schema import CookieSchema, FeatureValueError
+
+__all__ = [
+    "TransportCookieCodec",
+    "DecodedTransportCookie",
+    "COOKIE_BYTE_START",
+    "COOKIE_BYTE_END",
+    "APP_ID_BYTE_INDEX",
+]
+
+APP_ID_BYTE_INDEX = 1
+COOKIE_BYTE_START = 1   # app-ID byte (kept across connections)
+_BLOCK_START = 2
+_BLOCK_END = 18
+COOKIE_BYTE_END = _BLOCK_END  # end of the preserved region
+
+
+class _BitWriter:
+    def __init__(self):
+        self._bits = []
+
+    def write(self, value: int, width: int) -> None:
+        if value < 0 or value >= (1 << width):
+            raise ValueError("value %d does not fit %d bits" % (value, width))
+        for i in range(width - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def to_bytes(self, total_bytes: int, rng: random.Random) -> bytes:
+        bits = list(self._bits)
+        if len(bits) > total_bytes * 8:
+            raise ValueError("bit overflow: %d bits" % len(bits))
+        while len(bits) < total_bytes * 8:
+            bits.append(rng.getrandbits(1))  # random padding
+        out = bytearray()
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[i:i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class _BitReader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        if self._pos + width > len(self._data) * 8:
+            raise ValueError("bit underflow")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - self._pos % 8)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+
+@dataclass
+class DecodedTransportCookie:
+    """Result of decoding a semantic connection ID."""
+
+    app_id: int
+    values: Dict[str, Any]
+
+    def present(self, name: str) -> bool:
+        return name in self.values
+
+
+class TransportCookieCodec:
+    """Encode/decode semantic cookies for one application.
+
+    Holds the application-ID byte, the schema (bitmap/stack format) and
+    the AES-128 key — exactly the parameters the controller installs in
+    LarkSwitch/AggSwitch table entries (section 4.1).
+    """
+
+    def __init__(
+        self,
+        app_id: int,
+        schema: CookieSchema,
+        key: bytes,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0 <= app_id <= 0xFF:
+            raise ValueError("application-ID must fit one byte")
+        if not schema.fits_transport():
+            raise ValueError(
+                "schema needs %d bits but the transport cookie holds 128"
+                % schema.total_bits
+            )
+        self.app_id = app_id
+        self.schema = schema
+        self._aes = AES(key)
+        self._rng = rng or random.Random()
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, values: Dict[str, Any]) -> ConnectionID:
+        """Build a 20-byte semantic connection ID carrying ``values``
+        (a subset of the schema's features; absent ones clear their
+        bitmap bit)."""
+        unknown = set(values) - set(self.schema.feature_names())
+        if unknown:
+            raise FeatureValueError(
+                "values for features outside the schema: %s" % sorted(unknown)
+            )
+        writer = _BitWriter()
+        for feature in self.schema.features:
+            writer.write(1 if feature.name in values else 0, 1)
+        for feature in self.schema.features:
+            if feature.name in values:
+                writer.write(
+                    feature.encode_value(values[feature.name]), feature.bits
+                )
+        block = writer.to_bytes(16, self._rng)
+        encrypted = self._aes.encrypt_block(block)
+        dcid = bytes([self._rng.getrandbits(8)])
+        dcid_r2 = bytes(self._rng.getrandbits(8) for _ in range(2))
+        return ConnectionID(
+            dcid + bytes([self.app_id]) + encrypted + dcid_r2
+        )
+
+    # -- decoding -------------------------------------------------------------
+
+    def matches(self, cid: ConnectionID) -> bool:
+        """The LarkSwitch's table match: app-ID byte comparison."""
+        return (
+            len(cid) == MAX_CONNECTION_ID_BYTES
+            and bytes(cid)[APP_ID_BYTE_INDEX] == self.app_id
+        )
+
+    def decode(self, cid: ConnectionID) -> DecodedTransportCookie:
+        if len(cid) != MAX_CONNECTION_ID_BYTES:
+            raise ValueError(
+                "semantic connection ID must be 20 bytes, got %d" % len(cid)
+            )
+        raw = bytes(cid)
+        if raw[APP_ID_BYTE_INDEX] != self.app_id:
+            raise ValueError(
+                "application-ID mismatch: packet %d, codec %d"
+                % (raw[APP_ID_BYTE_INDEX], self.app_id)
+            )
+        block = self._aes.decrypt_block(raw[_BLOCK_START:_BLOCK_END])
+        reader = _BitReader(block)
+        present = [
+            reader.read(1) == 1 for _ in self.schema.features
+        ]
+        values: Dict[str, Any] = {}
+        for feature, is_present in zip(self.schema.features, present):
+            if is_present:
+                values[feature.name] = feature.decode_value(
+                    reader.read(feature.bits)
+                )
+        return DecodedTransportCookie(app_id=self.app_id, values=values)
+
+    def try_decode(
+        self, cid: ConnectionID
+    ) -> Optional[DecodedTransportCookie]:
+        """Decode if the app-ID matches; None otherwise (a non-Snatch
+        QUIC packet passes through untouched)."""
+        if not self.matches(cid):
+            return None
+        try:
+            return self.decode(cid)
+        except (ValueError, FeatureValueError):
+            # Malformed or stale-key cookie: Snatch aborts the data.
+            return None

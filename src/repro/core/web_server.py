@@ -1,0 +1,134 @@
+"""The Snatch-enabled web server.
+
+Paper sections 3.1, 3.3, 6: after the *first* connection — once the
+application has learned something about the user — the web server
+pushes semantic information into the user's cookies instead of storing
+it server-side.  The semantic cookie works as a state machine: the
+developer-supplied update function folds the current request into the
+previous cookie state, and the new state goes back to the user.
+
+Crucially, the server keeps **no per-user store**: the only durable
+copies of user attributes live at the users.  The class exposes
+``stored_user_records`` so tests can assert that invariant.
+
+Two placements are produced per user:
+
+* a transport-layer semantic connection ID, installed as the user's
+  QUIC ``DstConnID*`` via the server's connection-ID factory hook;
+* an application-layer ``Set-Cookie`` value for features that do not
+  fit the 160-bit transport budget (or when QUIC is unavailable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.app_cookie import ApplicationCookieCodec
+from repro.core.schema import CookieSchema
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.quic.connection_id import ConnectionID
+
+__all__ = ["SnatchWebServer", "CookieUpdateFn", "ServedResponse"]
+
+# (previous_values_or_empty, request) -> new_values
+CookieUpdateFn = Callable[[Dict[str, Any], Dict[str, Any]], Dict[str, Any]]
+
+
+@dataclass
+class ServedResponse:
+    """What the web server returns for one request."""
+
+    body: str
+    set_cookie: Optional[Tuple[str, str]] = None  # (name, value)
+    transport_cid: Optional[ConnectionID] = None
+    new_values: Dict[str, Any] = field(default_factory=dict)
+
+
+class SnatchWebServer:
+    """Serves dynamic content and maintains semantic cookies."""
+
+    def __init__(
+        self,
+        app_id: int,
+        schema: CookieSchema,
+        key: bytes,
+        update_fn: CookieUpdateFn,
+        transport_schema: Optional[CookieSchema] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.app_id = app_id
+        self.schema = schema
+        self.update_fn = update_fn
+        self._rng = rng or random.Random()
+        self.app_codec = ApplicationCookieCodec(app_id, schema, key, self._rng)
+        transport_schema = transport_schema or schema
+        self.transport_codec = (
+            TransportCookieCodec(app_id, transport_schema, key, self._rng)
+            if transport_schema.fits_transport()
+            else None
+        )
+        self.requests_served = 0
+
+    @property
+    def stored_user_records(self) -> int:
+        """Snatch's privacy invariant: the server stores nothing about
+        individual users (compare the user-ID databases of Figure 1(a))."""
+        return 0
+
+    # -- request handling ---------------------------------------------------
+
+    def handle_request(
+        self,
+        request: Dict[str, Any],
+        cookie_header: str = "",
+    ) -> ServedResponse:
+        """Process one dynamic request.
+
+        On the first connection there is no semantic cookie yet; the
+        update function runs on an empty state and the response plants
+        the first cookies.  On subsequent connections the previous
+        state round-trips through the user.
+        """
+        self.requests_served += 1
+        previous: Dict[str, Any] = {}
+        if cookie_header:
+            decoded = self.app_codec.try_decode_header(cookie_header)
+            if decoded is not None:
+                previous = decoded.values
+        new_values = self.update_fn(dict(previous), request)
+        unknown = set(new_values) - set(self.schema.feature_names())
+        if unknown:
+            raise ValueError(
+                "update function produced non-schema features: %s"
+                % sorted(unknown)
+            )
+        set_cookie = self.app_codec.encode(new_values)
+        transport_cid = None
+        if self.transport_codec is not None:
+            transport_values = {
+                name: value
+                for name, value in new_values.items()
+                if name in self.transport_codec.schema.feature_names()
+            }
+            transport_cid = self.transport_codec.encode(transport_values)
+        return ServedResponse(
+            body="OK",
+            set_cookie=set_cookie,
+            transport_cid=transport_cid,
+            new_values=new_values,
+        )
+
+    def quic_cid_factory(
+        self, pending_values: Dict[str, Any]
+    ) -> Callable[[str], ConnectionID]:
+        """A connection-ID factory for :class:`repro.quic.QuicServer`
+        that plants the given semantic values in ``DstConnID*``."""
+        if self.transport_codec is None:
+            raise RuntimeError("schema does not fit the transport cookie")
+
+        def factory(_client_identity: str) -> ConnectionID:
+            return self.transport_codec.encode(pending_values)
+
+        return factory

@@ -1,0 +1,39 @@
+"""Cryptographic substrate: from-scratch AES-128 and key management.
+
+Snatch encrypts transport-layer semantic cookies and aggregation-packet
+payloads with AES-128 (paper sections 3.6, 4.1, appendix B.3).  This
+package is the self-contained implementation used across the repo.
+"""
+
+from repro.crypto.aes import (
+    AES,
+    BLOCK_SIZE,
+    decrypt_cbc,
+    decrypt_ctr,
+    decrypt_ecb,
+    encrypt_cbc,
+    encrypt_ctr,
+    encrypt_ecb,
+    pkcs7_pad,
+    pkcs7_unpad,
+    xor_bytes,
+)
+from repro.crypto.keys import AES128_KEY_LEN, KeyRing, RegionKey, derive_subkey
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "AES128_KEY_LEN",
+    "KeyRing",
+    "RegionKey",
+    "derive_subkey",
+    "encrypt_ecb",
+    "decrypt_ecb",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "encrypt_ctr",
+    "decrypt_ctr",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "xor_bytes",
+]

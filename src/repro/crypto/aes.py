@@ -1,0 +1,330 @@
+"""AES-128 block cipher, implemented from scratch.
+
+Snatch encrypts everything after the application-ID byte of a
+transport-layer semantic cookie with AES-128 (paper section 4.1), and the
+data-stack of custom aggregation packets likewise (Appendix B.3).  The
+paper cites Chen [45] for an AES implementation on Tofino switches via
+scrambled lookup tables; the cost there is ~0.1 ms per 160-bit cookie.
+
+This module provides a self-contained, test-vector-verified AES-128
+(and 192/256, which fall out of the same key schedule) with ECB, CBC and
+CTR modes plus PKCS#7 padding.  No third-party crypto library is used,
+per the offline constraint of this reproduction.
+
+The implementation favours clarity over raw throughput: encryption of a
+single 16-byte block costs a few microseconds, far below any simulated
+network delay in this repository.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "AES",
+    "encrypt_ecb",
+    "decrypt_ecb",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "encrypt_ctr",
+    "decrypt_ctr",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "BLOCK_SIZE",
+]
+
+BLOCK_SIZE = 16
+
+# Forward S-box (FIPS-197 figure 7).
+SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+
+INV_SBOX = bytes(256)
+_inv = bytearray(256)
+for _i, _v in enumerate(SBOX):
+    _inv[_v] = _i
+INV_SBOX = bytes(_inv)
+del _inv, _i, _v
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (Russian peasant method)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed GF multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gmul(i, 2) for i in range(256))
+_MUL3 = bytes(_gmul(i, 3) for i in range(256))
+_MUL9 = bytes(_gmul(i, 9) for i in range(256))
+_MUL11 = bytes(_gmul(i, 11) for i in range(256))
+_MUL13 = bytes(_gmul(i, 13) for i in range(256))
+_MUL14 = bytes(_gmul(i, 14) for i in range(256))
+
+
+class AES:
+    """AES block cipher for 128/192/256-bit keys.
+
+    The state is kept as a flat 16-byte ``bytearray`` in column-major
+    (FIPS-197) order: byte ``r + 4*c`` is state row ``r``, column ``c``.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError(
+                "AES key must be 16, 24 or 32 bytes, got %d" % len(key)
+            )
+        self.key = bytes(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # -- key schedule -------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[bytes]:
+        nk = len(key) // 4
+        words: List[bytes] = [key[4 * i:4 * i + 4] for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = bytearray(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = bytearray(SBOX[b] for b in temp)  # SubWord
+                temp[0] ^= RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = bytearray(SBOX[b] for b in temp)
+            prev = words[i - nk]
+            words.append(bytes(t ^ p for t, p in zip(temp, prev)))
+        return [
+            b"".join(words[4 * r:4 * r + 4]) for r in range(self.rounds + 1)
+        ]
+
+    # -- round primitives ---------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: bytearray, round_key: bytes) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: bytearray) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: bytearray) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: bytearray) -> None:
+        # Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+        s = bytes(state)
+        for r in range(1, 4):
+            for c in range(4):
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)]
+
+    @staticmethod
+    def _inv_shift_rows(state: bytearray) -> None:
+        s = bytes(state)
+        for r in range(1, 4):
+            for c in range(4):
+                state[r + 4 * c] = s[r + 4 * ((c - r) % 4)]
+
+    @staticmethod
+    def _mix_columns(state: bytearray) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i:i + 4]
+            state[i] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[i + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[i + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[i + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: bytearray) -> None:
+        for c in range(4):
+            i = 4 * c
+            a0, a1, a2, a3 = state[i:i + 4]
+            state[i] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[i + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[i + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[i + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    # -- block operations ----------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be 16 bytes, got %d" % len(block))
+        state = bytearray(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be 16 bytes, got %d" % len(block))
+        state = bytearray(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for rnd in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+
+# -- padding -----------------------------------------------------------
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (always adds >= 1 byte)."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip PKCS#7 padding, validating its structure."""
+    if not data or len(data) % block_size != 0:
+        raise ValueError("invalid padded data length %d" % len(data))
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise ValueError("invalid padding byte %d" % pad_len)
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("corrupt PKCS#7 padding")
+    return data[:-pad_len]
+
+
+# -- modes of operation --------------------------------------------------
+
+
+def encrypt_ecb(key: bytes, plaintext: bytes) -> bytes:
+    """ECB with PKCS#7 padding.  Used for fixed-format cookie payloads."""
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    return b"".join(
+        cipher.encrypt_block(padded[i:i + BLOCK_SIZE])
+        for i in range(0, len(padded), BLOCK_SIZE)
+    )
+
+
+def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
+    cipher = AES(key)
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise ValueError("ECB ciphertext must be a multiple of 16 bytes")
+    padded = b"".join(
+        cipher.decrypt_block(ciphertext[i:i + BLOCK_SIZE])
+        for i in range(0, len(ciphertext), BLOCK_SIZE)
+    )
+    return pkcs7_unpad(padded)
+
+
+def encrypt_cbc(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC with PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be 16 bytes")
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(
+            p ^ c for p, c in zip(padded[i:i + BLOCK_SIZE], prev)
+        )
+        prev = cipher.encrypt_block(block)
+        out.extend(prev)
+    return bytes(out)
+
+
+def decrypt_cbc(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be 16 bytes")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE != 0:
+        raise ValueError("CBC ciphertext must be a non-empty multiple of 16")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i:i + BLOCK_SIZE]
+        plain = cipher.decrypt_block(block)
+        out.extend(p ^ c for p, c in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def _ctr_keystream(cipher: AES, nonce: bytes, nblocks: int) -> bytes:
+    stream = bytearray()
+    counter = int.from_bytes(nonce, "big")
+    for _ in range(nblocks):
+        stream.extend(
+            cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big"))
+        )
+        counter = (counter + 1) % (1 << 128)
+    return bytes(stream)
+
+
+def encrypt_ctr(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """CTR mode: length-preserving, so suitable for the fixed-width
+    transport-layer cookie bits that must fit inside the QUIC
+    connection-ID field without expansion."""
+    if len(nonce) != BLOCK_SIZE:
+        raise ValueError("CTR nonce must be 16 bytes")
+    cipher = AES(key)
+    nblocks = (len(plaintext) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    stream = _ctr_keystream(cipher, nonce, nblocks)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def decrypt_ctr(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    return encrypt_ctr(key, nonce, ciphertext)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor_bytes operands must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))

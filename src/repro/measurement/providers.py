@@ -1,0 +1,99 @@
+"""Edge-provider delay model (paper Figure 9(b)).
+
+Three edge options are measured per site: the hypergiant's **off-net**
+servers inside the client's own AS (closest, but covering only 57.9 %
+of clients), **Amazon CloudFront**, and **Cloudflare** CDN (CloudFront
+outperforms Cloudflare in the paper's measurement).  Per site, Snatch's
+analysis takes the minimum across available providers — that minimum is
+the ``client-edge`` curve of Figure 5(a).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.measurement.quantiles import QuantileCurve
+from repro.measurement.sites import Site
+
+__all__ = [
+    "EdgeProvider",
+    "PROVIDERS",
+    "OFFNET_COVERAGE",
+    "provider_curves",
+    "site_edge_delays",
+    "best_edge_delay",
+]
+
+OFFNET_COVERAGE = 0.579  # fraction of clients with an off-net in their AS
+
+
+@dataclass(frozen=True)
+class EdgeProvider:
+    name: str
+    coverage: float
+    curve: QuantileCurve
+
+
+def _offnet_curve() -> QuantileCurve:
+    return QuantileCurve(
+        [(0, 0.3), (25, 1.5), (50, 3.5), (75, 8.0), (90, 18.0),
+         (95, 35.0), (99, 90.0), (100, 250.0)],
+        name="edge-offnet",
+    )
+
+
+def _cloudfront_curve() -> QuantileCurve:
+    return QuantileCurve(
+        [(0, 0.8), (25, 4.0), (50, 9.0), (75, 18.0), (90, 45.0),
+         (95, 75.0), (99, 170.0), (100, 420.0)],
+        name="edge-cloudfront",
+    )
+
+
+def _cloudflare_curve() -> QuantileCurve:
+    return QuantileCurve(
+        [(0, 1.0), (25, 6.0), (50, 13.0), (75, 26.0), (90, 60.0),
+         (95, 95.0), (99, 200.0), (100, 450.0)],
+        name="edge-cloudflare",
+    )
+
+
+PROVIDERS: List[EdgeProvider] = [
+    EdgeProvider("offnet", OFFNET_COVERAGE, _offnet_curve()),
+    EdgeProvider("cloudfront", 1.0, _cloudfront_curve()),
+    EdgeProvider("cloudflare", 1.0, _cloudflare_curve()),
+]
+
+
+def provider_curves() -> Dict[str, QuantileCurve]:
+    return {p.name: p.curve for p in PROVIDERS}
+
+
+def site_edge_delays(
+    site: Site, rng: Optional[random.Random] = None
+) -> Dict[str, float]:
+    """Per-provider client->edge delay for one site.
+
+    Off-net presence is decided by a coverage draw keyed on the site id
+    (deterministic per site); delays correlate through the site's
+    remoteness with small per-provider noise.
+    """
+    rng = rng or random.Random(site.site_id * 7919 + 17)
+    delays: Dict[str, float] = {}
+    has_offnet = rng.random() < OFFNET_COVERAGE
+    for provider in PROVIDERS:
+        if provider.name == "offnet" and not has_offnet:
+            continue
+        jitter = min(1.0, max(0.0, site.remoteness + rng.gauss(0, 0.08)))
+        delays[provider.name] = provider.curve.sample_at(jitter)
+    return delays
+
+
+def best_edge_delay(
+    site: Site, rng: Optional[random.Random] = None
+) -> float:
+    """Minimum across available providers — the paper's selection rule
+    (Appendix D.3)."""
+    return min(site_edge_delays(site, rng).values())

@@ -1,0 +1,25 @@
+"""Discrete-event network simulation substrate.
+
+Replaces the paper's six-machine testbed + Tofino + Linux ``tc`` setup
+(section 5.2) with a deterministic simulator: nodes, shaped links,
+server queues, and in-path switch processing.
+"""
+
+from repro.net.link import Link
+from repro.net.node import Node, ProcessingNode, SinkNode, SwitchNode
+from repro.net.packet import NetPacket
+from repro.net.simulator import Event, Simulator
+from repro.net.topology import Network, NoRouteError
+
+__all__ = [
+    "Event",
+    "Link",
+    "NetPacket",
+    "Network",
+    "NoRouteError",
+    "Node",
+    "ProcessingNode",
+    "SinkNode",
+    "Simulator",
+    "SwitchNode",
+]

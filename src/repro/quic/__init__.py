@@ -1,0 +1,56 @@
+"""QUIC substrate: headers, connection IDs, and handshake state machines.
+
+The transport-layer semantic cookie rides in the QUIC connection-ID
+field (paper sections 3.3, 4.1, Appendix B.2); this package provides
+the protocol mechanics the Snatch core builds on.
+"""
+
+from repro.quic.connection import (
+    ConnectionResult,
+    HandshakeEvent,
+    HandshakeMode,
+    QuicClient,
+    QuicServer,
+    RandomConnectionIdPolicy,
+    SessionTicket,
+    SnatchConnectionIdPolicy,
+    one_way_delays_to_server_data,
+)
+from repro.quic.connection_id import (
+    ConnectionID,
+    MAX_CONNECTION_ID_BYTES,
+    random_connection_id,
+)
+from repro.quic.packet import (
+    LongHeaderPacket,
+    PacketType,
+    QUIC_VERSION,
+    SNATCH_DCID_LENGTH,
+    ShortHeaderPacket,
+    parse_packet,
+)
+from repro.quic.varint import decode_varint, encode_varint, varint_length
+
+__all__ = [
+    "ConnectionID",
+    "ConnectionResult",
+    "HandshakeEvent",
+    "HandshakeMode",
+    "LongHeaderPacket",
+    "MAX_CONNECTION_ID_BYTES",
+    "PacketType",
+    "QUIC_VERSION",
+    "QuicClient",
+    "QuicServer",
+    "RandomConnectionIdPolicy",
+    "SNATCH_DCID_LENGTH",
+    "SessionTicket",
+    "ShortHeaderPacket",
+    "SnatchConnectionIdPolicy",
+    "decode_varint",
+    "encode_varint",
+    "one_way_delays_to_server_data",
+    "parse_packet",
+    "random_connection_id",
+    "varint_length",
+]

@@ -1,0 +1,80 @@
+"""QUIC connection-ID handling.
+
+The QUIC connection ID is the carrier of Snatch's transport-layer
+semantic cookies (paper section 4.1 and Appendix B.2): the server-chosen
+``DstConnID*`` of up to 160 bits (20 bytes) is structured as
+
+    [ 8-bit DCID | 8-bit application-ID | bitmap | cookie-stack | DCID-R2 ]
+
+where everything after the application-ID byte is AES-128 encrypted.
+This module provides the raw connection-ID type plus generation helpers;
+the semantic structuring lives in :mod:`repro.core.transport_cookie`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ConnectionID", "MAX_CONNECTION_ID_BYTES", "random_connection_id"]
+
+MAX_CONNECTION_ID_BYTES = 20  # 160 bits, RFC 9000 maximum.
+
+
+@dataclass(frozen=True)
+class ConnectionID:
+    """An immutable QUIC connection ID of 0..20 bytes."""
+
+    value: bytes
+
+    def __post_init__(self):
+        if not isinstance(self.value, (bytes, bytearray)):
+            raise TypeError("connection ID must be bytes")
+        if len(self.value) > MAX_CONNECTION_ID_BYTES:
+            raise ValueError(
+                "connection ID too long: %d > %d bytes"
+                % (len(self.value), MAX_CONNECTION_ID_BYTES)
+            )
+        object.__setattr__(self, "value", bytes(self.value))
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __bytes__(self) -> bytes:
+        return self.value
+
+    @property
+    def hex(self) -> str:
+        return self.value.hex()
+
+    def first_byte(self) -> int:
+        """The leading (DCID) byte, used for flow identification."""
+        if not self.value:
+            raise ValueError("empty connection ID has no first byte")
+        return self.value[0]
+
+    def replace_range(self, start: int, payload: bytes) -> "ConnectionID":
+        """Return a copy with ``payload`` overwriting bytes from
+        ``start``.  Used by the Snatch client modification that
+        regenerates random bits while preserving the cookie bits."""
+        end = start + len(payload)
+        if start < 0 or end > len(self.value):
+            raise ValueError(
+                "range [%d, %d) outside connection ID of %d bytes"
+                % (start, end, len(self.value))
+            )
+        return ConnectionID(
+            self.value[:start] + payload + self.value[end:]
+        )
+
+
+def random_connection_id(
+    length: int = MAX_CONNECTION_ID_BYTES,
+    rng: Optional[random.Random] = None,
+) -> ConnectionID:
+    """Generate a uniformly random connection ID of ``length`` bytes."""
+    if not 0 <= length <= MAX_CONNECTION_ID_BYTES:
+        raise ValueError("invalid connection ID length %d" % length)
+    rng = rng or random
+    return ConnectionID(bytes(rng.getrandbits(8) for _ in range(length)))

@@ -1,0 +1,25 @@
+"""Streaming-analytics substrate: a Spark-Streaming-like micro-batch
+engine (RDDs + the full Table-1 DStream surface) plus a Kafka-like
+message queue for ingestion.
+"""
+
+from repro.streaming.context import (
+    BatchInfo,
+    DEFAULT_BATCH_INTERVAL_MS,
+    StreamingContext,
+)
+from repro.streaming.dstream import DStream
+from repro.streaming.queue import Consumer, Message, MessageBroker, Topic
+from repro.streaming.rdd import RDD
+
+__all__ = [
+    "BatchInfo",
+    "Consumer",
+    "DEFAULT_BATCH_INTERVAL_MS",
+    "DStream",
+    "Message",
+    "MessageBroker",
+    "RDD",
+    "StreamingContext",
+    "Topic",
+]

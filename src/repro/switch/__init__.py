@@ -1,0 +1,96 @@
+"""Programmable-switch substrate: a P4/Tofino-style pipeline model.
+
+LarkSwitch and AggSwitch (paper section 4.1) are built on this model in
+:mod:`repro.core`.  The substrate enforces the hardware constraints the
+paper leans on: limited stages, integer-only ALU, match-action tables,
+scarce register SRAM, clones, and control-plane digests.
+"""
+
+from repro.switch.bloom import BloomFilter, optimal_num_hashes
+from repro.switch.hashing import HashUnit, crc16, crc32, fold_hash
+from repro.switch.pipeline import (
+    AES_PASS_LATENCY_MS,
+    Digest,
+    LINE_RATE_LATENCY_MS,
+    MAX_STAGES,
+    MAX_TABLES_PER_STAGE,
+    PHV,
+    PipelineCompileError,
+    PipelineResult,
+    Stage,
+    SwitchPipeline,
+)
+from repro.switch.primitives import (
+    SUPPORTED_OPS,
+    SwitchALU,
+    UnsupportedOperationError,
+)
+from repro.switch.parser import (
+    ETHERNET,
+    HeaderField,
+    HeaderType,
+    IPV4,
+    ParseError,
+    ParseState,
+    Parser,
+    QUIC_SHORT,
+    UDP,
+    build_snatch_packet,
+    snatch_parser,
+)
+from repro.switch.sketch import CountMinSketch, dimensions_for
+from repro.switch.registers import (
+    RegisterArray,
+    RegisterFile,
+    SramExhaustedError,
+)
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+    TableFullError,
+)
+
+__all__ = [
+    "AES_PASS_LATENCY_MS",
+    "BloomFilter",
+    "CountMinSketch",
+    "ETHERNET",
+    "HeaderField",
+    "HeaderType",
+    "IPV4",
+    "ParseError",
+    "ParseState",
+    "Parser",
+    "QUIC_SHORT",
+    "UDP",
+    "Digest",
+    "HashUnit",
+    "LINE_RATE_LATENCY_MS",
+    "MAX_STAGES",
+    "MAX_TABLES_PER_STAGE",
+    "MatchActionTable",
+    "MatchKey",
+    "MatchKind",
+    "PHV",
+    "PipelineCompileError",
+    "PipelineResult",
+    "RegisterArray",
+    "RegisterFile",
+    "SUPPORTED_OPS",
+    "SramExhaustedError",
+    "Stage",
+    "SwitchALU",
+    "SwitchPipeline",
+    "TableEntry",
+    "TableFullError",
+    "UnsupportedOperationError",
+    "crc16",
+    "build_snatch_packet",
+    "dimensions_for",
+    "snatch_parser",
+    "crc32",
+    "fold_hash",
+    "optimal_num_hashes",
+]

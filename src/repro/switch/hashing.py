@@ -1,0 +1,112 @@
+"""Hash units of a programmable switch.
+
+Tofino exposes CRC-based hash engines to index register arrays and
+implement Bloom filters / sketches.  We implement CRC-16/CCITT and
+CRC-32 (IEEE) from scratch with table-driven reflection, matching the
+standard check values, plus an identity-fold hash used for direct
+indexing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["crc16", "crc32", "fold_hash", "HashUnit"]
+
+
+def _make_crc32_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_CRC32_TABLE = _make_crc32_table()
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE 802.3, reflected).  check('123456789')=0xCBF43926."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def _make_crc16_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_CRC16_TABLE = _make_crc16_table()
+
+
+def crc16(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE.  check('123456789')=0x29B1."""
+    crc = 0xFFFF
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _CRC16_TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def fold_hash(value: int, width: int) -> int:
+    """Fold an integer down to ``width`` bits by XOR-ing chunks; the
+    cheap identity-style hash a switch uses for direct indexing."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    mask = (1 << width) - 1
+    out = 0
+    value = abs(value)
+    while value:
+        out ^= value & mask
+        value >>= width
+    return out
+
+
+class HashUnit:
+    """A configurable hash engine bound to an output range.
+
+    ``seed`` tweaks the polynomial input so multiple independent units
+    can drive the rows of a Bloom filter or sketch.
+    """
+
+    def __init__(self, output_range: int, seed: int = 0, kind: str = "crc32"):
+        if output_range <= 0:
+            raise ValueError("output_range must be positive")
+        if kind not in ("crc16", "crc32"):
+            raise ValueError("unknown hash kind %r" % kind)
+        self.output_range = output_range
+        self.seed = seed & 0xFFFFFFFF
+        self.kind = kind
+
+    def hash(self, data: bytes) -> int:
+        # CRC is linear in its input, so merely prefixing a seed yields
+        # *correlated* hash rows: two keys that collide under one seed
+        # collide under every seed, collapsing a k-hash Bloom filter to
+        # a single hash.  Real switches use distinct CRC polynomials
+        # per unit; we emulate that with a nonlinear per-seed finalizer
+        # (odd-multiplier mix, as in splitmix/murmur finalizers).
+        raw = crc32(data) if self.kind == "crc32" else crc16(data)
+        mixed = (raw ^ self.seed) & 0xFFFFFFFF
+        mixed = (mixed * (2 * self.seed + 0x9E3779B1)) & 0xFFFFFFFF
+        mixed ^= mixed >> 15
+        mixed = (mixed * 0x85EBCA77) & 0xFFFFFFFF
+        mixed ^= mixed >> 13
+        return mixed % self.output_range
+
+    def hash_int(self, value: int) -> int:
+        length = max(1, (value.bit_length() + 7) // 8)
+        return self.hash(value.to_bytes(length, "big"))

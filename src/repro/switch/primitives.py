@@ -1,0 +1,103 @@
+"""ALU primitives available on a P4 programmable switch.
+
+The paper (section 4.1, Appendix C) notes that Tofino-class switches
+support integer add/sub/min/max/bit operations but *not* complex
+operands such as modulo, logarithm, division, or floating point.  This
+module models that constraint explicitly: every arithmetic step in a
+switch program goes through :class:`SwitchALU`, which performs
+fixed-width wrap-around integer arithmetic and raises
+:class:`UnsupportedOperationError` for anything the hardware cannot do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["SwitchALU", "UnsupportedOperationError", "SUPPORTED_OPS"]
+
+
+class UnsupportedOperationError(RuntimeError):
+    """Raised when a program requests an op the data plane cannot run."""
+
+
+SUPPORTED_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "min",
+        "max",
+        "and",
+        "or",
+        "xor",
+        "not",
+        "shl",
+        "shr",
+        "eq",
+        "ne",
+        "lt",
+        "le",
+        "gt",
+        "ge",
+    }
+)
+
+_UNSUPPORTED_HINTS: Dict[str, str] = {
+    "mod": "modulo is not supported by most P4 devices (paper section 4.1)",
+    "div": "division is not supported in the Tofino ALU",
+    "mul": "general multiplication is unavailable; use shifts",
+    "log": "logarithm requires FPGA offload or control-plane digests",
+    "float": "floating point needs rescheduling tricks (NSDI'22 [101])",
+    "sqrt": "square root is not a match-action primitive",
+}
+
+
+class SwitchALU:
+    """Fixed-width integer ALU with wrap-around semantics.
+
+    ``width`` is the bit width of the PHV container (Tofino containers
+    are 8/16/32 bits; we default to 32).
+    """
+
+    def __init__(self, width: int = 32):
+        if width <= 0:
+            raise ValueError("ALU width must be positive")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.ops_executed = 0
+        self._dispatch: Dict[str, Callable[[int, int], int]] = {
+            "add": lambda a, b: (a + b) & self.mask,
+            "sub": lambda a, b: (a - b) & self.mask,
+            "min": lambda a, b: min(a, b),
+            "max": lambda a, b: max(a, b),
+            "and": lambda a, b: a & b,
+            "or": lambda a, b: a | b,
+            "xor": lambda a, b: a ^ b,
+            "not": lambda a, _b: (~a) & self.mask,
+            "shl": lambda a, b: (a << b) & self.mask,
+            "shr": lambda a, b: a >> b,
+            "eq": lambda a, b: int(a == b),
+            "ne": lambda a, b: int(a != b),
+            "lt": lambda a, b: int(a < b),
+            "le": lambda a, b: int(a <= b),
+            "gt": lambda a, b: int(a > b),
+            "ge": lambda a, b: int(a >= b),
+        }
+
+    def execute(self, op: str, a: int, b: int = 0) -> int:
+        """Run one ALU operation on unsigned fixed-width operands."""
+        if op not in SUPPORTED_OPS:
+            hint = _UNSUPPORTED_HINTS.get(op, "not a supported switch op")
+            raise UnsupportedOperationError("%s: %s" % (op, hint))
+        if not 0 <= a <= self.mask or not 0 <= b <= self.mask:
+            raise ValueError(
+                "operand outside %d-bit container: a=%d b=%d"
+                % (self.width, a, b)
+            )
+        self.ops_executed += 1
+        return self._dispatch[op](a, b)
+
+    def saturating_add(self, a: int, b: int) -> int:
+        """Counter-style addition that clamps at the container maximum
+        instead of wrapping (Tofino counters saturate)."""
+        self.ops_executed += 1
+        return min(a + b, self.mask)

@@ -1,0 +1,22 @@
+"""Testbed harness: the simulated equivalent of the paper's 6-machine
+plus Tofino testbed, driving real Snatch components end to end."""
+
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import (
+    RequestRecord,
+    TestbedExperiment,
+    TestbedResult,
+)
+from repro.testbed.network_testbed import NetworkRunResult, NetworkTestbed
+from repro.testbed.spark_model import SparkLatencyModel
+
+__all__ = [
+    "NetworkRunResult",
+    "NetworkTestbed",
+    "RequestRecord",
+    "Scheme",
+    "SparkLatencyModel",
+    "TestbedConfig",
+    "TestbedExperiment",
+    "TestbedResult",
+]

@@ -1,0 +1,20 @@
+"""HTTP/CDN substrate: the application-layer path's web machinery —
+requests/responses, a TTL'd LRU edge cache, the origin server, and a
+Snatch-enabled CDN edge with page rules (paper sections 2.3, 3.3)."""
+
+from repro.web.cache import CacheStats, LruTtlCache
+from repro.web.cdn import CdnEdge, EdgeServed
+from repro.web.http import HttpRequest, HttpResponse, Method, Status
+from repro.web.origin import OriginServer
+
+__all__ = [
+    "CacheStats",
+    "CdnEdge",
+    "EdgeServed",
+    "HttpRequest",
+    "HttpResponse",
+    "LruTtlCache",
+    "Method",
+    "OriginServer",
+    "Status",
+]

@@ -1,0 +1,95 @@
+"""An LRU + TTL object cache for the CDN edge.
+
+Edge servers exist to keep static content near users (section 2.3);
+the cache hit ratio determines how much of the edge's measured
+processing cost (T_E) a request pays.  Capacity-bounded LRU with
+per-object TTLs, using explicit clock injection so the simulator's
+time drives expiry deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["LruTtlCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+
+class LruTtlCache:
+    """Least-recently-used cache with per-entry expiry times."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, now_ms: float) -> Optional[Any]:
+        """Value if present and fresh; records hit/miss statistics."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, expires_at = entry
+        if expires_at is not None and now_ms >= expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        now_ms: float,
+        ttl_ms: Optional[float] = None,
+    ) -> None:
+        expires_at = None if ttl_ms is None else now_ms + ttl_ms
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, expires_at)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Purge one object (a CDN cache-purge API call)."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def contains_fresh(self, key: str, now_ms: float) -> bool:
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        _value, expires_at = entry
+        return expires_at is None or now_ms < expires_at

@@ -1,0 +1,114 @@
+"""The CDN edge: caching, origin fetch, and Snatch page rules.
+
+The paper's application-layer deployment rides existing CDN features:
+"custom page rules to adjust caching levels, forward requests, modify
+headers" (section 3.3).  This edge server:
+
+1. serves static objects from an LRU/TTL cache (hit) or fetches them
+   from the origin (miss);
+2. forwards dynamic requests to the origin, passing cookies through;
+3. applies the Snatch page rule — decrypt the semantic cookie, filter
+   by event type, pre-aggregate, and early-forward to the aggregation
+   tier (delegated to :class:`~repro.core.edge_service.SnatchEdgeServer`);
+4. accounts which fraction of the edge's processing the cache absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.edge_service import SnatchEdgeServer
+from repro.web.cache import LruTtlCache
+from repro.web.http import HttpRequest, HttpResponse, Status
+from repro.web.origin import OriginServer
+
+__all__ = ["CdnEdge", "EdgeServed"]
+
+
+@dataclass
+class EdgeServed:
+    """What the edge did for one request."""
+
+    response: HttpResponse
+    cache_hit: bool
+    went_to_origin: bool
+    aggregation_payload: Optional[bytes] = None
+    semantic_matched: bool = False
+
+
+class CdnEdge:
+    """A Snatch-enabled CDN point of presence."""
+
+    def __init__(
+        self,
+        origin: OriginServer,
+        snatch: Optional[SnatchEdgeServer] = None,
+        cache_capacity: int = 1024,
+    ):
+        self.origin = origin
+        self.snatch = snatch
+        self.cache = LruTtlCache(capacity=cache_capacity)
+        self.requests_handled = 0
+        self.origin_fetches = 0
+        self.aggregation_payloads: List[bytes] = []
+
+    def handle(self, request: HttpRequest, now_ms: float = 0.0) -> EdgeServed:
+        """Terminate TLS, run page rules, serve the request."""
+        self.requests_handled += 1
+        payload, matched = self._apply_snatch_rule(request)
+        if request.is_static:
+            served = self._serve_static(request, now_ms)
+        else:
+            served = self._forward_dynamic(request)
+        served.aggregation_payload = payload
+        served.semantic_matched = matched
+        return served
+
+    # -- the Snatch page rule ----------------------------------------------
+
+    def _apply_snatch_rule(self, request: HttpRequest):
+        if self.snatch is None:
+            return None, False
+        result = self.snatch.handle_request(
+            {"path": request.path, "event": request.headers.get("X-Event"),
+             "method": request.method.value},
+            cookie_header=request.headers.get("Cookie", ""),
+        )
+        if result.aggregation_payload is not None:
+            self.aggregation_payloads.append(result.aggregation_payload)
+        return result.aggregation_payload, result.semantic_matched
+
+    # -- static path -----------------------------------------------------------
+
+    def _serve_static(self, request: HttpRequest, now_ms: float) -> EdgeServed:
+        cached = self.cache.get(request.path, now_ms)
+        if cached is not None:
+            return EdgeServed(response=cached, cache_hit=True,
+                              went_to_origin=False)
+        self.origin_fetches += 1
+        response = self.origin.handle(request)
+        if response.cacheable:
+            self.cache.put(
+                request.path, response, now_ms, ttl_ms=response.cache_ttl_ms
+            )
+        return EdgeServed(response=response, cache_hit=False,
+                          went_to_origin=True)
+
+    # -- dynamic path -------------------------------------------------------------
+
+    def _forward_dynamic(self, request: HttpRequest) -> EdgeServed:
+        self.origin_fetches += 1
+        response = self.origin.handle(request)
+        return EdgeServed(response=response, cache_hit=False,
+                          went_to_origin=True)
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache.stats.hit_ratio
+
+    def purge(self, path: str) -> bool:
+        """CDN cache-purge API."""
+        return self.cache.invalidate(path)

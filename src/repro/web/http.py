@@ -1,0 +1,112 @@
+"""Minimal HTTP message model.
+
+The application-layer Snatch path lives in HTTPS semantics: requests
+carry ``Cookie:`` headers, responses carry ``Set-Cookie:``, edge
+servers apply page rules per URL, and static vs dynamic content takes
+different paths (paper sections 2.3, 3.3).  This module provides the
+request/response types the CDN and origin servers exchange; no sockets
+are involved — transport is the simulator's concern.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.app_cookie import format_cookie_header, parse_cookie_header
+
+__all__ = ["Method", "Status", "HttpRequest", "HttpResponse"]
+
+
+class Method(enum.Enum):
+    GET = "GET"
+    POST = "POST"
+
+
+class Status(enum.IntEnum):
+    OK = 200
+    NOT_MODIFIED = 304
+    NOT_FOUND = 404
+    INTERNAL_ERROR = 500
+
+
+@dataclass
+class HttpRequest:
+    """One HTTPS request as seen after TLS termination."""
+
+    method: Method
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    def __post_init__(self):
+        if not self.path.startswith("/"):
+            raise ValueError("path must start with '/', got %r" % self.path)
+        # Header names are case-insensitive; normalize to title case.
+        self.headers = {
+            key.title(): value for key, value in self.headers.items()
+        }
+
+    @property
+    def cookies(self) -> Dict[str, str]:
+        header = self.headers.get("Cookie", "")
+        return parse_cookie_header(header) if header else {}
+
+    def with_cookie(self, name: str, value: str) -> "HttpRequest":
+        cookies = self.cookies
+        cookies[name] = value
+        headers = dict(self.headers)
+        headers["Cookie"] = format_cookie_header(cookies)
+        return HttpRequest(
+            method=self.method,
+            path=self.path,
+            headers=headers,
+            body=self.body,
+        )
+
+    @property
+    def is_static(self) -> bool:
+        """Cacheable content by convention: /static/ paths and common
+        asset extensions."""
+        if self.method is not Method.GET:
+            return False
+        if self.path.startswith("/static/"):
+            return True
+        return self.path.rsplit(".", 1)[-1] in (
+            "css", "js", "png", "jpg", "ico", "svg", "woff2"
+        )
+
+
+@dataclass
+class HttpResponse:
+    """The reply, possibly planting semantic cookies."""
+
+    status: Status = Status.OK
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+    set_cookies: Dict[str, str] = field(default_factory=dict)
+    cache_ttl_ms: Optional[float] = None  # None = uncacheable
+
+    def __post_init__(self):
+        self.headers = {
+            key.title(): value for key, value in self.headers.items()
+        }
+
+    @property
+    def cacheable(self) -> bool:
+        return (
+            self.status is Status.OK
+            and self.cache_ttl_ms is not None
+            and self.cache_ttl_ms > 0
+            and not self.set_cookies
+        )
+
+    def header_lines(self) -> Tuple[str, ...]:
+        """Rendered headers, including Set-Cookie lines."""
+        lines = ["%s: %s" % (k, v) for k, v in sorted(self.headers.items())]
+        lines.extend(
+            "Set-Cookie: %s=%s" % (name, value)
+            for name, value in sorted(self.set_cookies.items())
+        )
+        return tuple(lines)

@@ -1,0 +1,81 @@
+"""The origin web server: dynamic content + semantic cookie planting.
+
+The origin (the paper's "web server", hosted in a cloud region) serves
+dynamic requests, maintains the semantic cookie state machine through
+:class:`~repro.core.web_server.SnatchWebServer`, and serves static
+assets with cache-control TTLs so the CDN edge can keep them.
+Crucially it stores *nothing* per user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.web_server import SnatchWebServer
+from repro.web.http import HttpRequest, HttpResponse, Method, Status
+
+__all__ = ["OriginServer"]
+
+_DEFAULT_STATIC_TTL_MS = 60_000.0
+
+
+class OriginServer:
+    """Routes static and dynamic requests; plants semantic cookies."""
+
+    def __init__(
+        self,
+        snatch: Optional[SnatchWebServer] = None,
+        static_content: Optional[Dict[str, str]] = None,
+        static_ttl_ms: float = _DEFAULT_STATIC_TTL_MS,
+    ):
+        self.snatch = snatch
+        self.static_content = dict(static_content or {})
+        self.static_ttl_ms = static_ttl_ms
+        self.requests_served = 0
+        self.dynamic_served = 0
+        self.static_served = 0
+
+    def add_static(self, path: str, body: str) -> None:
+        self.static_content[path] = body
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        if request.is_static:
+            return self._serve_static(request)
+        return self._serve_dynamic(request)
+
+    def _serve_static(self, request: HttpRequest) -> HttpResponse:
+        body = self.static_content.get(request.path)
+        if body is None:
+            return HttpResponse(status=Status.NOT_FOUND)
+        self.static_served += 1
+        return HttpResponse(
+            status=Status.OK,
+            body=body,
+            headers={"Content-Type": "text/plain"},
+            cache_ttl_ms=self.static_ttl_ms,
+        )
+
+    def _serve_dynamic(self, request: HttpRequest) -> HttpResponse:
+        self.dynamic_served += 1
+        response = HttpResponse(
+            status=Status.OK,
+            body="dynamic:%s" % request.path,
+            headers={"Content-Type": "text/html"},
+            cache_ttl_ms=None,  # dynamic content is uncacheable
+        )
+        if self.snatch is not None:
+            served = self.snatch.handle_request(
+                {"path": request.path, "method": request.method.value,
+                 "body": request.body},
+                cookie_header=request.headers.get("Cookie", ""),
+            )
+            if served.set_cookie is not None:
+                name, value = served.set_cookie
+                response.set_cookies[name] = value
+        return response
+
+    @property
+    def stored_user_records(self) -> int:
+        """Privacy invariant, inherited from the Snatch web server."""
+        return 0 if self.snatch is None else self.snatch.stored_user_records

@@ -1,0 +1,45 @@
+"""Workloads from the paper's three motivating applications:
+ad-campaign analytics, real-time crowd analytics, and resource-demand
+scaling (section 2.3)."""
+
+from repro.workloads.adcampaign import (
+    AGE_BRACKETS,
+    AdCampaignWorkload,
+    AdEvent,
+    EVENT_TYPES,
+    GENDERS,
+    GEOS,
+    UserProfile,
+)
+from repro.workloads.crowd import (
+    CrowdMember,
+    CrowdWorkload,
+    INTERESTS,
+    REGIONS,
+)
+from repro.workloads.ysb import YsbEvent, YsbPipeline, YsbWorkload
+from repro.workloads.resource import (
+    Autoscaler,
+    ResourceDemandWorkload,
+    Tenant,
+)
+
+__all__ = [
+    "AGE_BRACKETS",
+    "AdCampaignWorkload",
+    "AdEvent",
+    "Autoscaler",
+    "CrowdMember",
+    "CrowdWorkload",
+    "EVENT_TYPES",
+    "GENDERS",
+    "GEOS",
+    "INTERESTS",
+    "REGIONS",
+    "ResourceDemandWorkload",
+    "Tenant",
+    "UserProfile",
+    "YsbEvent",
+    "YsbPipeline",
+    "YsbWorkload",
+]

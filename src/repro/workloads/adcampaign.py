@@ -1,0 +1,171 @@
+"""Ad-campaign analytics workload (paper sections 2.3, 5.2).
+
+The paper's testbed workload extends the Yahoo Streaming Benchmark
+[46]: rather than only joining user IDs to campaign IDs, it counts the
+**user demographic composition** (randomly generated gender, age, and
+geolocation per user) for every ad campaign, over an instant window.
+
+This module generates the user population, the click/view event
+stream, the Snatch schema + statistics program for it, and a pure
+Python reference aggregation for correctness checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+
+__all__ = [
+    "GENDERS",
+    "AGE_BRACKETS",
+    "GEOS",
+    "EVENT_TYPES",
+    "UserProfile",
+    "AdEvent",
+    "AdCampaignWorkload",
+]
+
+GENDERS = ("female", "male", "other")
+AGE_BRACKETS = ("18-24", "25-34", "35-44", "45-54", "55+")
+GEOS = ("NA", "EU", "AS", "SA", "AF", "OC")
+EVENT_TYPES = ("view", "click")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Demographics randomly assigned to one user."""
+
+    user_index: int
+    gender: str
+    age: str
+    geo: str
+
+    def semantic_values(self, campaign: str, event: str) -> Dict[str, object]:
+        """The semantic-cookie contents for one ad interaction."""
+        return {
+            "event": event,
+            "campaign": campaign,
+            "gender": self.gender,
+            "age": self.age,
+            "geo": self.geo,
+        }
+
+
+@dataclass(frozen=True)
+class AdEvent:
+    """One user interaction with an ad."""
+
+    time_ms: float
+    user: UserProfile
+    campaign: str
+    event_type: str
+
+
+class AdCampaignWorkload:
+    """Generates users, campaigns and a timed event stream."""
+
+    def __init__(
+        self,
+        num_users: int = 1000,
+        num_campaigns: int = 8,
+        seed: int = 42,
+        click_fraction: float = 0.25,
+    ):
+        if num_users <= 0 or num_campaigns <= 0:
+            raise ValueError("users and campaigns must be positive")
+        if not 0.0 <= click_fraction <= 1.0:
+            raise ValueError("click_fraction must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self.campaigns = tuple("camp-%d" % i for i in range(num_campaigns))
+        self.click_fraction = click_fraction
+        self.users = tuple(
+            UserProfile(
+                user_index=i,
+                gender=self._rng.choice(GENDERS),
+                age=self._rng.choice(AGE_BRACKETS),
+                geo=self._rng.choice(GEOS),
+            )
+            for i in range(num_users)
+        )
+
+    # -- Snatch configuration ------------------------------------------------
+
+    def schema(self) -> CookieSchema:
+        return CookieSchema(
+            "ad-campaign",
+            (
+                Feature.categorical("event", EVENT_TYPES),
+                Feature.categorical("campaign", self.campaigns),
+                Feature.categorical("gender", GENDERS),
+                Feature.categorical("age", AGE_BRACKETS),
+                Feature.categorical("geo", GEOS),
+            ),
+        )
+
+    def specs(self) -> List[StatSpec]:
+        """Per-campaign demographic composition counts."""
+        return [
+            StatSpec("gender_by_campaign", StatKind.COUNT_BY_CLASS,
+                     "gender", group_by="campaign"),
+            StatSpec("age_by_campaign", StatKind.COUNT_BY_CLASS,
+                     "age", group_by="campaign"),
+            StatSpec("geo_by_campaign", StatKind.COUNT_BY_CLASS,
+                     "geo", group_by="campaign"),
+        ]
+
+    @staticmethod
+    def event_filter(request: Dict[str, object]) -> bool:
+        """Figure 1(b) L1: only ad-view/click events count."""
+        return request.get("event") in EVENT_TYPES
+
+    # -- event stream -----------------------------------------------------------
+
+    def generate_events(
+        self,
+        requests_per_second: float,
+        duration_ms: float,
+    ) -> List[AdEvent]:
+        """A deterministic Poisson-like stream of ad interactions."""
+        if requests_per_second <= 0 or duration_ms <= 0:
+            raise ValueError("rate and duration must be positive")
+        events: List[AdEvent] = []
+        mean_gap_ms = 1000.0 / requests_per_second
+        t = self._rng.expovariate(1.0) * mean_gap_ms
+        while t < duration_ms:
+            events.append(
+                AdEvent(
+                    time_ms=t,
+                    user=self._rng.choice(self.users),
+                    campaign=self._rng.choice(self.campaigns),
+                    event_type="click"
+                    if self._rng.random() < self.click_fraction
+                    else "view",
+                )
+            )
+            t += self._rng.expovariate(1.0) * mean_gap_ms
+        return events
+
+    # -- reference analytics ---------------------------------------------------------
+
+    def reference_counts(
+        self, events: List[AdEvent]
+    ) -> Dict[str, Dict[Tuple[str, str], int]]:
+        """Ground-truth aggregation matching :meth:`specs` layout."""
+        out: Dict[str, Dict[Tuple[str, str], int]] = {
+            "gender_by_campaign": {},
+            "age_by_campaign": {},
+            "geo_by_campaign": {},
+        }
+        for event in events:
+            for stat, attr in (
+                ("gender_by_campaign", event.user.gender),
+                ("age_by_campaign", event.user.age),
+                ("geo_by_campaign", event.user.geo),
+            ):
+                key = (event.campaign, attr)
+                out[stat][key] = out[stat].get(key, 0) + 1
+        return out

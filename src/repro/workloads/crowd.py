@@ -1,0 +1,98 @@
+"""Real-time crowd analytics workload (paper section 2.3, example 2).
+
+Businesses aggregate information about users in a particular region —
+demographics and interests — in real time.  The semantic cookies here
+are *constant* per user (section 3.1): the user's region and interest
+profile do not change per request, which is exactly the case where
+transport-layer cookies shine, since the cookie can be forwarded before
+the request semantics are even known.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+
+__all__ = ["REGIONS", "INTERESTS", "CrowdMember", "CrowdWorkload"]
+
+REGIONS = tuple("region-%d" % i for i in range(12))
+INTERESTS = ("sports", "music", "food", "travel", "tech", "fashion")
+DENSITY_BUCKETS = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class CrowdMember:
+    member_index: int
+    region: str
+    interest: str
+    dwell_minutes: int  # time spent in the region so far
+
+    def semantic_values(self) -> Dict[str, object]:
+        return {
+            "region": self.region,
+            "interest": self.interest,
+            "dwell": self.dwell_minutes,
+        }
+
+
+class CrowdWorkload:
+    """A population of users moving through monitored regions."""
+
+    def __init__(self, num_members: int = 2000, seed: int = 7):
+        if num_members <= 0:
+            raise ValueError("num_members must be positive")
+        self._rng = random.Random(seed)
+        self.members = tuple(
+            CrowdMember(
+                member_index=i,
+                region=self._rng.choice(REGIONS),
+                interest=self._rng.choice(INTERESTS),
+                dwell_minutes=self._rng.randint(0, 240),
+            )
+            for i in range(num_members)
+        )
+
+    def schema(self) -> CookieSchema:
+        return CookieSchema(
+            "crowd",
+            (
+                Feature.categorical("region", REGIONS),
+                Feature.categorical("interest", INTERESTS),
+                Feature.number("dwell", 0, 240),
+            ),
+        )
+
+    def specs(self) -> List[StatSpec]:
+        return [
+            StatSpec("interest_by_region", StatKind.COUNT_BY_CLASS,
+                     "interest", group_by="region"),
+            StatSpec("dwell_avg", StatKind.AVG, "dwell", group_by="region"),
+            StatSpec("dwell_max", StatKind.MAX, "dwell", group_by="region"),
+        ]
+
+    def arrivals(
+        self, rate_per_second: float, duration_ms: float
+    ) -> List[Tuple[float, CrowdMember]]:
+        """Timed check-in events from crowd members."""
+        if rate_per_second <= 0 or duration_ms <= 0:
+            raise ValueError("rate and duration must be positive")
+        events: List[Tuple[float, CrowdMember]] = []
+        gap = 1000.0 / rate_per_second
+        t = self._rng.expovariate(1.0) * gap
+        while t < duration_ms:
+            events.append((t, self._rng.choice(self.members)))
+            t += self._rng.expovariate(1.0) * gap
+        return events
+
+    def reference_interest_counts(
+        self, arrivals: List[Tuple[float, CrowdMember]]
+    ) -> Dict[Tuple[str, str], int]:
+        out: Dict[Tuple[str, str], int] = {}
+        for _t, member in arrivals:
+            key = (member.region, member.interest)
+            out[key] = out.get(key, 0) + 1
+        return out

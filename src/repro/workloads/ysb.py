@@ -1,0 +1,158 @@
+"""The Yahoo Streaming Benchmark (YSB) on the micro-batch engine.
+
+The paper's testbed workload *extends* YSB [46]: the classic benchmark
+filters ad events, joins the ad ID to its campaign through a static
+table, and counts views per campaign per window.  Snatch goes further
+and counts demographics (see :mod:`repro.workloads.adcampaign`); this
+module implements the original benchmark faithfully on our DStream
+engine, both as a baseline comparator and as a non-trivial exercise of
+the join/window operators.
+
+Pipeline (as in the benchmark's description):
+
+1. deserialize events,
+2. ``filter`` to event_type == "view",
+3. project (ad_id, event_time),
+4. ``join`` ad_id -> campaign_id against the static campaign table,
+5. windowed count per campaign.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.streaming.context import StreamingContext
+from repro.streaming.rdd import RDD
+
+__all__ = ["YsbEvent", "YsbWorkload", "YsbPipeline"]
+
+EVENT_TYPES = ("view", "click", "purchase")
+
+
+@dataclass(frozen=True)
+class YsbEvent:
+    """One benchmark event (the original has a few more string
+    fields, irrelevant to the computation)."""
+
+    user_id: str
+    page_id: str
+    ad_id: str
+    event_type: str
+    event_time_ms: float
+
+
+class YsbWorkload:
+    """Generates the ad->campaign mapping and the event stream."""
+
+    def __init__(
+        self,
+        num_campaigns: int = 10,
+        ads_per_campaign: int = 10,
+        seed: int = 99,
+    ):
+        if num_campaigns <= 0 or ads_per_campaign <= 0:
+            raise ValueError("campaigns and ads must be positive")
+        self._rng = random.Random(seed)
+        self.campaigns = ["campaign-%d" % i for i in range(num_campaigns)]
+        self.ad_to_campaign: Dict[str, str] = {}
+        for campaign_index, campaign in enumerate(self.campaigns):
+            for ad_index in range(ads_per_campaign):
+                ad_id = "ad-%d-%d" % (campaign_index, ad_index)
+                self.ad_to_campaign[ad_id] = campaign
+        self._ads = list(self.ad_to_campaign)
+
+    def generate_events(
+        self, rate_per_second: float, duration_ms: float
+    ) -> List[YsbEvent]:
+        if rate_per_second <= 0 or duration_ms <= 0:
+            raise ValueError("rate and duration must be positive")
+        events: List[YsbEvent] = []
+        gap = 1000.0 / rate_per_second
+        t = self._rng.expovariate(1.0) * gap
+        while t < duration_ms:
+            events.append(
+                YsbEvent(
+                    user_id="user-%d" % self._rng.randrange(10_000),
+                    page_id="page-%d" % self._rng.randrange(1_000),
+                    ad_id=self._rng.choice(self._ads),
+                    event_type=self._rng.choice(EVENT_TYPES),
+                    event_time_ms=t,
+                )
+            )
+            t += self._rng.expovariate(1.0) * gap
+        return events
+
+    def reference_window_counts(
+        self, events: List[YsbEvent], window_ms: float
+    ) -> Dict[Tuple[int, str], int]:
+        """(window_index, campaign) -> view count, ground truth."""
+        out: Dict[Tuple[int, str], int] = {}
+        for event in events:
+            if event.event_type != "view":
+                continue
+            window = int(event.event_time_ms // window_ms)
+            campaign = self.ad_to_campaign[event.ad_id]
+            out[(window, campaign)] = out.get((window, campaign), 0) + 1
+        return out
+
+
+class YsbPipeline:
+    """The benchmark query wired onto a StreamingContext."""
+
+    def __init__(
+        self,
+        workload: YsbWorkload,
+        window_ms: float = 1000.0,
+        batch_interval_ms: Optional[float] = None,
+    ):
+        self.workload = workload
+        self.window_ms = window_ms
+        interval = batch_interval_ms or window_ms
+        if window_ms % interval:
+            raise ValueError("window must be a multiple of the interval")
+        self.ssc = StreamingContext(batch_interval_ms=interval)
+        self._input = self.ssc.input_stream(num_partitions=2)
+        self.window_counts: Dict[Tuple[int, str], int] = {}
+        self._campaign_table = RDD.of(
+            list(workload.ad_to_campaign.items()), num_partitions=2
+        )
+        self._build()
+
+    def _build(self) -> None:
+        window_batches = int(self.window_ms // self.ssc.batch_interval_ms)
+
+        views = (
+            self._input
+            .filter(lambda e: e.event_type == "view")        # step 2
+            .map(lambda e: (e.ad_id, e.event_time_ms))        # step 3
+        )
+        joined = views.transform(                              # step 4
+            lambda rdd: rdd.join(self._campaign_table)
+        )
+        # (ad_id, (event_time, campaign)) -> campaign
+        per_campaign = joined.map(lambda kv: (kv[1][1], 1))
+        counts = per_campaign.reduceByKeyAndWindow(            # step 5
+            lambda a, b: a + b,
+            None,
+            windowDuration_ms=self.window_ms,
+            slideDuration_ms=self.window_ms,
+        )
+
+        def sink(rdd, batch_index: int) -> None:
+            window = (batch_index + 1) // window_batches - 1
+            for campaign, count in rdd.collect():
+                self.window_counts[(window, campaign)] = count
+
+        counts.foreachRDD(sink)
+
+    def feed(self, events: List[YsbEvent]) -> None:
+        for event in events:
+            self._input.push(event, event.event_time_ms)
+
+    def run(self, duration_ms: float) -> None:
+        self.ssc.run_until(duration_ms)
+
+    def results(self) -> Dict[Tuple[int, str], int]:
+        return dict(self.window_counts)

@@ -1,0 +1,118 @@
+"""Custom aggregation packets (Appendix B.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    AggregationCodec,
+    AggregationPacket,
+    ForwardingMode,
+    SNATCH_SID,
+)
+
+KEY = bytes(range(16))
+
+
+def _codec(app_id=0x42, seed=1):
+    return AggregationCodec(app_id, KEY, random.Random(seed))
+
+
+def _packet(items, mode=ForwardingMode.PER_PACKET, app_id=0x42):
+    return AggregationPacket(app_id=app_id, mode=mode, items=items)
+
+
+class TestRoundtrip:
+    def test_per_packet(self):
+        codec = _codec()
+        packet = _packet([(0, 1), (3, 99)])
+        decoded = codec.decode(codec.encode(packet))
+        assert decoded.items == [(0, 1), (3, 99)]
+        assert decoded.mode == ForwardingMode.PER_PACKET
+        assert decoded.app_id == 0x42
+
+    def test_periodical(self):
+        codec = _codec()
+        packet = _packet([(1024, 7)], mode=ForwardingMode.PERIODICAL)
+        decoded = codec.decode(codec.encode(packet))
+        assert decoded.mode == ForwardingMode.PERIODICAL
+
+    def test_empty_items(self):
+        codec = _codec()
+        decoded = codec.decode(codec.encode(_packet([])))
+        assert decoded.items == []
+        assert decoded.item_count == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 0xFFFF), st.integers(0, 2**48 - 1)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, items):
+        codec = _codec(seed=9)
+        decoded = codec.decode(codec.encode(_packet(items)))
+        assert decoded.items == items
+
+
+class TestWireFormat:
+    def test_sid_leads_the_packet(self):
+        wire = _codec().encode(_packet([(0, 1)]))
+        assert int.from_bytes(wire[0:2], "big") == SNATCH_SID
+        assert AggregationCodec.is_aggregation_packet(wire)
+
+    def test_regular_udp_not_matched(self):
+        assert not AggregationCodec.is_aggregation_packet(b"\x00\x01hello")
+        assert not AggregationCodec.is_aggregation_packet(b"")
+
+    def test_payload_is_encrypted(self):
+        wire = _codec().encode(_packet([(0xBEEF, 0xCAFE)]))
+        assert b"\xbe\xef" not in wire[4:]
+
+    def test_item_limits(self):
+        with pytest.raises(ValueError, match="7 bits"):
+            _codec().encode(_packet([(i, 0) for i in range(128)]))
+        with pytest.raises(ValueError, match="16 bits"):
+            _codec().encode(_packet([(0x10000, 0)]))
+        with pytest.raises(ValueError, match="48 bits"):
+            _codec().encode(_packet([(0, 2**48)]))
+
+
+class TestValidation:
+    def test_app_id_mismatch_on_encode(self):
+        with pytest.raises(ValueError, match="does not match"):
+            _codec(app_id=0x42).encode(_packet([], app_id=0x43))
+
+    def test_app_id_mismatch_on_decode(self):
+        wire = _codec(app_id=0x42).encode(_packet([(0, 1)]))
+        with pytest.raises(ValueError, match="mismatch"):
+            _codec(app_id=0x43).decode(wire)
+
+    def test_sid_mismatch(self):
+        wire = bytearray(_codec().encode(_packet([(0, 1)])))
+        wire[0] ^= 0xFF
+        with pytest.raises(ValueError, match="SID"):
+            _codec().decode(bytes(wire))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="short"):
+            _codec().decode(SNATCH_SID.to_bytes(2, "big") + b"\x42\x01")
+
+    def test_tampered_ciphertext_rejected(self):
+        wire = bytearray(_codec().encode(_packet([(0, 1), (1, 2)])))
+        wire[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            _codec().decode(bytes(wire))
+
+    def test_wrong_key_rejected(self):
+        wire = _codec().encode(_packet([(0, 1)]))
+        stranger = AggregationCodec(0x42, bytes(16), random.Random(2))
+        with pytest.raises(ValueError):
+            stranger.decode(wire)
+
+    def test_invalid_app_id(self):
+        with pytest.raises(ValueError):
+            AggregationCodec(999, KEY)

@@ -1,0 +1,168 @@
+"""AggSwitch: merging aggregation streams from many first-tier nodes."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.aggswitch import AggSwitch
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 500),
+        ),
+    )
+
+
+def _specs():
+    return [
+        StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender"),
+        StatSpec("demand_sum", StatKind.SUM, "demand"),
+        StatSpec("demand_min", StatKind.MIN, "demand"),
+    ]
+
+
+def _lark(name, seed, mode=ForwardingMode.PER_PACKET, period=0.0):
+    lark = LarkSwitch(name, random.Random(seed))
+    lark.register_application(
+        APP, _schema(), KEY, _specs(), mode=mode, period_ms=period
+    )
+    return lark
+
+
+def _agg(seed=3):
+    agg = AggSwitch("agg", random.Random(seed))
+    agg.register_application(APP, _schema(), KEY, _specs())
+    return agg
+
+
+def _codec(seed=4):
+    return TransportCookieCodec(APP, _schema(), KEY, random.Random(seed))
+
+
+class TestPerPacketMerge:
+    def test_merges_across_sources(self):
+        agg = _agg()
+        codec = _codec()
+        lark_a = _lark("a", 1)
+        lark_b = _lark("b", 2)
+        for lark, gender, demand in (
+            (lark_a, "f", 10), (lark_a, "m", 20), (lark_b, "f", 30)
+        ):
+            result = lark.process_quic_packet(
+                codec.encode({"gender": gender, "demand": demand})
+            )
+            out = agg.process_packet(result.aggregation_payload)
+            assert out.merged and out.is_aggregation
+        report = agg.report(APP)
+        assert report["by_gender"]["f"] == 2
+        assert report["by_gender"]["m"] == 1
+        assert report["demand_sum"]["all"] == 60
+        assert report["demand_min"]["all"] == 10
+
+    def test_forward_report_attached(self):
+        agg = AggSwitch("agg", random.Random(5))
+        agg.register_application(
+            APP, _schema(), KEY, _specs(), destination="analytics-master"
+        )
+        lark = _lark("a", 1)
+        result = lark.process_quic_packet(_codec().encode({"gender": "x"}))
+        out = agg.process_packet(result.aggregation_payload)
+        assert out.destination == "analytics-master"
+        assert out.forward_report["by_gender"]["x"] == 1
+
+
+class TestPeriodicalMerge:
+    def test_snapshot_merge(self):
+        agg = _agg()
+        codec = _codec()
+        lark_a = _lark("a", 1, ForwardingMode.PERIODICAL, 100)
+        lark_b = _lark("b", 2, ForwardingMode.PERIODICAL, 100)
+        for _ in range(3):
+            lark_a.process_quic_packet(
+                codec.encode({"gender": "f", "demand": 100})
+            )
+        for _ in range(2):
+            lark_b.process_quic_packet(
+                codec.encode({"gender": "f", "demand": 50})
+            )
+        agg.process_packet(lark_a.end_period(APP))
+        agg.process_packet(lark_b.end_period(APP))
+        report = agg.report(APP)
+        assert report["by_gender"]["f"] == 5
+        assert report["demand_sum"]["all"] == 400
+        assert report["demand_min"]["all"] == 50
+
+    def test_min_survives_merge_with_idle_source(self):
+        agg = _agg()
+        codec = _codec()
+        lark = _lark("a", 1, ForwardingMode.PERIODICAL, 100)
+        lark.process_quic_packet(codec.encode({"gender": "f"}))  # no demand
+        agg.process_packet(lark.end_period(APP))
+        assert agg.report(APP)["demand_min"]["all"] is None
+
+
+class TestRobustness:
+    def test_non_aggregation_traffic_passes(self):
+        agg = _agg()
+        out = agg.process_packet(b"\x00\x01just-udp-payload-bytes")
+        assert not out.is_aggregation
+        assert not out.merged
+
+    def test_unknown_app_not_merged(self):
+        agg = _agg()
+        lark = LarkSwitch("l", random.Random(9))
+        other_schema = CookieSchema("o", (Feature.number("n", 0, 3),))
+        lark.register_application(
+            0x77, other_schema, KEY, [StatSpec("s", StatKind.SUM, "n")]
+        )
+        codec = TransportCookieCodec(0x77, other_schema, KEY, random.Random(8))
+        result = lark.process_quic_packet(codec.encode({"n": 1}))
+        out = agg.process_packet(result.aggregation_payload)
+        assert out.is_aggregation and not out.merged
+
+    def test_corrupt_payload_not_merged(self):
+        agg = _agg()
+        lark = _lark("a", 1)
+        result = lark.process_quic_packet(_codec().encode({"gender": "f"}))
+        corrupted = bytearray(result.aggregation_payload)
+        corrupted[-1] ^= 0xFF
+        out = agg.process_packet(bytes(corrupted))
+        assert not out.merged
+
+    def test_reset(self):
+        agg = _agg()
+        lark = _lark("a", 1)
+        result = lark.process_quic_packet(_codec().encode({"gender": "f"}))
+        agg.process_packet(result.aggregation_payload)
+        agg.reset(APP)
+        assert agg.report(APP)["by_gender"]["f"] == 0
+
+    def test_packets_merged_counter(self):
+        agg = _agg()
+        lark = _lark("a", 1)
+        for _ in range(4):
+            result = lark.process_quic_packet(_codec().encode({"gender": "f"}))
+            agg.process_packet(result.aggregation_payload)
+        assert agg.packets_merged(APP) == 4
+
+    def test_registration_lifecycle(self):
+        agg = _agg()
+        with pytest.raises(ValueError, match="already"):
+            agg.register_application(APP, _schema(), KEY, _specs())
+        assert agg.revoke_application(APP)
+        assert not agg.revoke_application(APP)
+        assert agg.registered_app_ids() == []
+        with pytest.raises(KeyError):
+            agg.report(APP)

@@ -1,0 +1,96 @@
+"""Analytics server: queue -> micro-batch pipeline vs INSA reports."""
+
+import pytest
+
+from repro.core.analytics_server import AnalyticsServer
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.streaming.queue import MessageBroker
+
+
+def _schema():
+    return CookieSchema(
+        "ads",
+        (
+            Feature.categorical("campaign", ["c0", "c1"]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+        ),
+    )
+
+
+def _specs():
+    return [
+        StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender",
+                 group_by="campaign"),
+        StatSpec("gender_total", StatKind.COUNT_BY_CLASS, "gender"),
+    ]
+
+
+class TestStreamingPath:
+    def test_grouped_counts_from_batches(self):
+        server = AnalyticsServer(_schema(), _specs(), batch_interval_ms=100)
+        records = [
+            ({"campaign": "c0", "gender": "f"}, 10),
+            ({"campaign": "c0", "gender": "f"}, 20),
+            ({"campaign": "c1", "gender": "m"}, 30),
+            ({"campaign": "c0", "gender": "x"}, 150),  # second batch
+        ]
+        for values, t in records:
+            server.submit_record(values, t)
+        ran = server.run_pending_batches(until_ms=300)
+        assert ran == 3
+        report = server.report()
+        assert report["by_gender"][("c0", "f")] == 2
+        assert report["by_gender"][("c1", "m")] == 1
+        assert report["by_gender"][("c0", "x")] == 1
+        assert report["gender_total"]["f"] == 2
+
+    def test_counts_accumulate_across_batches(self):
+        server = AnalyticsServer(_schema(), _specs(), batch_interval_ms=100)
+        server.submit_record({"campaign": "c0", "gender": "f"}, 10)
+        server.run_pending_batches(100)
+        server.submit_record({"campaign": "c0", "gender": "f"}, 110)
+        server.run_pending_batches(200)
+        assert server.report()["by_gender"][("c0", "f")] == 2
+
+    def test_incomplete_records_filtered(self):
+        server = AnalyticsServer(_schema(), _specs(), batch_interval_ms=100)
+        server.submit_record({"gender": "f"}, 10)  # no campaign
+        server.run_pending_batches(100)
+        report = server.report()
+        assert report["by_gender"] == {}
+        assert report["gender_total"]["f"] == 1
+
+    def test_result_latency(self):
+        server = AnalyticsServer(_schema(), _specs(), batch_interval_ms=150)
+        assert server.result_latency_ms(10, processing_ms=115) == 265
+        assert server.result_latency_ms(150, processing_ms=115) == 415
+
+    def test_external_broker(self):
+        broker = MessageBroker()
+        server = AnalyticsServer(
+            _schema(), _specs(), batch_interval_ms=100, broker=broker
+        )
+        server.submit_record({"campaign": "c1", "gender": "x"}, 5)
+        server.run_pending_batches(100)
+        assert server.report()["gender_total"]["x"] == 1
+
+
+class TestInsaPath:
+    def test_insa_report_takes_precedence(self):
+        server = AnalyticsServer(_schema(), _specs(), batch_interval_ms=100)
+        server.submit_record({"campaign": "c0", "gender": "f"}, 10)
+        server.run_pending_batches(100)
+        insa = {"by_gender": {("c0", "f"): 42}}
+        server.receive_insa_report(insa)
+        assert server.report() == insa
+        assert server.insa_reports_received == 1
+
+
+class TestValidation:
+    def test_only_class_counts_supported(self):
+        with pytest.raises(ValueError, match="count-by-class"):
+            AnalyticsServer(
+                CookieSchema("x", (Feature.number("n", 0, 9),)),
+                [StatSpec("s", StatKind.SUM, "n")],
+            )

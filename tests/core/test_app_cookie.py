@@ -1,0 +1,125 @@
+"""Application-layer semantic cookies and HTTP cookie-header plumbing."""
+
+import random
+
+import pytest
+
+from repro.core.app_cookie import (
+    ApplicationCookieCodec,
+    cookie_name_for_app,
+    format_cookie_header,
+    parse_cookie_header,
+)
+from repro.core.schema import CookieSchema, Feature, FeatureValueError
+
+KEY = bytes(range(16))
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("event", ["view", "click"]),
+            Feature.number("visits", 0, 10_000),
+        ),
+    )
+
+
+def _codec(app_id=0x21, seed=1):
+    return ApplicationCookieCodec(app_id, _schema(), KEY, random.Random(seed))
+
+
+class TestHeaderPlumbing:
+    def test_format_and_parse(self):
+        header = format_cookie_header({"a": "1", "b": "2"})
+        assert parse_cookie_header(header) == {"a": "1", "b": "2"}
+
+    def test_parse_tolerates_whitespace(self):
+        assert parse_cookie_header(" a = 1 ;  b=2 ") == {"a": "1", "b": "2"}
+
+    def test_parse_skips_empty_segments(self):
+        assert parse_cookie_header("a=1;;") == {"a": "1"}
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_cookie_header("no-equals-sign")
+
+    def test_cookie_name_is_non_semantic(self):
+        """Section 3.6: avoid semantic cookie names."""
+        name = cookie_name_for_app(0xAB)
+        assert name == "__sc_ab"
+        assert "gender" not in name and "user" not in name
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = _codec()
+        name, value = codec.encode({"event": "click", "visits": 42})
+        decoded = codec.decode(value)
+        assert decoded.values == {"event": "click", "visits": 42}
+        assert name == codec.cookie_name
+
+    def test_partial_and_empty(self):
+        codec = _codec()
+        _n, value = codec.encode({"visits": 7})
+        assert codec.decode(value).values == {"visits": 7}
+        _n, empty = codec.encode({})
+        assert codec.decode(empty).values == {}
+
+    def test_ciphertext_is_unlinkable(self):
+        """Fresh IV per encoding: equal values, different wire bytes."""
+        codec = _codec()
+        _n, a = codec.encode({"visits": 1})
+        _n, b = codec.encode({"visits": 1})
+        assert a != b
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(FeatureValueError):
+            _codec().encode({"ghost": 1})
+
+    def test_decode_rejects_non_hex(self):
+        with pytest.raises(ValueError, match="hex"):
+            _codec().decode("zz-not-hex")
+
+    def test_decode_rejects_short_values(self):
+        with pytest.raises(ValueError, match="short"):
+            _codec().decode("00" * 10)
+
+    def test_wrong_key_garbles(self):
+        codec = _codec()
+        _n, value = codec.encode({"event": "view"})
+        other = ApplicationCookieCodec(
+            0x21, _schema(), bytes(16), random.Random(2)
+        )
+        with pytest.raises(ValueError):
+            other.decode(value)
+
+    def test_app_id_must_fit_byte(self):
+        with pytest.raises(ValueError):
+            ApplicationCookieCodec(300, _schema(), KEY)
+
+
+class TestHeaderDecoding:
+    def test_finds_own_cookie_among_others(self):
+        codec = _codec()
+        name, value = codec.encode({"event": "view"})
+        header = format_cookie_header(
+            {name: value, "session": "abc", "theme": "dark"}
+        )
+        decoded = codec.try_decode_header(header)
+        assert decoded.values == {"event": "view"}
+
+    def test_absent_cookie_gives_none(self):
+        assert _codec().try_decode_header("theme=dark") is None
+
+    def test_garbage_value_gives_none(self):
+        header = "%s=deadbeef" % _codec().cookie_name
+        assert _codec().try_decode_header(header) is None
+
+    def test_foreign_app_cookie_invisible(self):
+        mine = _codec(app_id=0x21)
+        theirs = _codec(app_id=0x22, seed=3)
+        name, value = theirs.encode({"event": "view"})
+        assert mine.try_decode_header(
+            format_cookie_header({name: value})
+        ) is None

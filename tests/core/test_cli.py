@@ -1,0 +1,91 @@
+"""CLI smoke and behaviour tests."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSpeedup:
+    def test_default_medians(self):
+        code, text = _run(["speedup"])
+        assert code == 0
+        assert "Trans-1RTT" in text
+        assert "x" in text
+
+    def test_custom_operating_point(self):
+        code, text = _run(["speedup", "--d-wa", "26.3"])
+        assert code == 0
+        # US operating point: Trans-1RTT + INSA ~ 31x.
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("Trans-1RTT") and "yes" in l
+        )
+        value = float(line.split()[-1].rstrip("x"))
+        assert 26 < value < 37
+
+    def test_periodical(self):
+        code, text = _run(["speedup", "--interval", "200"])
+        assert code == 0
+        assert "interval 200 ms" in text
+
+
+class TestBreakdown:
+    def test_totals_present(self):
+        code, text = _run(["breakdown"])
+        assert code == 0
+        assert "no-snatch" in text
+        assert "snatch-trans-insa" in text
+        assert "1009" in text or "1008" in text
+
+
+class TestTestbed:
+    def test_trans_insa_run(self):
+        code, text = _run(
+            ["testbed", "--scheme", "trans-1rtt", "--insa",
+             "--duration-ms", "2000"]
+        )
+        assert code == 0
+        assert "median 60" in text
+        assert "counts exact" in text
+
+    def test_baseline_has_no_aggregation_line(self):
+        code, text = _run(
+            ["testbed", "--scheme", "no-snatch", "--duration-ms", "2000"]
+        )
+        assert code == 0
+        assert "aggregation" not in text
+
+
+class TestOtherCommands:
+    def test_measure(self):
+        code, text = _run(["measure", "--sites", "60"])
+        assert code == 0
+        assert "d_ci" in text
+
+    def test_table1(self):
+        code, text = _run(["table1"])
+        assert code == 0
+        assert "partitionBy" in text and "N/A" in text
+
+    def test_carriers(self):
+        code, text = _run(["carriers"])
+        assert code == 0
+        assert "quic-connection-id" in text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["testbed", "--scheme", "carrier-pigeon"])

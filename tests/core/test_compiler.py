@@ -1,0 +1,155 @@
+"""Query compiler: validation, the in-network split, lowering."""
+
+import random
+
+import pytest
+
+from repro.core.compiler import (
+    CompileError,
+    Query,
+    QueryCompiler,
+    QueryOpKind,
+)
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind
+from repro.core.transport_cookie import TransportCookieCodec
+
+KEY = bytes(range(16))
+
+
+def _schema():
+    return CookieSchema(
+        "ads",
+        (
+            Feature.categorical("event", ["view", "click"]),
+            Feature.categorical("campaign", ["c0", "c1", "c2"]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 1000),
+        ),
+    )
+
+
+class TestValidation:
+    def test_unknown_feature(self):
+        query = Query(_schema()).count_by("ghost")
+        with pytest.raises(KeyError):
+            QueryCompiler().compile(query)
+
+    def test_count_by_needs_class(self):
+        query = Query(_schema()).count_by("demand")
+        with pytest.raises(CompileError, match="class feature"):
+            QueryCompiler().compile(query)
+
+    def test_sum_needs_number(self):
+        query = Query(_schema()).sum("gender")
+        with pytest.raises(CompileError, match="number feature"):
+            QueryCompiler().compile(query)
+
+    def test_group_by_needs_class(self):
+        query = Query(_schema()).count_by("gender", group_by="demand")
+        with pytest.raises(CompileError, match="group_by"):
+            QueryCompiler().compile(query)
+
+    def test_where_value_in_range(self):
+        query = Query(_schema()).where("demand", "le", 5000)
+        with pytest.raises(Exception):
+            QueryCompiler().compile(query)
+
+    def test_where_comparison_known(self):
+        query = Query(_schema()).where("event", "like", "view")
+        with pytest.raises(CompileError, match="comparison"):
+            QueryCompiler().compile(query)
+
+
+class TestLowering:
+    def test_demographics_query_fully_offloads(self):
+        query = (
+            Query(_schema())
+            .where("event", "eq", "view")
+            .count_by("gender", group_by="campaign")
+            .avg("demand")
+        )
+        compiled = QueryCompiler().compile(query)
+        assert compiled.fully_in_network
+        assert len(compiled.event_filters) == 1
+        kinds = {(s.kind, s.feature, s.group_by) for s in compiled.specs}
+        assert (StatKind.COUNT_BY_CLASS, "gender", "campaign") in kinds
+        assert (StatKind.AVG, "demand", None) in kinds
+
+    def test_distinct_users_lowers_to_dedup(self):
+        compiled = QueryCompiler().compile(
+            Query(_schema()).distinct_users().count_by("gender")
+        )
+        assert compiled.dedup
+        assert compiled.fully_in_network
+
+    def test_quantile_falls_to_server(self):
+        query = (
+            Query(_schema())
+            .count_by("gender")
+            .quantile("demand", 0.99)
+            .count_by("campaign")  # after the boundary: server-side too
+        )
+        compiled = QueryCompiler().compile(query)
+        assert not compiled.fully_in_network
+        assert [op.kind for op in compiled.server_ops] == [
+            QueryOpKind.QUANTILE, QueryOpKind.COUNT_BY
+        ]
+        # Only the pre-boundary count became a switch spec.
+        assert len(compiled.specs) == 1
+
+    def test_stage_budget_spills(self):
+        query = Query(_schema())
+        for _ in range(6):
+            query = query.count_by("gender")
+        compiled = QueryCompiler(stage_budget=3).compile(query)
+        assert len(compiled.specs) == 3
+        assert len(compiled.server_ops) == 3
+        assert any("stage budget" in note for note in compiled.notes)
+
+    def test_edge_filter_callable(self):
+        compiled = QueryCompiler().compile(
+            Query(_schema())
+            .where("event", "eq", "click")
+            .where("demand", "ge", 100)
+            .count_by("gender")
+        )
+        accept = compiled.edge_filter()
+        assert accept({"event": "click", "demand": 150})
+        assert not accept({"event": "view", "demand": 150})
+        assert not accept({"event": "click", "demand": 50})
+        assert not accept({"demand": 150})  # missing field fails closed
+
+
+class TestEndToEnd:
+    def test_compiled_program_runs_on_a_switch(self):
+        """The compiler's output is directly installable: push the
+        specs to a LarkSwitch, stream cookies, read the answer."""
+        schema = _schema()
+        compiled = QueryCompiler().compile(
+            Query(schema)
+            .count_by("gender", group_by="campaign")
+            .sum("demand")
+        )
+        lark = LarkSwitch("lark", random.Random(1))
+        lark.register_application(
+            0x42, schema, KEY, compiled.specs, dedup=compiled.dedup
+        )
+        codec = TransportCookieCodec(0x42, schema, KEY, random.Random(2))
+        for campaign, gender, demand in (
+            ("c0", "f", 10), ("c0", "f", 20), ("c1", "m", 30)
+        ):
+            lark.process_quic_packet(
+                codec.encode({"event": "view", "campaign": campaign,
+                              "gender": gender, "demand": demand})
+            )
+        report = lark.stats_report(0x42)
+        count_spec = next(
+            s for s in compiled.specs if s.kind is StatKind.COUNT_BY_CLASS
+        )
+        sum_spec = next(
+            s for s in compiled.specs if s.kind is StatKind.SUM
+        )
+        assert report[count_spec.name][("c0", "f")] == 2
+        assert report[sum_spec.name]["all"] == 60

@@ -1,0 +1,174 @@
+"""Controller: RPC ordering, versioned updates, developer APIs."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.aggswitch import AggSwitch
+from repro.core.controller import SnatchController
+from repro.core.edge_service import SnatchEdgeServer
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import Feature
+from repro.core.stats import StatKind, StatSpec
+
+
+def _features():
+    return [
+        Feature.categorical("gender", ["f", "m", "x"]),
+        Feature.number("demand", 0, 100),
+    ]
+
+
+def _specs():
+    return [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")]
+
+
+def _deployment(seed=1):
+    controller = SnatchController(seed=seed)
+    agg = AggSwitch("agg", random.Random(2))
+    lark = LarkSwitch("lark", random.Random(3))
+    edge = SnatchEdgeServer("edge", random.Random(4))
+    controller.attach_agg_switch(agg)
+    controller.attach_lark_switch(lark)
+    controller.attach_edge_server(edge)
+    return controller, agg, lark, edge
+
+
+class TestAddApplication:
+    def test_all_devices_learn_the_app(self):
+        controller, agg, lark, edge = _deployment()
+        handle = controller.add_application("ads", _features(), _specs())
+        for device in (agg, lark, edge):
+            assert handle.app_id in device.registered_app_ids()
+        assert controller.is_consistent("ads")
+        assert controller.applications() == ["ads"]
+
+    def test_install_order_agg_then_lark_then_edge(self):
+        """Section 4.3: updates flow AggSwitch -> LarkSwitches -> edge
+        servers so no tier ever reports data the tier above cannot
+        parse."""
+        controller, _agg, _lark, _edge = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        devices = [log.device for log in controller.rpc_log]
+        assert devices == ["agg", "lark", "edge"]
+        orders = [log.order for log in controller.rpc_log]
+        assert orders == sorted(orders)
+
+    def test_duplicate_name_rejected(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        with pytest.raises(ValueError, match="already"):
+            controller.add_application("ads", _features(), _specs())
+
+    def test_handle_contents(self):
+        controller, *_ = _deployment()
+        handle = controller.add_application("ads", _features(), _specs())
+        assert 0 <= handle.app_id <= 255
+        assert len(handle.key) == 16
+        assert handle.version == 0
+        assert handle.overflow_schema is None
+        assert handle.mode == ForwardingMode.PER_PACKET
+
+    def test_wide_schema_spills_to_application_layer(self):
+        controller, *_ = _deployment()
+        wide = [Feature.number("f%d" % i, 0, 2**30) for i in range(6)]
+        handle = controller.add_application(
+            "wide", wide, [StatSpec("s", StatKind.SUM, "f0")]
+        )
+        assert handle.overflow_schema is not None
+        assert handle.transport_schema.fits_transport()
+
+    def test_remove_application(self):
+        controller, agg, lark, edge = _deployment()
+        handle = controller.add_application("ads", _features(), _specs())
+        controller.remove_application("ads")
+        for device in (agg, lark, edge):
+            assert handle.app_id not in device.registered_app_ids()
+        with pytest.raises(KeyError):
+            controller.remove_application("ads")
+
+
+class TestVersionedUpdates:
+    def test_update_creates_new_app_id_and_key(self):
+        controller, *_ = _deployment()
+        old = controller.add_application("ads", _features(), _specs())
+        new = controller.update_application("ads")
+        assert new.app_id != old.app_id
+        assert new.key != old.key
+        assert new.version == 1
+
+    def test_old_version_kept_until_retired(self):
+        controller, agg, _lark, _edge = _deployment()
+        old = controller.add_application("ads", _features(), _specs())
+        new = controller.update_application("ads")
+        # Grace period: both versions live simultaneously.
+        assert old.app_id in agg.registered_app_ids()
+        assert new.app_id in agg.registered_app_ids()
+        assert controller.pending_retirements() == 1
+        assert controller.retire_old_versions() == 1
+        assert old.app_id not in agg.registered_app_ids()
+        assert controller.pending_retirements() == 0
+
+    def test_add_cookie(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        handle = controller.add_cookie(
+            "ads", Feature.categorical("geo", ["NA", "EU"])
+        )
+        assert "geo" in handle.schema.feature_names()
+
+    def test_remove_cookie(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        handle = controller.remove_cookie("ads", "demand")
+        assert handle.schema.feature_names() == ["gender"]
+        with pytest.raises(KeyError):
+            controller.remove_cookie("ads", "ghost")
+
+    def test_change_feature_range(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        handle = controller.change_feature(
+            "ads", Feature.number("demand", 0, 1000)
+        )
+        assert handle.schema.feature("demand").max_value == 1000
+        with pytest.raises(KeyError):
+            controller.change_feature(
+                "ads", Feature.number("ghost", 0, 1)
+            )
+
+    def test_change_forwarding(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        handle = controller.change_forwarding(
+            "ads", ForwardingMode.PERIODICAL, period_ms=150
+        )
+        assert handle.mode == ForwardingMode.PERIODICAL
+        assert handle.period_ms == 150
+        with pytest.raises(ValueError, match="period"):
+            controller.change_forwarding("ads", ForwardingMode.PERIODICAL, 0)
+
+    def test_update_unknown_app(self):
+        controller, *_ = _deployment()
+        with pytest.raises(KeyError):
+            controller.update_application("ghost")
+
+
+class TestAppIdAllocation:
+    def test_ids_never_reused_across_versions(self):
+        controller, *_ = _deployment()
+        controller.add_application("ads", _features(), _specs())
+        seen = {controller.application("ads").app_id}
+        for _ in range(20):
+            handle = controller.update_application("ads")
+            assert handle.app_id not in seen
+            seen.add(handle.app_id)
+
+    def test_deterministic_with_seed(self):
+        a = _deployment(seed=5)[0]
+        b = _deployment(seed=5)[0]
+        ha = a.add_application("ads", _features(), _specs())
+        hb = b.add_application("ads", _features(), _specs())
+        assert ha.app_id == hb.app_id
+        assert ha.key == hb.key

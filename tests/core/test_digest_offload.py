@@ -1,0 +1,131 @@
+"""Digest offload: complex ops at the switch control plane."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.digest_offload import DigestModulo, DigestQuantileEstimator
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.switch.pipeline import Digest
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 1000),
+        ),
+    )
+
+
+def _digest(feature, value):
+    return Digest("snatch_value", {"feature": feature, "value": value})
+
+
+class TestQuantileEstimator:
+    def test_exact_when_under_reservoir(self):
+        estimator = DigestQuantileEstimator("demand", reservoir_size=1000)
+        for value in range(100):
+            estimator.consume(_digest("demand", value))
+        assert estimator.quantile(0.5) == pytest.approx(49, abs=1)
+        assert estimator.quantile(1.0) == 99
+        assert estimator.quantile(0.0) == 0
+
+    def test_reservoir_bounds_memory(self):
+        estimator = DigestQuantileEstimator(
+            "demand", reservoir_size=64, rng=random.Random(1)
+        )
+        for value in range(10_000):
+            estimator.consume(_digest("demand", value % 1000))
+        assert len(estimator._reservoir) == 64
+        assert estimator.values_seen == 10_000
+        # The sampled median is near the true median (~500).
+        assert estimator.quantile(0.5) == pytest.approx(500, abs=150)
+
+    def test_ignores_other_features(self):
+        estimator = DigestQuantileEstimator("demand")
+        assert not estimator.consume(_digest("age", 5))
+        with pytest.raises(ValueError, match="no digested"):
+            estimator.quantile(0.5)
+
+    def test_reset(self):
+        estimator = DigestQuantileEstimator("demand")
+        estimator.consume(_digest("demand", 1))
+        estimator.reset()
+        assert estimator.values_seen == 0
+
+    def test_q_range_validated(self):
+        estimator = DigestQuantileEstimator("demand")
+        estimator.consume(_digest("demand", 1))
+        with pytest.raises(ValueError):
+            estimator.quantile(1.5)
+
+    def test_invalid_reservoir(self):
+        with pytest.raises(ValueError):
+            DigestQuantileEstimator("demand", reservoir_size=0)
+
+
+class TestModulo:
+    def test_residue_counts(self):
+        modulo = DigestModulo("demand", 3)
+        for value in (0, 1, 2, 3, 4, 6):
+            modulo.consume(_digest("demand", value))
+        assert modulo.report() == {0: 3, 1: 2, 2: 1}
+
+    def test_ignores_other_features_and_resets(self):
+        modulo = DigestModulo("demand", 5)
+        assert not modulo.consume(_digest("other", 1))
+        modulo.consume(_digest("demand", 7))
+        modulo.reset()
+        assert modulo.report() == {}
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            DigestModulo("demand", 0)
+
+
+class TestLarkSwitchIntegration:
+    def test_digest_path_from_packets_to_quantile(self):
+        """The full pathway: cookie -> data plane decode -> digest ->
+        control-plane quantile, for the op no switch ALU supports."""
+        lark = LarkSwitch("lark", random.Random(1))
+        lark.register_application(
+            APP, _schema(), KEY,
+            [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")],
+            digest_features=["demand"],
+        )
+        codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(2))
+        estimator = DigestQuantileEstimator("demand", reservoir_size=512)
+        rng = random.Random(3)
+        demands = [rng.randint(0, 1000) for _ in range(200)]
+        for demand in demands:
+            result = lark.process_quic_packet(
+                codec.encode({"gender": "f", "demand": demand})
+            )
+            for digest in result.digests:
+                estimator.consume(digest)
+        assert estimator.values_seen == len(demands)
+        true_median = statistics.median(demands)
+        assert estimator.quantile(0.5) == pytest.approx(
+            true_median, abs=60
+        )
+
+    def test_no_digests_without_designation(self):
+        lark = LarkSwitch("lark", random.Random(4))
+        lark.register_application(
+            APP, _schema(), KEY,
+            [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")],
+        )
+        codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(5))
+        result = lark.process_quic_packet(
+            codec.encode({"gender": "f", "demand": 7})
+        )
+        assert result.digests == []

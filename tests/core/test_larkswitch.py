@@ -1,0 +1,213 @@
+"""LarkSwitch data-plane behaviour."""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import AggregationCodec, ForwardingMode
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.quic.connection_id import random_connection_id
+from repro.switch.pipeline import AES_PASS_LATENCY_MS, LINE_RATE_LATENCY_MS
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("event", ["view", "click"]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+        ),
+    )
+
+
+def _specs():
+    return [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")]
+
+
+def _setup(mode=ForwardingMode.PER_PACKET, period=0.0, dedup=False):
+    lark = LarkSwitch("lark", random.Random(1))
+    lark.register_application(
+        APP, _schema(), KEY, _specs(), mode=mode, period_ms=period, dedup=dedup
+    )
+    codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(2))
+    return lark, codec
+
+
+class TestMatching:
+    def test_snatch_packet_decoded_and_forwarded(self):
+        lark, codec = _setup()
+        result = lark.process_quic_packet(
+            codec.encode({"event": "view", "gender": "f"})
+        )
+        assert result.matched
+        assert result.forwarded_original
+        assert result.decoded_values == {"event": "view", "gender": "f"}
+        assert result.aggregation_payload is not None
+
+    def test_foreign_quic_traffic_passes_untouched(self):
+        lark, _codec = _setup()
+        result = lark.process_quic_packet(
+            random_connection_id(20, random.Random(3)).replace_range(
+                1, b"\x99"
+            )
+        )
+        assert not result.matched
+        assert result.forwarded_original
+        assert result.aggregation_payload is None
+
+    def test_aes_latency_charged(self):
+        lark, codec = _setup()
+        result = lark.process_quic_packet(codec.encode({"gender": "f"}))
+        assert result.latency_ms == pytest.approx(
+            LINE_RATE_LATENCY_MS + AES_PASS_LATENCY_MS
+        )
+
+    def test_stats_accumulate(self):
+        lark, codec = _setup()
+        for gender in ("f", "f", "m"):
+            lark.process_quic_packet(codec.encode({"gender": gender}))
+        report = lark.stats_report(APP)
+        assert report["by_gender"]["f"] == 2
+        assert report["by_gender"]["m"] == 1
+
+    def test_per_packet_payload_decodable(self):
+        lark, codec = _setup()
+        result = lark.process_quic_packet(
+            codec.encode({"event": "click", "gender": "x"})
+        )
+        agg_codec = AggregationCodec(APP, KEY, random.Random(4))
+        packet = agg_codec.decode(result.aggregation_payload)
+        assert packet.mode == ForwardingMode.PER_PACKET
+        # Items are (feature_index, wire_value): event=click(1), gender=x(2).
+        assert packet.items == [(0, 1), (1, 2)]
+
+    def test_stale_key_cookie_garbled_or_aborted(self):
+        """A cookie encrypted under a rotated-away key decrypts to
+        noise: some decodes abort on range checks, and the rest carry
+        no signal (they do not reproduce the planted values)."""
+        lark, _codec = _setup()
+        stale = TransportCookieCodec(
+            APP, _schema(), bytes(16), random.Random(5)
+        )
+        planted = {"event": "view", "gender": "f"}
+        outcomes = [
+            lark.process_quic_packet(stale.encode(planted))
+            for _ in range(40)
+        ]
+        assert all(r.forwarded_original for r in outcomes)  # never disturbed
+        matches = sum(1 for r in outcomes if r.decoded_values == planted)
+        assert matches < len(outcomes) // 2
+
+
+class TestPeriodical:
+    def test_no_per_packet_payload(self):
+        lark, codec = _setup(ForwardingMode.PERIODICAL, period=100)
+        result = lark.process_quic_packet(codec.encode({"gender": "f"}))
+        assert result.aggregation_payload is None
+
+    def test_end_period_emits_and_resets(self):
+        lark, codec = _setup(ForwardingMode.PERIODICAL, period=100)
+        for _ in range(3):
+            lark.process_quic_packet(codec.encode({"gender": "m"}))
+        payload = lark.end_period(APP)
+        assert payload is not None
+        assert lark.stats_report(APP)["by_gender"]["m"] == 0
+
+    def test_empty_period_emits_nothing(self):
+        lark, _codec = _setup(ForwardingMode.PERIODICAL, period=100)
+        assert lark.end_period(APP) is None
+
+    def test_end_period_on_per_packet_app_rejected(self):
+        lark, _codec = _setup()
+        with pytest.raises(ValueError, match="per-packet"):
+            lark.end_period(APP)
+
+    def test_end_period_unknown_app(self):
+        lark, _codec = _setup()
+        with pytest.raises(KeyError):
+            lark.end_period(0x99)
+
+    def test_periodical_needs_period(self):
+        lark = LarkSwitch("l2")
+        with pytest.raises(ValueError, match="period"):
+            lark.register_application(
+                APP, _schema(), KEY, _specs(), mode=ForwardingMode.PERIODICAL
+            )
+
+
+class TestDedup:
+    def test_repeat_cookie_counted_once(self):
+        lark, codec = _setup(
+            ForwardingMode.PERIODICAL, period=100, dedup=True
+        )
+        cid = codec.encode({"gender": "f"})
+        first = lark.process_quic_packet(cid)
+        second = lark.process_quic_packet(cid)
+        assert not first.deduplicated
+        assert second.deduplicated
+        assert lark.stats_report(APP)["by_gender"]["f"] == 1
+
+    def test_distinct_cookies_all_counted(self):
+        lark, codec = _setup(
+            ForwardingMode.PERIODICAL, period=100, dedup=True
+        )
+        lark.process_quic_packet(codec.encode({"gender": "f"}))
+        lark.process_quic_packet(codec.encode({"gender": "m"}))
+        report = lark.stats_report(APP)
+        assert report["by_gender"]["f"] == 1
+        assert report["by_gender"]["m"] == 1
+
+    def test_dedup_resets_at_period_end(self):
+        lark, codec = _setup(
+            ForwardingMode.PERIODICAL, period=100, dedup=True
+        )
+        cid = codec.encode({"gender": "f"})
+        lark.process_quic_packet(cid)
+        lark.end_period(APP)
+        result = lark.process_quic_packet(cid)
+        assert not result.deduplicated
+
+
+class TestRegistration:
+    def test_duplicate_app_rejected(self):
+        lark, _codec = _setup()
+        with pytest.raises(ValueError, match="already"):
+            lark.register_application(APP, _schema(), KEY, _specs())
+
+    def test_revoke_frees_resources(self):
+        lark, codec = _setup()
+        used_before = lark.pipeline.registers.used_bits
+        assert used_before > 0
+        assert lark.revoke_application(APP)
+        assert lark.pipeline.registers.used_bits == 0
+        assert lark.registered_app_ids() == []
+        # Traffic for the revoked app now passes untouched.
+        result = lark.process_quic_packet(codec.encode({"gender": "f"}))
+        assert not result.matched
+
+    def test_revoke_unknown_is_false(self):
+        lark, _codec = _setup()
+        assert not lark.revoke_application(0x99)
+
+    def test_multiple_apps_coexist(self):
+        lark, codec = _setup()
+        other_schema = CookieSchema(
+            "other", (Feature.number("n", 0, 7),)
+        )
+        lark.register_application(
+            0x50, other_schema, KEY,
+            [StatSpec("n_sum", StatKind.SUM, "n")],
+        )
+        other_codec = TransportCookieCodec(
+            0x50, other_schema, KEY, random.Random(6)
+        )
+        lark.process_quic_packet(codec.encode({"gender": "f"}))
+        lark.process_quic_packet(other_codec.encode({"n": 5}))
+        assert lark.stats_report(APP)["by_gender"]["f"] == 1
+        assert lark.stats_report(0x50)["n_sum"]["all"] == 5

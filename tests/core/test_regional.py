@@ -1,0 +1,134 @@
+"""Regional deployments: per-region keys, rotation, global merge."""
+
+import random
+
+import pytest
+
+from repro.core.aggswitch import AggSwitch
+from repro.core.larkswitch import LarkSwitch
+from repro.core.regional import RegionalDeployment
+from repro.core.schema import Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+
+
+def _features():
+    return [Feature.categorical("gender", ["f", "m", "x"])]
+
+
+def _specs():
+    return [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")]
+
+
+def _deployment():
+    deployment = RegionalDeployment(seed=5)
+    agg = AggSwitch("agg", random.Random(1))
+    deployment.attach_agg_switch(agg)
+    larks = {}
+    for region in ("us", "eu"):
+        lark = LarkSwitch("lark-%s" % region, random.Random(hash(region) % 97))
+        deployment.attach_lark_switch(lark, region)
+        larks[region] = lark
+    return deployment, agg, larks
+
+
+class TestDeployment:
+    def test_regions_get_distinct_keys_and_app_ids(self):
+        deployment, _agg, _larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        assert handle.key_for("us") != handle.key_for("eu")
+        assert handle.app_id_for("us") != handle.app_id_for("eu")
+
+    def test_keys_derive_from_one_master(self):
+        """The developer holds one secret; regional keys are derived,
+        deterministic, and labelled."""
+        from repro.crypto.keys import derive_subkey
+        deployment, _agg, _larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        assert handle.key_for("us") == derive_subkey(
+            handle.master_key, "region:us:epoch:0"
+        )
+
+    def test_regional_switch_only_decodes_own_region(self):
+        deployment, _agg, larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        us_codec = TransportCookieCodec(
+            handle.app_id_for("us"), handle.transport_schema,
+            handle.key_for("us"), random.Random(2),
+        )
+        cid = us_codec.encode({"gender": "f"})
+        assert larks["us"].process_quic_packet(cid).matched
+        # The EU switch has no entry for the US app-ID.
+        assert not larks["eu"].process_quic_packet(cid).matched
+
+    def test_no_devices_rejected(self):
+        deployment = RegionalDeployment(seed=1)
+        deployment.attach_agg_switch(AggSwitch("agg", random.Random(1)))
+        with pytest.raises(RuntimeError, match="regional devices"):
+            deployment.deploy("ads", _features(), _specs())
+
+    def test_duplicate_name_rejected(self):
+        deployment, _agg, _larks = _deployment()
+        deployment.deploy("ads", _features(), _specs())
+        with pytest.raises(ValueError, match="already"):
+            deployment.deploy("ads", _features(), _specs())
+
+
+class TestGlobalMerge:
+    def test_combined_report_sums_regions(self):
+        deployment, agg, larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        for region, genders in (("us", ["f", "f", "m"]), ("eu", ["f", "x"])):
+            codec = TransportCookieCodec(
+                handle.app_id_for(region), handle.transport_schema,
+                handle.key_for(region), random.Random(3),
+            )
+            for gender in genders:
+                result = larks[region].process_quic_packet(
+                    codec.encode({"gender": gender})
+                )
+                agg.process_packet(result.aggregation_payload)
+        combined = deployment.combined_report("ads")
+        assert combined["by_gender"]["f"] == 3
+        assert combined["by_gender"]["m"] == 1
+        assert combined["by_gender"]["x"] == 1
+
+
+class TestRotation:
+    def test_rotation_invalidates_old_epoch(self):
+        deployment, _agg, larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        old_codec = TransportCookieCodec(
+            handle.app_id_for("us"), handle.transport_schema,
+            handle.key_for("us"), random.Random(4),
+        )
+        state = deployment.rotate_region("ads", "us")
+        assert state.epoch == 1
+        # Old-epoch cookies no longer match (new app-ID).
+        stale = larks["us"].process_quic_packet(
+            old_codec.encode({"gender": "f"})
+        )
+        assert not stale.matched
+        # New-epoch cookies work.
+        new_codec = TransportCookieCodec(
+            handle.app_id_for("us"), handle.transport_schema,
+            handle.key_for("us"), random.Random(5),
+        )
+        fresh = larks["us"].process_quic_packet(
+            new_codec.encode({"gender": "f"})
+        )
+        assert fresh.matched
+
+    def test_rotation_scoped_to_one_region(self):
+        deployment, _agg, larks = _deployment()
+        handle = deployment.deploy("ads", _features(), _specs())
+        eu_key_before = handle.key_for("eu")
+        deployment.rotate_region("ads", "us")
+        assert handle.key_for("eu") == eu_key_before
+        eu_codec = TransportCookieCodec(
+            handle.app_id_for("eu"), handle.transport_schema,
+            handle.key_for("eu"), random.Random(6),
+        )
+        assert larks["eu"].process_quic_packet(
+            eu_codec.encode({"gender": "m"})
+        ).matched

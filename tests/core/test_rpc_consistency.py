@@ -1,0 +1,169 @@
+"""RPC bus + the section-4.3 consistency experiment.
+
+The naive in-place key rotation loses data during the RPC skew window;
+the controller's versioned update (new app-ID, grace period) does not.
+"""
+
+import random
+
+import pytest
+
+from repro.core.aggswitch import AggSwitch
+from repro.core.larkswitch import LarkSwitch
+from repro.core.rpc import RpcBus
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+
+OLD_KEY = bytes(range(16))
+NEW_KEY = bytes(range(16, 32))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "ads", (Feature.categorical("gender", ["f", "m", "x"]),)
+    )
+
+
+def _specs():
+    return [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")]
+
+
+class TestRpcBus:
+    def test_calls_deliver_after_delay(self):
+        bus = RpcBus(default_delay_ms=25)
+        calls = []
+
+        class Device:
+            def ping(self, value):
+                calls.append((bus.sim.now, value))
+
+        bus.register_device("d", Device())
+        record = bus.call("d", "ping", 7)
+        assert bus.pending() == 1
+        bus.quiesce()
+        assert calls == [(25.0, 7)]
+        assert record.completed
+        assert bus.pending() == 0
+
+    def test_per_device_delays(self):
+        bus = RpcBus(default_delay_ms=10)
+        order = []
+
+        class Device:
+            def __init__(self, name):
+                self.name = name
+
+            def mark(self):
+                order.append((bus.sim.now, self.name))
+
+        bus.register_device("near", Device("near"), delay_ms=5)
+        bus.register_device("far", Device("far"), delay_ms=90)
+        bus.call_all("mark")
+        bus.quiesce()
+        assert order == [(5.0, "near"), (90.0, "far")]
+
+    def test_errors_captured_not_raised(self):
+        bus = RpcBus(default_delay_ms=1)
+
+        class Flaky:
+            def boom(self):
+                raise RuntimeError("nope")
+
+        bus.register_device("f", Flaky())
+        record = bus.call("f", "boom")
+        bus.quiesce()
+        assert record.error is not None and "nope" in record.error
+        assert not record.completed
+
+    def test_unknown_device(self):
+        bus = RpcBus()
+        with pytest.raises(KeyError):
+            bus.call("ghost", "m")
+        with pytest.raises(KeyError):
+            bus.delay_to("ghost")
+
+    def test_duplicate_device(self):
+        bus = RpcBus()
+        bus.register_device("d", object())
+        with pytest.raises(ValueError):
+            bus.register_device("d", object())
+
+
+class TestConsistencyExperiment:
+    """The paper's scenario, made executable."""
+
+    def _deployment(self):
+        lark = LarkSwitch("lark", random.Random(1))
+        lark.register_application(APP, _schema(), OLD_KEY, _specs())
+        agg = AggSwitch("agg", random.Random(2))
+        agg.register_application(APP, _schema(), OLD_KEY, _specs())
+        bus = RpcBus(default_delay_ms=10)
+        # The LarkSwitch is a fast hop away; the AggSwitch's control
+        # plane is across the WAN.
+        bus.register_device("lark", lark, delay_ms=10)
+        bus.register_device("agg", agg, delay_ms=120)
+        return lark, agg, bus
+
+    def _traffic(self, lark, agg, key, at_ms, bus):
+        """One request at simulated time at_ms; returns merged?"""
+        codec = TransportCookieCodec(APP, _schema(), key, random.Random(3))
+        outcome = {}
+
+        def fire():
+            result = lark.process_quic_packet(codec.encode({"gender": "f"}))
+            if result.aggregation_payload is None:
+                outcome["merged"] = False
+                return
+            outcome["merged"] = agg.process_packet(
+                result.aggregation_payload
+            ).merged
+
+        bus.sim.schedule_at(at_ms, fire)
+        return outcome
+
+    def test_naive_rekey_loses_data_in_the_skew_window(self):
+        lark, agg, bus = self._deployment()
+        # t=0: the controller broadcasts an in-place rekey.
+        bus.call("lark", "rekey_application", APP, NEW_KEY)
+        bus.call("agg", "rekey_application", APP, NEW_KEY)
+        # t=50: the lark (rekeyed at t=10) emits NEW_KEY aggregation
+        # packets, but the agg (rekeys at t=120) still expects OLD_KEY.
+        during = self._traffic(lark, agg, NEW_KEY, at_ms=50, bus=bus)
+        after = self._traffic(lark, agg, NEW_KEY, at_ms=200, bus=bus)
+        bus.quiesce()
+        assert during["merged"] is False   # data silently lost
+        assert after["merged"] is True     # consistent again
+
+    def test_versioned_update_never_loses_data(self):
+        """The controller's actual scheme: a *new* app-ID is installed
+        agg-first; the old version keeps running until retirement, so
+        every instant has a fully-consistent pipeline for whichever
+        cookie version the user holds."""
+        lark, agg, bus = self._deployment()
+        new_app = 0x43
+        # Install order: AggSwitch first (its rules must exist before
+        # any LarkSwitch can emit the new format).
+        bus.call("agg", "register_application", new_app, _schema(),
+                 NEW_KEY, _specs())
+
+        def install_lark():
+            bus.call("lark", "register_application", new_app, _schema(),
+                     NEW_KEY, _specs())
+
+        # Lark installation begins only after the agg's RPC landed.
+        bus.sim.schedule_at(125, install_lark)
+
+        outcomes = []
+        # Old-version cookies flow throughout the update.
+        for t in (50, 150, 300):
+            outcomes.append(self._traffic(lark, agg, OLD_KEY, t, bus))
+        bus.quiesce()
+        assert all(o["merged"] for o in outcomes)
+        # And new-version cookies work once both tiers know the app.
+        lark_codec = TransportCookieCodec(
+            new_app, _schema(), NEW_KEY, random.Random(4)
+        )
+        result = lark.process_quic_packet(lark_codec.encode({"gender": "m"}))
+        assert agg.process_packet(result.aggregation_payload).merged

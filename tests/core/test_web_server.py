@@ -1,0 +1,139 @@
+"""Snatch web server: semantic cookies as a per-user state machine,
+with no server-side user store."""
+
+import random
+
+import pytest
+
+from repro.core.schema import CookieSchema, Feature
+from repro.core.web_server import SnatchWebServer
+from repro.quic.connection import QuicClient, QuicServer
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.core.app_cookie import format_cookie_header
+
+KEY = bytes(range(16))
+APP = 0x42
+
+
+def _schema():
+    return CookieSchema(
+        "app",
+        (
+            Feature.categorical("segment", ["new", "casual", "power"]),
+            Feature.number("visits", 0, 1000),
+        ),
+    )
+
+
+def _visit_counter(previous, request):
+    """The paper's state-machine view: fold the request into the state
+    carried by the cookie itself."""
+    visits = min(1000, previous.get("visits", 0) + 1)
+    segment = "new" if visits <= 1 else ("casual" if visits < 10 else "power")
+    return {"segment": segment, "visits": visits}
+
+
+def _server(seed=1):
+    return SnatchWebServer(
+        APP, _schema(), KEY, _visit_counter, rng=random.Random(seed)
+    )
+
+
+class TestStateMachine:
+    def test_first_connection_plants_initial_state(self):
+        server = _server()
+        response = server.handle_request({"path": "/"})
+        assert response.new_values == {"segment": "new", "visits": 1}
+        assert response.set_cookie is not None
+        assert response.transport_cid is not None
+
+    def test_state_round_trips_through_the_user(self):
+        server = _server()
+        cookie_header = ""
+        for expected_visits in range(1, 12):
+            response = server.handle_request({"path": "/"}, cookie_header)
+            assert response.new_values["visits"] == expected_visits
+            name, value = response.set_cookie
+            cookie_header = format_cookie_header({name: value})
+        assert response.new_values["segment"] == "power"
+
+    def test_transport_cid_carries_the_state(self):
+        server = _server()
+        response = server.handle_request({"path": "/"})
+        codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(2))
+        decoded = codec.decode(response.transport_cid)
+        assert decoded.values == response.new_values
+
+    def test_no_user_store(self):
+        server = _server()
+        for _ in range(50):
+            server.handle_request({"path": "/"})
+        assert server.stored_user_records == 0
+        assert server.requests_served == 50
+
+    def test_corrupt_cookie_restarts_state(self):
+        server = _server()
+        response = server.handle_request(
+            {"path": "/"}, "__sc_42=not-a-valid-cookie"
+        )
+        assert response.new_values["visits"] == 1
+
+    def test_update_fn_output_validated(self):
+        server = SnatchWebServer(
+            APP, _schema(), KEY,
+            lambda prev, req: {"ghost": 1},
+            rng=random.Random(3),
+        )
+        with pytest.raises(ValueError, match="non-schema"):
+            server.handle_request({})
+
+
+class TestQuicIntegration:
+    def test_cid_factory_plants_semantic_dcid(self):
+        web = _server()
+        response = web.handle_request({"path": "/"})
+        quic_server = QuicServer(
+            "web",
+            cid_factory=web.quic_cid_factory(response.new_values),
+            rng=random.Random(4),
+        )
+        client = QuicClient("alice", rng=random.Random(5))
+        result = client.connect(quic_server)
+        codec = TransportCookieCodec(APP, _schema(), KEY, random.Random(6))
+        assert codec.decode(result.dst_conn_id).values == response.new_values
+
+    def test_factory_requires_transport_fit(self):
+        wide = CookieSchema(
+            "wide",
+            tuple(Feature.number("f%d" % i, 0, 2**30) for i in range(6)),
+        )
+        transport, _overflow = wide.split_for_transport()
+        server = SnatchWebServer(
+            APP, wide, KEY, lambda prev, req: {},
+            transport_schema=transport, rng=random.Random(7),
+        )
+        # Fits via the split transport schema.
+        assert server.transport_codec is not None
+
+
+class TestTransportSubset:
+    def test_only_transport_features_in_cid(self):
+        full = CookieSchema(
+            "full",
+            (
+                Feature.categorical("segment", ["a", "b"]),
+                Feature.number("visits", 0, 100),
+                Feature.number("extra", 0, 100),
+            ),
+        )
+        transport = CookieSchema("full", full.features[:2])
+        server = SnatchWebServer(
+            APP, full, KEY,
+            lambda prev, req: {"segment": "a", "visits": 1, "extra": 9},
+            transport_schema=transport,
+            rng=random.Random(8),
+        )
+        response = server.handle_request({})
+        codec = TransportCookieCodec(APP, transport, KEY, random.Random(9))
+        decoded = codec.decode(response.transport_cid)
+        assert decoded.values == {"segment": "a", "visits": 1}

@@ -1,0 +1,65 @@
+"""Edge providers: off-net coverage and the provider ordering of
+Figure 9(b)."""
+
+import statistics
+
+from repro.measurement.providers import (
+    OFFNET_COVERAGE,
+    PROVIDERS,
+    best_edge_delay,
+    provider_curves,
+    site_edge_delays,
+)
+from repro.measurement.sites import generate_sites
+
+
+def _sites(n=600):
+    return generate_sites().sites[:n]
+
+
+class TestProviderCurves:
+    def test_three_providers(self):
+        assert {p.name for p in PROVIDERS} == {
+            "offnet", "cloudfront", "cloudflare"
+        }
+
+    def test_figure9b_ordering(self):
+        """Off-net closest, CloudFront beats Cloudflare."""
+        curves = provider_curves()
+        assert curves["offnet"].median < curves["cloudfront"].median
+        assert curves["cloudfront"].median < curves["cloudflare"].median
+
+
+class TestPerSiteSelection:
+    def test_offnet_coverage_fraction(self):
+        sites = _sites()
+        with_offnet = sum(
+            1 for site in sites if "offnet" in site_edge_delays(site)
+        )
+        fraction = with_offnet / len(sites)
+        assert abs(fraction - OFFNET_COVERAGE) < 0.07
+
+    def test_cdns_always_available(self):
+        for site in _sites(50):
+            delays = site_edge_delays(site)
+            assert "cloudfront" in delays and "cloudflare" in delays
+
+    def test_best_is_minimum(self):
+        for site in _sites(50):
+            assert best_edge_delay(site) == min(site_edge_delays(site).values())
+
+    def test_deterministic_per_site(self):
+        site = _sites(1)[0]
+        assert site_edge_delays(site) == site_edge_delays(site)
+
+    def test_population_median_near_paper(self):
+        """Best-of-providers median should be in the ballpark of the
+        paper's 6.7 ms client->edge median."""
+        best = [best_edge_delay(site) for site in _sites()]
+        assert 3.0 < statistics.median(best) < 10.0
+
+    def test_remote_sites_have_larger_delays(self):
+        sites = sorted(_sites(), key=lambda s: s.remoteness)
+        near = statistics.median(best_edge_delay(s) for s in sites[:100])
+        far = statistics.median(best_edge_delay(s) for s in sites[-100:])
+        assert near < far

@@ -1,0 +1,113 @@
+"""Quantile curves: interpolation, sampling, empirical construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.quantiles import QuantileCurve
+
+
+def _curve():
+    return QuantileCurve([(0, 1.0), (50, 10.0), (100, 100.0)], name="x")
+
+
+class TestInterpolation:
+    def test_anchor_values(self):
+        curve = _curve()
+        assert curve.percentile(0) == 1.0
+        assert curve.percentile(50) == 10.0
+        assert curve.percentile(100) == 100.0
+        assert curve.median == 10.0
+        assert curve.minimum == 1.0
+        assert curve.maximum == 100.0
+
+    def test_linear_between_anchors(self):
+        curve = _curve()
+        assert curve.percentile(25) == pytest.approx(5.5)
+        assert curve.percentile(75) == pytest.approx(55.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            _curve().percentile(101)
+        with pytest.raises(ValueError):
+            _curve().percentile(-1)
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_monotone(self, p):
+        curve = _curve()
+        assert curve.percentile(p) <= curve.percentile(min(100.0, p + 5))
+
+
+class TestValidation:
+    def test_must_span_0_to_100(self):
+        with pytest.raises(ValueError, match="span"):
+            QuantileCurve([(10, 1), (100, 2)])
+
+    def test_values_must_be_non_decreasing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            QuantileCurve([(0, 5), (50, 3), (100, 10)])
+
+    def test_duplicate_percentiles_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            QuantileCurve([(0, 1), (0, 2), (100, 3)])
+
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            QuantileCurve([(0, 1)])
+
+
+class TestSampling:
+    def test_sample_within_range(self):
+        curve = _curve()
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 1.0 <= curve.sample(rng) <= 100.0
+
+    def test_sample_at(self):
+        curve = _curve()
+        assert curve.sample_at(0.5) == 10.0
+        with pytest.raises(ValueError):
+            curve.sample_at(1.5)
+
+    def test_sample_median_near_curve_median(self):
+        curve = _curve()
+        rng = random.Random(2)
+        samples = sorted(curve.sample(rng) for _ in range(2001))
+        assert abs(samples[1000] - curve.median) < 2.0
+
+
+class TestCdfPoints:
+    def test_shape(self):
+        points = _curve().cdf_points(steps=10)
+        assert len(points) == 11
+        assert points[0] == (1.0, 0.0)
+        assert points[-1] == (100.0, 1.0)
+        values = [v for v, _f in points]
+        assert values == sorted(values)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            _curve().cdf_points(1)
+
+
+class TestFromSamples:
+    def test_reconstructs_order_statistics(self):
+        samples = [5.0, 1.0, 3.0]
+        curve = QuantileCurve.from_samples(samples)
+        assert curve.minimum == 1.0
+        assert curve.maximum == 5.0
+        assert curve.median == 3.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            QuantileCurve.from_samples([1.0])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                    max_size=50))
+    @settings(max_examples=30)
+    def test_range_preserved(self, samples):
+        curve = QuantileCurve.from_samples(samples)
+        assert curve.minimum == min(samples)
+        assert curve.maximum == max(samples)

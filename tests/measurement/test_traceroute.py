@@ -1,0 +1,103 @@
+"""Traceroute simulation and the ISP-hop derivation (Appendix D.1)."""
+
+import random
+
+import pytest
+
+from repro.measurement.traceroute import (
+    Hop,
+    MAX_PROBED_HOPS,
+    Traceroute,
+    first_public_hop,
+    is_private_ip,
+    simulate_traceroute,
+)
+
+
+class TestPrivateIpDetection:
+    @pytest.mark.parametrize(
+        "address", ["10.0.0.1", "192.168.1.1", "172.16.0.1", "172.31.255.1",
+                    "100.64.0.1", "169.254.1.1"]
+    )
+    def test_private(self, address):
+        assert is_private_ip(address)
+
+    @pytest.mark.parametrize(
+        "address", ["8.8.8.8", "172.32.0.1", "172.15.0.1", "94.23.1.1",
+                    "1.1.1.1"]
+    )
+    def test_public(self, address):
+        assert not is_private_ip(address)
+
+    def test_malformed_172(self):
+        assert not is_private_ip("172.notanumber.0.1")
+
+
+class TestFirstPublicHop:
+    def test_finds_first_public(self):
+        hops = [
+            Hop(1, "10.8.0.1", 40.0),
+            Hop(2, "192.168.1.1", 40.5),
+            Hop(3, "94.23.0.1", 44.0),
+            Hop(4, "8.8.8.8", 50.0),
+        ]
+        assert first_public_hop(hops).address == "94.23.0.1"
+
+    def test_silent_hops_skipped(self):
+        hops = [Hop(1, None, None), Hop(2, "94.23.0.1", 44.0)]
+        assert first_public_hop(hops).ttl == 2
+
+    def test_respects_probe_budget(self):
+        hops = [Hop(i, "10.0.0.%d" % i, 1.0) for i in range(1, 12)]
+        hops.append(Hop(12, "94.23.0.1", 44.0))  # beyond budget
+        assert first_public_hop(hops) is None
+
+    def test_empty(self):
+        assert first_public_hop([]) is None
+
+
+class TestIspDelayDerivation:
+    def test_subtracts_tunnel_and_halves(self):
+        trace = Traceroute(
+            hops=[
+                Hop(1, "10.8.0.1", 40.0),
+                Hop(2, "94.23.0.1", 44.0),
+            ]
+        )
+        # (44 - 40) / 2 = 2 ms one-way.
+        assert trace.isp_delay_ms() == pytest.approx(2.0)
+
+    def test_no_public_hop_gives_none(self):
+        trace = Traceroute(hops=[Hop(1, "10.8.0.1", 40.0)])
+        assert trace.isp_delay_ms() is None
+
+    def test_floor_at_small_positive(self):
+        trace = Traceroute(
+            hops=[Hop(1, "10.8.0.1", 40.0), Hop(2, "94.23.0.1", 39.9)]
+        )
+        assert trace.isp_delay_ms() == pytest.approx(0.05)
+
+
+class TestSimulation:
+    def test_residential_recovers_d_ci(self):
+        rng = random.Random(3)
+        trace = simulate_traceroute(
+            residential=True, d_ci_ms=1.4, tunnel_rtt_ms=40.0, rng=rng
+        )
+        assert trace.isp_delay_ms() == pytest.approx(1.4, abs=0.01)
+
+    def test_residential_first_hop_is_proxy(self):
+        trace = simulate_traceroute(True, 1.4, rng=random.Random(4))
+        assert trace.hops[0].address == "10.8.0.1"
+        assert is_private_ip(trace.hops[0].address)
+
+    def test_non_residential_discarded(self):
+        for seed in range(10):
+            trace = simulate_traceroute(
+                residential=False, d_ci_ms=1.4, rng=random.Random(seed)
+            )
+            assert trace.isp_delay_ms() is None
+
+    def test_hop_count_bounded(self):
+        trace = simulate_traceroute(False, 1.0, rng=random.Random(5))
+        assert len(trace.hops) <= MAX_PROBED_HOPS + 2

@@ -1,0 +1,104 @@
+"""Periodical forwarding: the latency/bandwidth trade-off."""
+
+import pytest
+
+from repro.model.params import median_scenario
+from repro.model.periodical import (
+    AGG_PACKET_BYTES,
+    aggregation_bandwidth_kbps,
+    bandwidth_sweep,
+    periodical_snatch_latency_ms,
+    periodical_speedup,
+)
+from repro.model.speedup import Protocol, snatch_latency_ms, speedup
+
+
+class TestLatency:
+    def test_interval_zero_equals_per_packet(self):
+        p = median_scenario()
+        assert periodical_snatch_latency_ms(
+            p, Protocol.TRANS_1RTT, 0.0
+        ) == snatch_latency_ms(p, Protocol.TRANS_1RTT, True)
+
+    def test_interval_adds_to_latency(self):
+        p = median_scenario()
+        base = periodical_snatch_latency_ms(p, Protocol.TRANS_1RTT, 0)
+        assert periodical_snatch_latency_ms(
+            p, Protocol.TRANS_1RTT, 100
+        ) == base + 100
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            periodical_snatch_latency_ms(
+                median_scenario(), Protocol.TRANS_1RTT, -1
+            )
+
+
+class TestSpeedupAnchors:
+    """Figure 5(d): 18x at a 5 ms interval, 4.3x at 200 ms."""
+
+    def test_5ms_interval(self):
+        got = periodical_speedup(median_scenario(), Protocol.TRANS_1RTT, 5.0)
+        assert got == pytest.approx(18.0, rel=0.15)
+
+    def test_200ms_interval(self):
+        got = periodical_speedup(median_scenario(), Protocol.TRANS_1RTT, 200.0)
+        assert got == pytest.approx(4.3, rel=0.15)
+
+    def test_monotone_decreasing_in_interval(self):
+        p = median_scenario()
+        speedups = [
+            periodical_speedup(p, Protocol.TRANS_1RTT, i)
+            for i in (5, 20, 50, 100, 200)
+        ]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_small_interval_approaches_per_packet(self):
+        p = median_scenario()
+        per_packet = speedup(p, Protocol.TRANS_1RTT, True)
+        assert periodical_speedup(
+            p, Protocol.TRANS_1RTT, 1.0
+        ) == pytest.approx(per_packet, rel=0.05)
+
+
+class TestBandwidth:
+    """Figure 6(c): ~112 Kbps at <=5 ms intervals down to ~1 Kbps at
+    500 ms, for 200 req/s."""
+
+    def test_5ms_interval_112kbps(self):
+        assert aggregation_bandwidth_kbps(5.0, 200.0) == pytest.approx(
+            112.0, rel=0.05
+        )
+
+    def test_500ms_interval_1kbps(self):
+        assert aggregation_bandwidth_kbps(500.0, 200.0) == pytest.approx(
+            1.12, rel=0.05
+        )
+
+    def test_per_packet_mode(self):
+        got = aggregation_bandwidth_kbps(0.0, 200.0)
+        assert got == pytest.approx(200 * AGG_PACKET_BYTES * 8 / 1000.0)
+
+    def test_interval_longer_than_gap_caps_rate(self):
+        """With a 100 ms interval at 5 req/s, one packet per request."""
+        assert aggregation_bandwidth_kbps(100.0, 5.0) == pytest.approx(
+            5 * AGG_PACKET_BYTES * 8 / 1000.0
+        )
+
+    def test_monotone_decreasing(self):
+        values = [
+            aggregation_bandwidth_kbps(i, 200.0)
+            for i in (5, 50, 100, 250, 500)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            aggregation_bandwidth_kbps(-1, 10)
+        with pytest.raises(ValueError):
+            aggregation_bandwidth_kbps(10, -1)
+
+    def test_sweep_rows(self):
+        rows = bandwidth_sweep([5, 500])
+        assert rows[0]["bandwidth_kbps"] > rows[1]["bandwidth_kbps"]
+        assert rows[0]["interval_ms"] == 5

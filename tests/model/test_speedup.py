@@ -1,0 +1,143 @@
+"""The speedup equations vs the paper's quoted numbers."""
+
+import pytest
+
+from repro.model.params import (
+    ScenarioParams,
+    median_scenario,
+    us_scenario,
+    worldwide_scenario,
+)
+from repro.model.speedup import (
+    Protocol,
+    baseline_latency_ms,
+    latency_pair,
+    snatch_latency_ms,
+    speedup,
+    speedup_table,
+)
+
+
+def _params(**overrides):
+    defaults = dict(
+        d_ci=1.0, d_ce=5.0, d_ew=40.0, d_wa=70.0, d_ea=45.0, d_ia=55.0,
+        t_trans=1.0, t_edge=100.0, t_web=200.0, t_analytics=500.0,
+    )
+    defaults.update(overrides)
+    return ScenarioParams(**defaults)
+
+
+class TestEquationStructure:
+    def test_eq1_app_https_1rtt(self):
+        p = _params()
+        expected = 3 * 5 + 3 * 40 + 70 + 1 + 100 + 200 + 500
+        assert baseline_latency_ms(p, Protocol.APP_HTTPS_1RTT) == expected
+        denom = 3 * 5 + 45 + 100 + 500
+        assert snatch_latency_ms(p, Protocol.APP_HTTPS_1RTT, False) == denom
+
+    def test_eq2_trans_0rtt(self):
+        p = _params()
+        expected = 5 + 40 + 70 + 1 + 100 + 200 + 500
+        assert baseline_latency_ms(p, Protocol.TRANS_0RTT) == expected
+        assert snatch_latency_ms(p, Protocol.TRANS_0RTT, False) == 1 + 55 + 500
+
+    def test_eq3_trans_1rtt_denominator_same_as_0rtt(self):
+        """The cookie rides the first packet either way (section 3.3)."""
+        p = _params()
+        assert snatch_latency_ms(
+            p, Protocol.TRANS_1RTT, True
+        ) == snatch_latency_ms(p, Protocol.TRANS_0RTT, True)
+
+    def test_eq5_tcp_http_coefficient_3(self):
+        p = _params()
+        expected = 3 * 5 + 3 * 40 + 70 + 1 + 100 + 200 + 500
+        assert baseline_latency_ms(p, Protocol.APP_HTTP_TCP) == expected
+
+    def test_eq6_tcp_tls_coefficient_7(self):
+        p = _params()
+        expected = 7 * 5 + 7 * 40 + 70 + 1 + 100 + 200 + 500
+        assert baseline_latency_ms(p, Protocol.APP_HTTPS_TCP) == expected
+        denom = 7 * 5 + 45 + 100 + 500
+        assert snatch_latency_ms(p, Protocol.APP_HTTPS_TCP, False) == denom
+
+    def test_insa_uses_t_prime(self):
+        p = _params()
+        without = snatch_latency_ms(p, Protocol.TRANS_1RTT, False)
+        with_insa = snatch_latency_ms(p, Protocol.TRANS_1RTT, True)
+        assert without - with_insa == pytest.approx(500.0 - 1.0)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_speedup_at_least_one(self, protocol):
+        p = median_scenario()
+        assert speedup(p, protocol, insa=False) >= 1.0
+        assert speedup(p, protocol, insa=True) >= 1.0
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_insa_never_hurts(self, protocol):
+        p = median_scenario()
+        assert speedup(p, protocol, True) >= speedup(p, protocol, False)
+
+    def test_transport_beats_application(self):
+        p = median_scenario()
+        assert speedup(p, Protocol.TRANS_1RTT, True) > speedup(
+            p, Protocol.APP_HTTPS_1RTT, True
+        )
+
+
+class TestPaperAnchors:
+    """Section 5.1's quoted speedups (reproduced within ~15 %)."""
+
+    def test_us_trans_1rtt_insa_31x(self):
+        got = speedup(us_scenario(), Protocol.TRANS_1RTT, True)
+        assert got == pytest.approx(31.0, rel=0.15)
+
+    def test_worldwide_trans_1rtt_insa_12x(self):
+        got = speedup(worldwide_scenario(), Protocol.TRANS_1RTT, True)
+        assert got == pytest.approx(12.0, rel=0.15)
+
+    def test_us_app_https_insa_5_5x(self):
+        got = speedup(us_scenario(), Protocol.APP_HTTPS_1RTT, True)
+        assert got == pytest.approx(5.5, rel=0.15)
+
+    def test_worldwide_app_https_insa_4_4x(self):
+        got = speedup(worldwide_scenario(), Protocol.APP_HTTPS_1RTT, True)
+        assert got == pytest.approx(4.4, rel=0.15)
+
+    def test_ta_10s_anchors(self):
+        """Figure 5(c) at T_A = 10 s: 183x / 181x / 53x."""
+        p = median_scenario(t_analytics=10_000.0)
+        assert speedup(p, Protocol.TRANS_1RTT, True) == pytest.approx(
+            183.0, rel=0.15
+        )
+        assert speedup(p, Protocol.TRANS_0RTT, True) == pytest.approx(
+            181.0, rel=0.15
+        )
+        assert speedup(p, Protocol.APP_HTTPS_1RTT, True) == pytest.approx(
+            53.0, rel=0.15
+        )
+
+    def test_speedup_grows_with_ta_under_insa(self):
+        small = speedup(median_scenario(100), Protocol.TRANS_1RTT, True)
+        large = speedup(median_scenario(10_000), Protocol.TRANS_1RTT, True)
+        assert large > small
+
+    def test_speedup_shrinks_with_ta_without_insa(self):
+        small = speedup(median_scenario(100), Protocol.TRANS_1RTT, False)
+        large = speedup(median_scenario(10_000), Protocol.TRANS_1RTT, False)
+        assert large < small
+
+
+class TestHelpers:
+    def test_latency_pair(self):
+        pair = latency_pair(median_scenario(), Protocol.TRANS_1RTT, True)
+        assert pair.speedup == pytest.approx(
+            pair.baseline_ms / pair.snatch_ms
+        )
+
+    def test_speedup_table_rows(self):
+        rows = speedup_table(median_scenario())
+        assert len(rows) == 6  # 3 protocols x (insa on/off)
+        assert all(row["speedup"] >= 1.0 for row in rows)
+        assert {row["insa"] for row in rows} == {True, False}

@@ -1,0 +1,111 @@
+"""Discrete-event simulator core: ordering, periodic timers, cancel."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append(1))
+        sim.schedule(5, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(5, lambda: seen.append(sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [10, 15]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        times = []
+        sim.schedule_at(12, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [12]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(50, lambda: fired.append(50))
+        sim.run(until_ms=20)
+        assert fired == [10]
+        assert sim.now == 20
+        sim.run()
+        assert fired == [10, 50]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10, lambda: ticks.append(sim.now), until_ms=45)
+        sim.run()
+        assert ticks == [10, 20, 30, 40]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(
+            10, lambda: ticks.append(sim.now), start_ms=5, until_ms=30
+        )
+        sim.run()
+        assert ticks == [5, 15, 25]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_periodic(0, lambda: None)
+
+    def test_unbounded_periodic_with_run_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(7, lambda: ticks.append(sim.now))
+        sim.run(until_ms=30)
+        assert ticks == [7, 14, 21, 28]

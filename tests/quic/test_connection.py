@@ -1,0 +1,142 @@
+"""QUIC handshake state machines and the Snatch connection-ID policy."""
+
+import random
+
+import pytest
+
+from repro.quic.connection import (
+    HandshakeMode,
+    QuicClient,
+    QuicServer,
+    RandomConnectionIdPolicy,
+    SnatchConnectionIdPolicy,
+    one_way_delays_to_server_data,
+)
+from repro.quic.connection_id import ConnectionID, random_connection_id
+from repro.quic.packet import LongHeaderPacket, PacketType, SNATCH_DCID_LENGTH
+
+
+def _pair(seed=0):
+    rng = random.Random(seed)
+    server = QuicServer("web.example", rng=rng)
+    client = QuicClient("alice", rng=rng)
+    return client, server
+
+
+class TestOneRtt:
+    def test_first_connection_is_1rtt(self):
+        client, server = _pair()
+        result = client.connect(server)
+        assert result.mode is HandshakeMode.ONE_RTT
+        assert result.one_way_delays_to_server_data == 3
+        assert len(result.dst_conn_id) == SNATCH_DCID_LENGTH
+
+    def test_trace_matches_figure7(self):
+        client, server = _pair()
+        result = client.connect(server)
+        directions = [e.direction for e in result.trace]
+        assert directions == [
+            "client->server", "server->client", "client->server"
+        ]
+
+    def test_server_counts_handshakes(self):
+        client, server = _pair()
+        client.connect(server, prefer_0rtt=False)
+        client.connect(server, prefer_0rtt=False)
+        assert server.accepted_handshakes == 2
+
+    def test_server_cid_factory_controls_dcid(self):
+        rng = random.Random(1)
+        planted = random_connection_id(SNATCH_DCID_LENGTH, rng)
+        server = QuicServer("s", cid_factory=lambda _c: planted, rng=rng)
+        client = QuicClient("c", rng=rng)
+        assert client.connect(server).dst_conn_id == planted
+
+    def test_factory_must_emit_20_bytes(self):
+        rng = random.Random(2)
+        server = QuicServer(
+            "s", cid_factory=lambda _c: ConnectionID(b"abc"), rng=rng
+        )
+        client = QuicClient("c", rng=rng)
+        with pytest.raises(ValueError, match="20-byte"):
+            client.connect(server)
+
+
+class TestZeroRtt:
+    def test_second_connection_uses_0rtt(self):
+        client, server = _pair()
+        first = client.connect(server)
+        second = client.connect(server)
+        assert second.mode is HandshakeMode.ZERO_RTT
+        assert second.one_way_delays_to_server_data == 1
+        assert second.dst_conn_id == first.dst_conn_id
+        assert server.accepted_0rtt == 1
+
+    def test_0rtt_can_be_declined(self):
+        client, server = _pair()
+        client.connect(server)
+        result = client.connect(server, prefer_0rtt=False)
+        assert result.mode is HandshakeMode.ONE_RTT
+
+    def test_rejected_ticket_falls_back_to_1rtt(self):
+        client, server = _pair()
+        client.connect(server)
+        restarted = QuicServer("web.example", rng=random.Random(9))
+        result = client.connect(restarted)
+        assert result.mode is HandshakeMode.ONE_RTT
+
+    def test_handle_0rtt_validates_packet_type(self):
+        client, server = _pair()
+        client.connect(server)
+        bad = LongHeaderPacket(
+            PacketType.INITIAL,
+            random_connection_id(20),
+            random_connection_id(8),
+        )
+        with pytest.raises(ValueError, match="0-RTT"):
+            server.handle_0rtt(bad, b"psk")
+
+
+class TestSnatchPolicy:
+    def test_preserves_cookie_bytes_on_new_1rtt(self):
+        rng = random.Random(3)
+        server = QuicServer("s", rng=rng)
+        policy = SnatchConnectionIdPolicy(rng=rng)
+        client = QuicClient("c", cid_policy=policy, rng=rng)
+        first = client.connect(server)
+        # Next 1-RTT: Initial DCID keeps bytes [1, 20) of DstConnID*.
+        next_dcid = policy.next_initial_dcid(first.dst_conn_id)
+        kept = bytes(first.dst_conn_id)[1:20]
+        assert bytes(next_dcid)[1:20] == kept
+
+    def test_regenerates_random_identification_bits(self):
+        rng = random.Random(4)
+        policy = SnatchConnectionIdPolicy(cookie_start=1, cookie_end=18, rng=rng)
+        previous = random_connection_id(20, rng)
+        regenerated = [
+            bytes(policy.next_initial_dcid(previous))[0] for _ in range(32)
+        ]
+        assert len(set(regenerated)) > 1  # byte 0 actually varies
+
+    def test_without_previous_generates_fresh(self):
+        policy = SnatchConnectionIdPolicy(rng=random.Random(5))
+        assert len(policy.next_initial_dcid(None)) == SNATCH_DCID_LENGTH
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            SnatchConnectionIdPolicy(cookie_start=5, cookie_end=3)
+        with pytest.raises(ValueError):
+            SnatchConnectionIdPolicy(cookie_start=0, cookie_end=21)
+
+    def test_random_policy_ignores_previous(self):
+        rng = random.Random(6)
+        policy = RandomConnectionIdPolicy(rng)
+        previous = random_connection_id(20, rng)
+        fresh = policy.next_initial_dcid(previous)
+        assert bytes(fresh)[1:18] != bytes(previous)[1:18]
+
+
+class TestDelayCoefficients:
+    def test_match_speedup_equations(self):
+        assert one_way_delays_to_server_data(HandshakeMode.ONE_RTT) == 3
+        assert one_way_delays_to_server_data(HandshakeMode.ZERO_RTT) == 1

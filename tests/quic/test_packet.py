@@ -1,0 +1,98 @@
+"""QUIC packet header encode/parse (long and short forms)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.connection_id import ConnectionID, random_connection_id
+from repro.quic.packet import (
+    LongHeaderPacket,
+    PacketType,
+    SNATCH_DCID_LENGTH,
+    ShortHeaderPacket,
+    parse_packet,
+)
+
+
+def _cid(n, fill=0xAB):
+    return ConnectionID(bytes([fill]) * n)
+
+
+class TestLongHeader:
+    def test_roundtrip(self):
+        packet = LongHeaderPacket(
+            PacketType.INITIAL, _cid(20), _cid(8, 0xCD), b"client-hello"
+        )
+        parsed = parse_packet(packet.encode())
+        assert parsed.packet_type is PacketType.INITIAL
+        assert parsed.dcid == packet.dcid
+        assert parsed.scid == packet.scid
+        assert parsed.payload == b"client-hello"
+        assert parsed.is_long_header
+
+    @pytest.mark.parametrize("ptype", list(PacketType))
+    def test_all_packet_types(self, ptype):
+        packet = LongHeaderPacket(ptype, _cid(4), _cid(4), b"")
+        assert parse_packet(packet.encode()).packet_type is ptype
+
+    def test_empty_connection_ids(self):
+        packet = LongHeaderPacket(PacketType.HANDSHAKE, _cid(0), _cid(0), b"x")
+        parsed = parse_packet(packet.encode())
+        assert len(parsed.dcid) == 0 and len(parsed.scid) == 0
+
+    def test_truncated_payload_rejected(self):
+        encoded = LongHeaderPacket(
+            PacketType.INITIAL, _cid(8), _cid(8), b"full payload"
+        ).encode()
+        with pytest.raises(ValueError, match="truncated"):
+            parse_packet(encoded[:-4])
+
+    def test_truncated_header_rejected(self):
+        encoded = LongHeaderPacket(
+            PacketType.INITIAL, _cid(8), _cid(8), b""
+        ).encode()
+        with pytest.raises(ValueError):
+            parse_packet(encoded[:6])
+
+    @given(
+        st.sampled_from(list(PacketType)),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+        st.binary(max_size=64),
+    )
+    def test_roundtrip_property(self, ptype, dlen, slen, payload):
+        packet = LongHeaderPacket(ptype, _cid(dlen), _cid(slen, 0x11), payload)
+        parsed = parse_packet(packet.encode())
+        assert parsed.dcid == packet.dcid
+        assert parsed.scid == packet.scid
+        assert parsed.payload == payload
+
+
+class TestShortHeader:
+    def test_roundtrip(self):
+        dcid = random_connection_id(SNATCH_DCID_LENGTH)
+        packet = ShortHeaderPacket(dcid, b"GET /", spin_bit=True)
+        parsed = parse_packet(packet.encode())
+        assert parsed.dcid == dcid
+        assert parsed.payload == b"GET /"
+        assert parsed.spin_bit
+        assert not parsed.is_long_header
+
+    def test_requires_fixed_dcid_length(self):
+        with pytest.raises(ValueError, match="20 bytes"):
+            ShortHeaderPacket(_cid(8), b"")
+
+    def test_truncated_rejected(self):
+        packet = ShortHeaderPacket(_cid(20), b"")
+        with pytest.raises(ValueError, match="truncated"):
+            parse_packet(packet.encode()[:10])
+
+
+class TestParseDispatch:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_packet(b"")
+
+    def test_fixed_bit_required(self):
+        with pytest.raises(ValueError, match="fixed bit"):
+            parse_packet(bytes(22))

@@ -1,0 +1,73 @@
+"""QUIC varint codec (RFC 9000 section 16 / appendix A.1 examples)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.varint import (
+    MAX_VARINT,
+    decode_varint,
+    encode_varint,
+    varint_length,
+)
+
+# RFC 9000 appendix A.1 worked examples.
+RFC_EXAMPLES = [
+    (37, "25"),
+    (15293, "7bbd"),
+    (494878333, "9d7f3e7d"),
+    (151288809941952652, "c2197c5eff14e88c"),
+]
+
+
+class TestEncode:
+    @pytest.mark.parametrize("value,encoded", RFC_EXAMPLES)
+    def test_rfc_examples(self, value, encoded):
+        assert encode_varint(value).hex() == encoded
+
+    @pytest.mark.parametrize(
+        "value,length",
+        [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4),
+         ((1 << 30) - 1, 4), (1 << 30, 8), (MAX_VARINT, 8)],
+    )
+    def test_length_boundaries(self, value, length):
+        assert varint_length(value) == length
+        assert len(encode_varint(value)) == length
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            encode_varint(MAX_VARINT + 1)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("value,encoded", RFC_EXAMPLES)
+    def test_rfc_examples(self, value, encoded):
+        decoded, offset = decode_varint(bytes.fromhex(encoded))
+        assert decoded == value
+        assert offset == len(encoded) // 2
+
+    def test_offset_advances(self):
+        data = encode_varint(5) + encode_varint(15293)
+        first, offset = decode_varint(data)
+        second, end = decode_varint(data, offset)
+        assert (first, second) == (5, 15293)
+        assert end == len(data)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(b"")
+
+    def test_rejects_truncated(self):
+        full = encode_varint(15293)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(full[:1])
+
+    @given(st.integers(min_value=0, max_value=MAX_VARINT))
+    def test_roundtrip(self, value):
+        decoded, offset = decode_varint(encode_varint(value))
+        assert decoded == value
+        assert offset == varint_length(value)

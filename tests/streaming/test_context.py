@@ -1,0 +1,119 @@
+"""StreamingContext: batch timing, latency accounting, GC."""
+
+import pytest
+
+from repro.streaming.context import StreamingContext
+
+
+class TestTiming:
+    def test_batch_time(self):
+        ssc = StreamingContext(150)
+        assert ssc.batch_time_ms(0) == 150
+        assert ssc.batch_time_ms(3) == 600
+
+    def test_batch_index_for(self):
+        ssc = StreamingContext(100)
+        assert ssc.batch_index_for(0) == 0
+        assert ssc.batch_index_for(99.9) == 0
+        assert ssc.batch_index_for(100) == 1
+
+    def test_result_time(self):
+        ssc = StreamingContext(100, processing_time_ms=30)
+        assert ssc.result_time_ms(10) == 130
+        assert ssc.result_time_ms(199) == 230
+
+    def test_expected_wait_is_half_interval(self):
+        # Paper footnote 3: Spark's default 1 s interval -> 500 ms mean.
+        assert StreamingContext(1000).expected_wait_ms() == 500.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            StreamingContext(0)
+
+
+class TestExecution:
+    def test_batch_info(self):
+        ssc = StreamingContext(100, processing_time_ms=20)
+        inp = ssc.input_stream()
+        inp.push_all([1, 2, 3], 50)
+        info = ssc.run_batch()
+        assert info.index == 0
+        assert info.num_records == 3
+        assert info.result_available_ms == 120
+        assert "3 records" in repr(info)
+
+    def test_callable_processing_time(self):
+        ssc = StreamingContext(100, processing_time_ms=lambda n: 5.0 * n)
+        inp = ssc.input_stream()
+        inp.push_all([1, 2], 0)
+        info = ssc.run_batch()
+        assert info.processing_ms == 10.0
+
+    def test_run_until(self):
+        ssc = StreamingContext(100)
+        ssc.input_stream()
+        infos = ssc.run_until(350)
+        assert [i.index for i in infos] == [0, 1, 2]
+        assert ssc.batches_run == 3
+
+    def test_history_accumulates(self):
+        ssc = StreamingContext(100)
+        ssc.input_stream()
+        ssc.run_batches(2)
+        assert len(ssc.batch_history) == 2
+
+    def test_multiple_outputs_all_fire(self):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        a, b = [], []
+        inp.foreachRDD(lambda rdd, i: a.append(rdd.count()))
+        inp.map(lambda x: x).foreachRDD(lambda rdd, i: b.append(rdd.count()))
+        inp.push(1, 0)
+        ssc.run_batch()
+        assert a == [1] and b == [1]
+
+
+class TestGc:
+    def test_evicts_old_batches(self):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        stream = inp.map(lambda x: x)
+        for t in range(0, 600, 100):
+            inp.push(t, t)
+        ssc.run_batches(6)
+        ssc.gc(keep_batches=2)
+        assert set(stream._cache) == {4, 5}
+
+
+class TestBrokerStream:
+    def test_drains_topic_per_batch(self):
+        from repro.streaming.queue import MessageBroker
+
+        broker = MessageBroker()
+        broker.create_topic("clicks", num_partitions=2)
+        ssc = StreamingContext(100)
+        stream = ssc.broker_stream(broker, "clicks")
+        out = []
+        stream.foreachRDD(lambda rdd, i: out.append(sorted(rdd.collect())))
+        broker.publish("clicks", "a", key="k1", timestamp_ms=10)
+        broker.publish("clicks", "b", key="k2", timestamp_ms=160)
+        ssc.run_batch()
+        assert out == [["a"]]
+        broker.publish("clicks", "c", key="k3", timestamp_ms=170)
+        ssc.run_batch()
+        assert out == [["a"], ["b", "c"]]
+
+    def test_late_messages_dropped_from_past_batches(self):
+        from repro.streaming.queue import MessageBroker
+
+        broker = MessageBroker()
+        broker.create_topic("t")
+        ssc = StreamingContext(100)
+        stream = ssc.broker_stream(broker, "t")
+        counts = []
+        stream.count().foreachRDD(lambda rdd, i: counts.append(rdd.collect()))
+        ssc.run_batch()  # batch 0 done
+        broker.publish("t", "late", timestamp_ms=10)  # belongs to batch 0
+        ssc.run_batch()
+        # The late record's batch already ran; it is never recounted.
+        assert counts == [[0], [0]]

@@ -1,0 +1,327 @@
+"""DStream method surface (the engine behind Table 1)."""
+
+import pytest
+
+from repro.streaming.context import StreamingContext
+from repro.streaming.rdd import RDD
+
+
+def _ctx(interval=100.0):
+    ssc = StreamingContext(batch_interval_ms=interval)
+    return ssc, ssc.input_stream()
+
+
+def _collecting(stream):
+    out = []
+    stream.foreachRDD(lambda rdd, i: out.append(sorted(
+        rdd.collect(), key=repr
+    )))
+    return out
+
+
+class TestForeachCategory:
+    def test_map_filter_flatmap(self):
+        ssc, inp = _ctx()
+        out = _collecting(
+            inp.map(lambda x: x + 1).filter(lambda x: x % 2 == 0)
+        )
+        inp.push_all([1, 2, 3, 4], 10)
+        ssc.run_batch()
+        assert out == [[2, 4]]
+
+    def test_flatmap(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.flatMap(lambda x: [x] * x))
+        inp.push(2, 0)
+        ssc.run_batch()
+        assert out == [[2, 2]]
+
+    def test_map_values_and_flat_map_values(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.mapValues(lambda v: v * 10))
+        out2 = _collecting(inp.flatMapValues(lambda v: [v, -v]))
+        inp.push(("a", 1), 0)
+        ssc.run_batch()
+        assert out == [[("a", 10)]]
+        assert out2 == [[("a", -1), ("a", 1)]]
+
+    def test_map_partitions(self):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream(num_partitions=2)
+        out = _collecting(inp.mapPartitions(lambda part: [len(part)]))
+        inp.push_all(range(5), 0)
+        ssc.run_batch()
+        assert out == [[2, 3]]
+
+    def test_map_partitions_with_index(self):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream(num_partitions=2)
+        out = _collecting(
+            inp.mapPartitionsWithIndex(lambda i, part: [i])
+        )
+        inp.push_all(range(2), 0)
+        ssc.run_batch()
+        assert out == [[0, 1]]
+
+    def test_transform_with_and_without_time(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.transform(lambda rdd: rdd.map(lambda x: -x)))
+        times = []
+
+        def with_time(time_ms, rdd):
+            times.append(time_ms)
+            return rdd
+
+        out2 = _collecting(inp.transform(with_time))
+        inp.push(5, 0)
+        ssc.run_batch()
+        assert out == [[-5]]
+        assert out2 == [[5]]
+        assert times == [100.0]
+
+    def test_transform_with_other_stream(self):
+        ssc = StreamingContext(100)
+        a = ssc.input_stream()
+        b = ssc.input_stream()
+        out = _collecting(a.transformWith(lambda x, y: x.union(y), b))
+        a.push(1, 0)
+        b.push(2, 0)
+        ssc.run_batch()
+        assert out == [[1, 2]]
+
+    def test_combine_by_key(self):
+        ssc, inp = _ctx()
+        out = _collecting(
+            inp.combineByKey(
+                lambda v: v,
+                lambda c, v: c + v,
+                lambda c1, c2: c1 + c2,
+            )
+        )
+        inp.push_all([("a", 1), ("a", 4)], 0)
+        ssc.run_batch()
+        assert out == [[("a", 5)]]
+
+    def test_update_state_by_key_across_batches(self):
+        ssc, inp = _ctx()
+        out = _collecting(
+            inp.map(lambda x: (x, 1)).updateStateByKey(
+                lambda vals, old: (old or 0) + sum(vals)
+            )
+        )
+        inp.push("u", 10)
+        inp.push("u", 150)
+        inp.push("v", 180)
+        ssc.run_batches(2)
+        assert out == [[("u", 1)], [("u", 2), ("v", 1)]]
+
+
+class TestReduceCategory:
+    def test_count(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.count())
+        inp.push_all("abc", 0)
+        ssc.run_batch()
+        assert out == [[3]]
+
+    def test_count_by_value(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.countByValue())
+        inp.push_all(["x", "y", "x"], 0)
+        ssc.run_batch()
+        assert out == [[("x", 2), ("y", 1)]]
+
+    def test_reduce_and_empty_batch(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.reduce(lambda a, b: a + b))
+        inp.push_all([1, 2, 3], 0)
+        ssc.run_batches(2)  # second batch is empty
+        assert out == [[6], []]
+
+    def test_reduce_by_key_and_group_by_key(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.reduceByKey(lambda a, b: a + b))
+        out2 = _collecting(
+            inp.groupByKey().mapValues(sorted)
+        )
+        inp.push_all([("a", 1), ("a", 2), ("b", 1)], 0)
+        ssc.run_batch()
+        assert out == [[("a", 3), ("b", 1)]]
+        assert out2 == [[("a", [1, 2]), ("b", [1])]]
+
+
+class TestWindowCategory:
+    def test_window_unions_trailing_batches(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.window(300))
+        for t in (10, 110, 210, 310):
+            inp.push(t, t)
+        ssc.run_batches(4)
+        assert out == [[10], [10, 110], [10, 110, 210], [110, 210, 310]]
+
+    def test_window_slide(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.window(200, 200))
+        for t in (10, 110, 210, 310):
+            inp.push(t, t)
+        ssc.run_batches(4)
+        # Emits only on even batch ends (200 ms slide).
+        assert out == [[], [10, 110], [], [210, 310]]
+
+    def test_count_by_window(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.countByWindow(200))
+        for t in (10, 110, 210):
+            inp.push("e", t)
+        ssc.run_batches(3)
+        assert out == [[1], [2], [2]]
+
+    def test_count_by_value_and_window(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.countByValueAndWindow(200))
+        inp.push("x", 10)
+        inp.push("x", 110)
+        ssc.run_batches(2)
+        assert out == [[("x", 1)], [("x", 2)]]
+
+    def test_reduce_by_window(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.reduceByWindow(lambda a, b: a + b, None, 200))
+        inp.push(1, 10)
+        inp.push(2, 110)
+        ssc.run_batches(2)
+        assert out == [[1], [3]]
+
+    def test_reduce_by_key_and_window(self):
+        ssc, inp = _ctx()
+        out = _collecting(
+            inp.reduceByKeyAndWindow(
+                lambda a, b: a + b, None, windowDuration_ms=200
+            )
+        )
+        inp.push(("k", 1), 10)
+        inp.push(("k", 5), 110)
+        ssc.run_batches(2)
+        assert out == [[("k", 1)], [("k", 6)]]
+
+    def test_group_by_key_and_window(self):
+        ssc, inp = _ctx()
+        out = _collecting(
+            inp.groupByKeyAndWindow(200).mapValues(sorted)
+        )
+        inp.push(("k", 2), 10)
+        inp.push(("k", 1), 110)
+        ssc.run_batches(2)
+        assert out[1] == [("k", [1, 2])]
+
+    def test_window_requires_multiple_of_interval(self):
+        ssc, inp = _ctx()
+        with pytest.raises(ValueError, match="multiple"):
+            inp.window(250)
+
+    def test_slice(self):
+        ssc, inp = _ctx()
+        identity = inp.map(lambda x: x)
+        inp.push(1, 10)
+        inp.push(2, 110)
+        ssc.run_batches(2)
+        rdds = identity.slice(100, 200)
+        assert [r.collect() for r in rdds] == [[1], [2]]
+
+
+class TestJoinCategory:
+    def _two(self):
+        ssc = StreamingContext(100)
+        return ssc, ssc.input_stream(), ssc.input_stream()
+
+    def test_join(self):
+        ssc, a, b = self._two()
+        out = _collecting(a.join(b))
+        a.push(("k", 1), 0)
+        b.push(("k", 2), 0)
+        ssc.run_batch()
+        assert out == [[("k", (1, 2))]]
+
+    def test_outer_joins(self):
+        ssc, a, b = self._two()
+        left = _collecting(a.leftOuterJoin(b))
+        right = _collecting(a.rightOuterJoin(b))
+        full = _collecting(a.fullOuterJoin(b))
+        a.push(("l", 1), 0)
+        b.push(("r", 2), 0)
+        ssc.run_batch()
+        assert left == [[("l", (1, None))]]
+        assert right == [[("r", (None, 2))]]
+        assert full == [[("l", (1, None)), ("r", (None, 2))]]
+
+    def test_cogroup(self):
+        ssc, a, b = self._two()
+        out = _collecting(a.cogroup(b))
+        a.push(("k", 1), 0)
+        b.push(("k", 2), 0)
+        ssc.run_batch()
+        assert out == [[("k", ([1], [2]))]]
+
+    def test_union(self):
+        ssc, a, b = self._two()
+        out = _collecting(a.union(b))
+        a.push(1, 0)
+        b.push(2, 0)
+        ssc.run_batch()
+        assert out == [[1, 2]]
+
+
+class TestPartitionCategory:
+    def test_repartition(self):
+        ssc, inp = _ctx()
+        counts = []
+        inp.repartition(4).foreachRDD(
+            lambda rdd, i: counts.append(rdd.num_partitions)
+        )
+        inp.push(1, 0)
+        ssc.run_batch()
+        assert counts == [4]
+
+    def test_partition_by(self):
+        ssc, inp = _ctx()
+        out = _collecting(inp.partitionBy(2))
+        inp.push(("a", 1), 0)
+        ssc.run_batch()
+        assert out == [[("a", 1)]]
+
+
+class TestDStreamSpecific:
+    def test_cache_persist_checkpoint_context(self):
+        ssc, inp = _ctx()
+        assert inp.cache() is inp
+        assert inp.persist("MEMORY_ONLY") is inp
+        assert inp.checkpoint(1000) is inp
+        assert inp.context() is ssc
+        with pytest.raises(ValueError):
+            inp.checkpoint(0)
+
+    def test_glom(self):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream(num_partitions=2)
+        out = _collecting(inp.glom())
+        inp.push_all([1, 2, 3], 0)
+        ssc.run_batch()
+        assert out == [[[1, 3], [2]]]
+
+    def test_pprint(self, capsys):
+        ssc, inp = _ctx()
+        inp.pprint(num=2)
+        inp.push_all(["r1", "r2", "r3"], 0)
+        ssc.run_batch()
+        printed = capsys.readouterr().out
+        assert "Time: 100 ms" in printed
+        assert "r1" in printed and "r3" not in printed
+
+    def test_save_as_text_files(self, tmp_path):
+        ssc, inp = _ctx()
+        prefix = str(tmp_path / "out")
+        inp.saveAsTextFiles(prefix, ".txt")
+        inp.push_all(["a", "b"], 0)
+        ssc.run_batch()
+        saved = (tmp_path / "out-100.txt").read_text()
+        assert saved == "a\nb\n"

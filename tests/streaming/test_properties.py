@@ -1,0 +1,122 @@
+"""Property-based tests of the streaming engine's core invariants."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.context import StreamingContext
+from repro.streaming.rdd import RDD
+
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=499.999),  # arrival time
+        st.integers(min_value=0, max_value=4),       # key
+    ),
+    max_size=60,
+)
+
+
+class TestBatchPartitioning:
+    @given(events)
+    @settings(max_examples=30)
+    def test_every_record_lands_in_exactly_one_batch(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        seen = []
+        inp.foreachRDD(lambda rdd, i: seen.extend(rdd.collect()))
+        for t, key in records:
+            inp.push(key, t)
+        ssc.run_batches(5)
+        assert Counter(seen) == Counter(key for _t, key in records)
+
+    @given(events)
+    @settings(max_examples=30)
+    def test_batch_membership_by_arrival_time(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        per_batch = []
+        inp.foreachRDD(lambda rdd, i: per_batch.append(rdd.collect()))
+        for t, key in records:
+            inp.push((t, key), t)
+        ssc.run_batches(5)
+        for index, batch in enumerate(per_batch):
+            for t, _key in batch:
+                assert index * 100 <= t < (index + 1) * 100
+
+
+class TestWindowInvariants:
+    @given(events)
+    @settings(max_examples=30)
+    def test_window_count_equals_sum_of_member_batches(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        batch_counts = []
+        window_counts = []
+        inp.count().foreachRDD(
+            lambda rdd, i: batch_counts.append(rdd.collect()[0])
+        )
+        inp.countByWindow(300).foreachRDD(
+            lambda rdd, i: window_counts.append(rdd.collect()[0])
+        )
+        for t, key in records:
+            inp.push(key, t)
+        ssc.run_batches(5)
+        for index in range(5):
+            member = batch_counts[max(0, index - 2):index + 1]
+            assert window_counts[index] == sum(member)
+
+    @given(events)
+    @settings(max_examples=30)
+    def test_full_horizon_window_sees_everything(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        counts = []
+        inp.countByWindow(500).foreachRDD(
+            lambda rdd, i: counts.append(rdd.collect()[0])
+        )
+        for t, key in records:
+            inp.push(key, t)
+        ssc.run_batches(5)
+        assert counts[-1] == len(records)
+
+
+class TestStatefulInvariants:
+    @given(events)
+    @settings(max_examples=30)
+    def test_running_state_equals_batch_prefix_sums(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        states = []
+        (
+            inp.map(lambda key: (key, 1))
+            .updateStateByKey(lambda vals, old: (old or 0) + sum(vals))
+            .foreachRDD(lambda rdd, i: states.append(dict(rdd.collect())))
+        )
+        for t, key in records:
+            inp.push(key, t)
+        ssc.run_batches(5)
+        final = states[-1] if states else {}
+        expected = Counter(key for _t, key in records)
+        assert final == dict(expected)
+
+    @given(events)
+    @settings(max_examples=20)
+    def test_reduce_by_key_and_window_matches_naive(self, records):
+        ssc = StreamingContext(100)
+        inp = ssc.input_stream()
+        windowed = []
+        (
+            inp.map(lambda key: (key, 1))
+            .reduceByKeyAndWindow(lambda a, b: a + b, None, 200)
+            .foreachRDD(lambda rdd, i: windowed.append(dict(rdd.collect())))
+        )
+        for t, key in records:
+            inp.push(key, t)
+        ssc.run_batches(5)
+        for index in range(5):
+            lo, hi = (index - 1) * 100, (index + 1) * 100
+            expected = Counter(
+                key for t, key in records if lo <= t < hi and t >= 0
+            )
+            assert windowed[index] == dict(expected)

@@ -1,0 +1,97 @@
+"""Message broker: topics, partitions, consumer-group offsets."""
+
+import pytest
+
+from repro.streaming.queue import Consumer, MessageBroker, Topic
+
+
+class TestTopic:
+    def test_keyed_messages_stay_in_one_partition(self):
+        topic = Topic("t", num_partitions=4)
+        for i in range(8):
+            topic.append("same-key", i, i)
+        partitions = {topic._partition_for("same-key")}
+        assert len(partitions) == 1
+        assert topic.end_offset(partitions.pop()) == 8
+
+    def test_unkeyed_round_robin(self):
+        topic = Topic("t", num_partitions=3)
+        for i in range(6):
+            topic.append(None, i, i)
+        assert [topic.end_offset(p) for p in range(3)] == [2, 2, 2]
+
+    def test_offsets_are_per_partition(self):
+        topic = Topic("t", num_partitions=2)
+        message = topic.append(None, "v", 1.0)
+        assert message.offset == 0
+
+    def test_read_bounds(self):
+        topic = Topic("t", 1)
+        with pytest.raises(IndexError):
+            topic.read(5, 0, 1)
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            Topic("t", 0)
+
+
+class TestBroker:
+    def test_create_and_duplicate(self):
+        broker = MessageBroker()
+        broker.create_topic("clicks")
+        with pytest.raises(ValueError):
+            broker.create_topic("clicks")
+        with pytest.raises(KeyError):
+            broker.topic("ghost")
+
+    def test_poll_advances_offsets(self):
+        broker = MessageBroker()
+        broker.create_topic("t", 2)
+        for i in range(5):
+            broker.publish("t", i, key=str(i), timestamp_ms=i)
+        first = broker.poll("g", "t")
+        assert len(first) == 5
+        assert broker.poll("g", "t") == []
+
+    def test_poll_sorted_by_timestamp(self):
+        broker = MessageBroker()
+        broker.create_topic("t", 3)
+        for i, ts in enumerate([30, 10, 20]):
+            broker.publish("t", i, key=str(i), timestamp_ms=ts)
+        got = [m.timestamp_ms for m in broker.poll("g", "t")]
+        assert got == [10, 20, 30]
+
+    def test_independent_consumer_groups(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        broker.publish("t", "x")
+        assert len(broker.poll("g1", "t")) == 1
+        assert len(broker.poll("g2", "t")) == 1
+
+    def test_lag(self):
+        broker = MessageBroker()
+        broker.create_topic("t", 2)
+        for i in range(4):
+            broker.publish("t", i, key=str(i))
+        assert broker.lag("g", "t") == 4
+        broker.poll("g", "t")
+        assert broker.lag("g", "t") == 0
+
+    def test_max_per_partition_limits_batch(self):
+        broker = MessageBroker()
+        broker.create_topic("t", 1)
+        for i in range(10):
+            broker.publish("t", i)
+        assert len(broker.poll("g", "t", max_per_partition=4)) == 4
+        assert broker.lag("g", "t") == 6
+
+
+class TestConsumer:
+    def test_wrapper(self):
+        broker = MessageBroker()
+        broker.create_topic("t")
+        broker.publish("t", "v")
+        consumer = Consumer(broker, "g", "t")
+        assert consumer.lag() == 1
+        assert [m.value for m in consumer.poll()] == ["v"]
+        assert consumer.lag() == 0

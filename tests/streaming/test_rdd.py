@@ -1,0 +1,200 @@
+"""RDD operator semantics, checked against plain-Python references."""
+
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.rdd import RDD
+
+kv_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(-10, 10)), max_size=40
+)
+
+
+class TestConstruction:
+    def test_of_round_robins(self):
+        rdd = RDD.of(range(5), num_partitions=2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        assert RDD.empty(3).count() == 0
+        assert RDD.empty().is_empty()
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            RDD.of([1], num_partitions=0)
+
+    def test_glom_exposes_partitions(self):
+        rdd = RDD([[1, 2], [3]])
+        assert rdd.glom().collect() == [[1, 2], [3]]
+
+
+class TestElementWise:
+    def test_map_filter_flatmap(self):
+        rdd = RDD.of(range(6), 2)
+        assert sorted(rdd.map(lambda x: x * 2).collect()) == [0, 2, 4, 6, 8, 10]
+        assert sorted(rdd.filter(lambda x: x % 2 == 0).collect()) == [0, 2, 4]
+        assert sorted(rdd.flat_map(lambda x: [x, x]).collect()) == sorted(
+            list(range(6)) * 2
+        )
+
+    def test_map_preserves_partitioning(self):
+        rdd = RDD([[1], [2, 3]])
+        assert rdd.map(lambda x: x).glom().collect() == [[1], [2, 3]]
+
+    def test_map_partitions(self):
+        rdd = RDD([[1, 2], [3, 4]])
+        sums = rdd.map_partitions(lambda part: [sum(part)])
+        assert sums.collect() == [3, 7]
+
+    def test_map_partitions_with_index(self):
+        rdd = RDD([[1], [2]])
+        out = rdd.map_partitions_with_index(lambda i, part: [(i, part)])
+        assert out.collect() == [(0, [1]), (1, [2])]
+
+    def test_keys_values(self):
+        rdd = RDD.of([("a", 1), ("b", 2)])
+        assert sorted(rdd.keys().collect()) == ["a", "b"]
+        assert sorted(rdd.values().collect()) == [1, 2]
+
+    def test_map_values_flat_map_values(self):
+        rdd = RDD.of([("a", 2)])
+        assert rdd.map_values(lambda v: v + 1).collect() == [("a", 3)]
+        assert rdd.flat_map_values(lambda v: range(v)).collect() == [
+            ("a", 0), ("a", 1)
+        ]
+
+
+class TestAggregation:
+    @given(kv_lists)
+    @settings(max_examples=40)
+    def test_reduce_by_key_matches_reference(self, pairs):
+        rdd = RDD.of(pairs, 3)
+        expected = defaultdict(int)
+        for k, v in pairs:
+            expected[k] += v
+        assert dict(rdd.reduce_by_key(lambda a, b: a + b).collect()) == dict(
+            expected
+        )
+
+    @given(kv_lists)
+    @settings(max_examples=40)
+    def test_group_by_key_matches_reference(self, pairs):
+        rdd = RDD.of(pairs, 2)
+        expected = defaultdict(list)
+        for k, v in pairs:
+            expected[k].append(v)
+        got = {k: sorted(v) for k, v in rdd.group_by_key().collect()}
+        assert got == {k: sorted(v) for k, v in expected.items()}
+
+    def test_combine_by_key_two_phase(self):
+        rdd = RDD.of([("a", 1), ("a", 2), ("b", 5)], 2)
+        # Average via (sum, count) combiners.
+        combined = rdd.combine_by_key(
+            lambda v: (v, 1),
+            lambda c, v: (c[0] + v, c[1] + 1),
+            lambda c1, c2: (c1[0] + c2[0], c1[1] + c2[1]),
+        )
+        result = dict(combined.collect())
+        assert result == {"a": (3, 2), "b": (5, 1)}
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=30))
+    def test_reduce(self, values):
+        assert RDD.of(values, 2).reduce(lambda a, b: a + b) == sum(values)
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            RDD.empty().reduce(lambda a, b: a)
+
+    def test_fold(self):
+        assert RDD.of([1, 2, 3]).fold(10, lambda a, b: a + b) == 16
+
+    @given(st.lists(st.integers(0, 3), max_size=30))
+    def test_count_by_value(self, values):
+        assert RDD.of(values, 2).count_by_value() == dict(Counter(values))
+
+    def test_update_state_by_key(self):
+        state = {}
+        rdd = RDD.of([("a", 1), ("a", 2), ("b", 3)])
+        out, state = rdd.update_state_by_key(
+            lambda vals, old: (old or 0) + sum(vals), state
+        )
+        assert dict(out.collect()) == {"a": 3, "b": 3}
+        rdd2 = RDD.of([("a", 10)])
+        out2, state = rdd2.update_state_by_key(
+            lambda vals, old: (old or 0) + sum(vals), state
+        )
+        assert dict(out2.collect()) == {"a": 13, "b": 3}
+
+    def test_update_state_drops_none(self):
+        state = {"a": 1, "b": 2}
+        out, new_state = RDD.empty().update_state_by_key(
+            lambda vals, old: None if old == 1 else old, state
+        )
+        assert new_state == {"b": 2}
+
+
+class TestJoins:
+    LEFT = [("k", 1), ("k", 2), ("l", 3)]
+    RIGHT = [("k", 9), ("m", 8)]
+
+    def test_inner_join(self):
+        got = RDD.of(self.LEFT).join(RDD.of(self.RIGHT)).collect()
+        assert sorted(got) == [("k", (1, 9)), ("k", (2, 9))]
+
+    def test_left_outer(self):
+        got = RDD.of(self.LEFT).left_outer_join(RDD.of(self.RIGHT)).collect()
+        assert ("l", (3, None)) in got and ("k", (1, 9)) in got
+        assert all(k != "m" for k, _ in got)
+
+    def test_right_outer(self):
+        got = RDD.of(self.LEFT).right_outer_join(RDD.of(self.RIGHT)).collect()
+        assert ("m", (None, 8)) in got
+        assert all(k != "l" for k, _ in got)
+
+    def test_full_outer(self):
+        got = RDD.of(self.LEFT).full_outer_join(RDD.of(self.RIGHT)).collect()
+        assert ("l", (3, None)) in got and ("m", (None, 8)) in got
+
+    def test_cogroup(self):
+        got = dict(RDD.of(self.LEFT).cogroup(RDD.of(self.RIGHT)).collect())
+        assert got["k"] == ([1, 2], [9])
+        assert got["l"] == ([3], [])
+        assert got["m"] == ([], [8])
+
+    def test_union(self):
+        union = RDD.of([1]).union(RDD.of([2]))
+        assert sorted(union.collect()) == [1, 2]
+        assert union.num_partitions == 2
+
+
+class TestPartitioning:
+    def test_partition_by(self):
+        rdd = RDD.of([("a", 1), ("b", 2), ("c", 3)])
+        out = rdd.partition_by(2, partition_fn=lambda k: ord(k))
+        assert out.num_partitions == 2
+        assert sorted(out.collect()) == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_repartition(self):
+        rdd = RDD.of(range(10), 1).repartition(4)
+        assert rdd.num_partitions == 4
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RDD.of([("a", 1)]).partition_by(0)
+
+
+class TestActions:
+    def test_take_and_foreach(self):
+        rdd = RDD.of(range(10), 2)
+        assert len(rdd.take(3)) == 3
+        seen = []
+        rdd.foreach(seen.append)
+        assert sorted(seen) == list(range(10))
+
+    def test_repr(self):
+        assert "2 partitions" in repr(RDD.of(range(4), 2))

@@ -1,0 +1,84 @@
+"""Bloom filter: no false negatives, plausible false-positive rate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.bloom import BloomFilter, optimal_num_hashes
+
+
+class TestBasics:
+    def test_add_then_contains(self):
+        bloom = BloomFilter(1024, 3)
+        assert not bloom.add(b"user-1")
+        assert bloom.contains(b"user-1")
+
+    def test_duplicate_detected(self):
+        bloom = BloomFilter(1024, 3)
+        bloom.add(b"user-1")
+        assert bloom.add(b"user-1")  # already present
+        assert bloom.items_added == 1
+
+    def test_absent_key(self):
+        bloom = BloomFilter(4096, 3)
+        bloom.add(b"present")
+        assert not bloom.contains(b"absent")
+
+    def test_reset(self):
+        bloom = BloomFilter(1024, 3)
+        bloom.add(b"x")
+        bloom.reset()
+        assert not bloom.contains(b"x")
+        assert bloom.items_added == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(100, 0)
+        with pytest.raises(ValueError):
+            BloomFilter(100, 9)
+
+
+class TestNoFalseNegatives:
+    @given(st.lists(st.binary(min_size=1, max_size=20), max_size=100))
+    @settings(max_examples=25)
+    def test_every_inserted_key_is_found(self, keys):
+        bloom = BloomFilter(8192, 4)
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.contains(key) for key in keys)
+
+
+class TestFalsePositiveRate:
+    def test_analytic_estimate_monotone(self):
+        bloom = BloomFilter(1024, 3)
+        assert bloom.false_positive_rate(10) < bloom.false_positive_rate(500)
+
+    def test_empirical_rate_near_estimate(self):
+        bloom = BloomFilter(4096, 3)
+        n = 500
+        for i in range(n):
+            bloom.add(b"in-%d" % i)
+        false_hits = sum(
+            bloom.contains(b"out-%d" % i) for i in range(2000)
+        )
+        empirical = false_hits / 2000
+        analytic = bloom.false_positive_rate()
+        assert empirical <= max(0.02, 3 * analytic)
+
+    def test_zero_when_empty(self):
+        assert BloomFilter(1024, 3).false_positive_rate() == 0.0
+
+
+class TestOptimalHashes:
+    def test_classic_formula(self):
+        # m/n = 10 -> k ~ 7
+        assert optimal_num_hashes(10_000, 1_000) == 7
+
+    def test_clamped_to_switch_budget(self):
+        assert optimal_num_hashes(10_000, 10) == 8
+        assert optimal_num_hashes(10, 10_000) == 1
+
+    def test_degenerate_population(self):
+        assert optimal_num_hashes(1024, 0) == 1

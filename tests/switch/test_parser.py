@@ -1,0 +1,174 @@
+"""P4-style parser: header extraction, parse graph, emit/extract
+round-trips, and the raw-bytes LarkSwitch path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.larkswitch import LarkSwitch, lark_process_raw
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.switch.parser import (
+    ETHERNET,
+    ETHERTYPE_IPV4,
+    HeaderField,
+    HeaderType,
+    IPV4,
+    ParseError,
+    ParseState,
+    Parser,
+    QUIC_PORT,
+    QUIC_SHORT,
+    UDP,
+    build_snatch_packet,
+    snatch_parser,
+)
+
+KEY = bytes(range(16))
+
+
+class TestHeaderType:
+    def test_must_be_byte_aligned(self):
+        with pytest.raises(ValueError, match="byte-aligned"):
+            HeaderType("bad", (HeaderField("x", 5),))
+
+    def test_extract_bit_fields(self):
+        header = HeaderType(
+            "h", (HeaderField("hi", 4), HeaderField("lo", 4))
+        )
+        fields = header.extract(b"\xAB", 0)
+        assert fields == {"h.hi": 0xA, "h.lo": 0xB}
+
+    def test_extract_offset(self):
+        header = HeaderType("h", (HeaderField("v", 8),))
+        assert header.extract(b"\x00\x42", 1) == {"h.v": 0x42}
+
+    def test_extract_truncated(self):
+        with pytest.raises(ParseError, match="truncated"):
+            IPV4.extract(b"\x45\x00", 0)
+
+    def test_emit_roundtrip(self):
+        values = {"version": 4, "ihl": 5, "ttl": 64, "protocol": 17,
+                  "src": 0x0A000001, "dst": 0x08080808}
+        raw = IPV4.emit(values)
+        fields = IPV4.extract(raw, 0)
+        for name, value in values.items():
+            assert fields["ipv4.%s" % name] == value
+
+    def test_emit_range_checked(self):
+        header = HeaderType("h", (HeaderField("v", 8),))
+        with pytest.raises(ValueError):
+            header.emit({"v": 256})
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=25)
+    def test_udp_roundtrip(self, sport, dport):
+        raw = UDP.emit({"sport": sport, "dport": dport,
+                        "length": 8, "checksum": 0})
+        fields = UDP.extract(raw, 0)
+        assert fields["udp.sport"] == sport
+        assert fields["udp.dport"] == dport
+
+
+class TestParseGraph:
+    def test_full_snatch_stack(self):
+        dcid = bytes(range(20))
+        packet = build_snatch_packet(dcid)
+        fields, payload_offset = snatch_parser().parse(packet)
+        assert fields["eth.ethertype"] == ETHERTYPE_IPV4
+        assert fields["ipv4.protocol"] == 17
+        assert fields["udp.dport"] == QUIC_PORT
+        assert fields["quic.app_id"] == dcid[1]
+        assert fields["quic.cookie_block"] == int.from_bytes(
+            dcid[2:18], "big"
+        )
+        assert payload_offset == len(packet)
+
+    def test_non_ip_accepts_early(self):
+        arp = ETHERNET.emit({"dst": 0, "src": 0, "ethertype": 0x0806})
+        fields, offset = snatch_parser().parse(arp)
+        assert "ipv4.protocol" not in fields
+        assert offset == ETHERNET.total_bytes
+
+    def test_non_udp_accepts_after_ipv4(self):
+        eth = ETHERNET.emit({"dst": 0, "src": 0,
+                             "ethertype": ETHERTYPE_IPV4})
+        tcp_ip = IPV4.emit({"version": 4, "ihl": 5, "protocol": 6,
+                            "ttl": 64, "src": 1, "dst": 2})
+        fields, _ = snatch_parser().parse(eth + tcp_ip)
+        assert "udp.dport" not in fields
+
+    def test_non_quic_port_accepts_after_udp(self):
+        eth = ETHERNET.emit({"dst": 0, "src": 0,
+                             "ethertype": ETHERTYPE_IPV4})
+        ip = IPV4.emit({"version": 4, "ihl": 5, "protocol": 17,
+                        "ttl": 64, "src": 1, "dst": 2})
+        dns = UDP.emit({"sport": 5353, "dport": 53, "length": 8,
+                        "checksum": 0})
+        fields, _ = snatch_parser().parse(eth + ip + dns)
+        assert "quic.app_id" not in fields
+
+    def test_truncated_quic_rejected(self):
+        packet = build_snatch_packet(bytes(20))
+        with pytest.raises(ParseError):
+            snatch_parser().parse(packet[:-5])
+
+    def test_unknown_state_rejected(self):
+        parser = Parser(
+            [ParseState("a", ETHERNET, lambda _f: "ghost")], start="a"
+        )
+        eth = ETHERNET.emit({"dst": 0, "src": 0, "ethertype": 0})
+        with pytest.raises(ParseError, match="unknown state"):
+            parser.parse(eth)
+
+    def test_depth_bound(self):
+        loop = Parser(
+            [ParseState("a", ETHERNET, lambda _f: "a")], start="a"
+        )
+        eth = ETHERNET.emit({"dst": 0, "src": 0, "ethertype": 0}) * 32
+        with pytest.raises(ParseError, match="depth"):
+            loop.parse(eth)
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            Parser([ParseState("a", ETHERNET, lambda _f: None)], start="b")
+
+
+class TestRawLarkPath:
+    def _lark(self):
+        schema = CookieSchema(
+            "x", (Feature.categorical("g", ["a", "b", "c"]),)
+        )
+        lark = LarkSwitch("l", random.Random(1))
+        lark.register_application(
+            0x42, schema, KEY,
+            [StatSpec("count", StatKind.COUNT_BY_CLASS, "g")],
+        )
+        codec = TransportCookieCodec(0x42, schema, KEY, random.Random(2))
+        return lark, codec
+
+    def test_bytes_to_statistics(self):
+        lark, codec = self._lark()
+        packet = build_snatch_packet(bytes(codec.encode({"g": "c"})))
+        result = lark_process_raw(lark, packet)
+        assert result.decoded_values == {"g": "c"}
+        assert result.aggregation_payload is not None
+        assert lark.stats_report(0x42)["count"]["c"] == 1
+
+    def test_non_quic_traffic_passes(self):
+        lark, _codec = self._lark()
+        arp = ETHERNET.emit({"dst": 0, "src": 0, "ethertype": 0x0806})
+        result = lark_process_raw(lark, arp)
+        assert not result.matched and result.forwarded_original
+
+    def test_garbage_bytes_pass(self):
+        lark, _codec = self._lark()
+        result = lark_process_raw(lark, b"\x00" * 5)
+        assert not result.matched and result.forwarded_original
+
+    def test_dcid_validation(self):
+        with pytest.raises(ValueError):
+            build_snatch_packet(b"short")

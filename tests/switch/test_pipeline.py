@@ -1,0 +1,180 @@
+"""Pipeline model: stages, actions, clones, digests, resource limits."""
+
+import pytest
+
+from repro.switch.pipeline import (
+    AES_PASS_LATENCY_MS,
+    LINE_RATE_LATENCY_MS,
+    MAX_STAGES,
+    MAX_TABLES_PER_STAGE,
+    PHV,
+    PipelineCompileError,
+    SwitchPipeline,
+)
+from repro.switch.primitives import UnsupportedOperationError
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+)
+
+
+def _counting_pipeline():
+    pipe = SwitchPipeline("p")
+    table = MatchActionTable("t", [MatchKey("proto", MatchKind.EXACT, 8)])
+    pipe.add_table(0, table)
+    counter = pipe.registers.allocate("hits", 4)
+
+    def count(pipeline, phv, params):
+        counter.add(phv.get("idx", 0))
+
+    pipe.register_action("count", count)
+    table.insert(TableEntry((17,), "count"))
+    return pipe, counter
+
+
+class TestPHV:
+    def test_field_access(self):
+        phv = PHV({"a": 1})
+        assert phv["a"] == 1
+        phv["b"] = 2
+        assert "b" in phv
+        assert phv.get("missing", 9) == 9
+        with pytest.raises(KeyError):
+            phv["missing"]
+
+    def test_copy_is_independent(self):
+        phv = PHV({"a": 1})
+        phv.metadata["m"] = True
+        clone = phv.copy()
+        clone["a"] = 2
+        clone.metadata["m"] = False
+        assert phv["a"] == 1 and phv.metadata["m"] is True
+
+
+class TestProcessing:
+    def test_matched_action_runs(self):
+        pipe, counter = _counting_pipeline()
+        result = pipe.process({"proto": 17, "idx": 2})
+        assert result.forwarded
+        assert counter.read(2) == 1
+        assert result.latency_ms == LINE_RATE_LATENCY_MS
+
+    def test_miss_runs_default_noop(self):
+        pipe, counter = _counting_pipeline()
+        pipe.process({"proto": 6, "idx": 2})
+        assert counter.read(2) == 0
+
+    def test_drop_skips_later_stages(self):
+        pipe = SwitchPipeline("p")
+        t0 = MatchActionTable("t0", [MatchKey("x", MatchKind.EXACT, 8)])
+        t1 = MatchActionTable("t1", [MatchKey("x", MatchKind.EXACT, 8)])
+        pipe.add_table(0, t0)
+        pipe.add_table(1, t1)
+        seen = []
+
+        def drop(pipeline, phv, params):
+            phv.drop = True
+
+        def record(pipeline, phv, params):
+            seen.append(phv["x"])
+
+        pipe.register_action("drop", drop)
+        pipe.register_action("record", record)
+        t0.insert(TableEntry((1,), "drop"))
+        t1.insert(TableEntry((1,), "record"))
+        result = pipe.process({"x": 1})
+        assert not result.forwarded
+        assert seen == []
+        assert pipe.packets_dropped == 1
+
+    def test_clone_collected(self):
+        pipe = SwitchPipeline("p")
+        table = MatchActionTable("t", [MatchKey("x", MatchKind.EXACT, 8)])
+        pipe.add_table(0, table)
+
+        def clone(pipeline, phv, params):
+            c = pipeline.clone_packet(phv)
+            c.metadata["rewritten"] = True
+
+        pipe.register_action("clone", clone)
+        table.insert(TableEntry((1,), "clone"))
+        result = pipe.process({"x": 1})
+        assert len(result.clones) == 1
+        assert result.clones[0].metadata["rewritten"]
+        # Clones do not leak across packets.
+        assert pipe.process({"x": 2}).clones == []
+
+    def test_digest_collected(self):
+        pipe = SwitchPipeline("p")
+        table = MatchActionTable("t", [MatchKey("x", MatchKind.EXACT, 8)])
+        pipe.add_table(0, table)
+        pipe.register_action(
+            "digest", lambda p, phv, a: p.emit_digest("seen", {"x": phv["x"]})
+        )
+        table.insert(TableEntry((1,), "digest"))
+        result = pipe.process({"x": 1})
+        assert result.digests[0].name == "seen"
+        assert result.digests[0].data == {"x": 1}
+
+    def test_latency_charge(self):
+        pipe = SwitchPipeline("p")
+        table = MatchActionTable("t", [MatchKey("x", MatchKind.EXACT, 8)])
+        pipe.add_table(0, table)
+        pipe.register_action(
+            "aes", lambda p, phv, a: p.charge_latency(AES_PASS_LATENCY_MS)
+        )
+        table.insert(TableEntry((1,), "aes"))
+        result = pipe.process({"x": 1})
+        assert result.latency_ms == pytest.approx(
+            LINE_RATE_LATENCY_MS + AES_PASS_LATENCY_MS
+        )
+
+    def test_negative_latency_rejected(self):
+        pipe = SwitchPipeline("p")
+        with pytest.raises(ValueError):
+            pipe.charge_latency(-1)
+
+    def test_unregistered_action_raises(self):
+        pipe = SwitchPipeline("p")
+        table = MatchActionTable("t", [MatchKey("x", MatchKind.EXACT, 8)])
+        pipe.add_table(0, table)
+        table.insert(TableEntry((1,), "ghost"))
+        with pytest.raises(UnsupportedOperationError, match="unregistered"):
+            pipe.process({"x": 1})
+
+
+class TestResourceModel:
+    def test_stage_limit(self):
+        pipe = SwitchPipeline("p")
+        for _ in range(MAX_STAGES):
+            pipe.add_stage()
+        with pytest.raises(PipelineCompileError, match="stages"):
+            pipe.add_stage()
+
+    def test_tables_per_stage_limit(self):
+        pipe = SwitchPipeline("p")
+        for i in range(MAX_TABLES_PER_STAGE):
+            pipe.add_table(
+                0, MatchActionTable("t%d" % i, [MatchKey("x", MatchKind.EXACT)])
+            )
+        with pytest.raises(PipelineCompileError, match="tables"):
+            pipe.add_table(
+                0, MatchActionTable("tx", [MatchKey("x", MatchKind.EXACT)])
+            )
+
+    def test_duplicate_action_rejected(self):
+        pipe = SwitchPipeline("p")
+        pipe.register_action("a", lambda p, v, x: None)
+        with pytest.raises(ValueError):
+            pipe.register_action("a", lambda p, v, x: None)
+
+    def test_resource_report(self):
+        pipe, _counter = _counting_pipeline()
+        pipe.process({"proto": 17, "idx": 0})
+        report = pipe.resource_report()
+        assert report["stages_used"] == 1
+        assert report["tables"] == 1
+        assert report["packets_processed"] == 1
+        assert report["sram_used_bits"] == 4 * 32

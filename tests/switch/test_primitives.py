@@ -1,0 +1,90 @@
+"""Switch ALU: supported integer ops, hardware limits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.switch.primitives import (
+    SUPPORTED_OPS,
+    SwitchALU,
+    UnsupportedOperationError,
+)
+
+
+class TestSupportedOps:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 10, 4, 6),
+            ("min", 3, 9, 3),
+            ("max", 3, 9, 9),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 4, 16),
+            ("shr", 16, 4, 1),
+            ("eq", 5, 5, 1),
+            ("ne", 5, 5, 0),
+            ("lt", 3, 5, 1),
+            ("le", 5, 5, 1),
+            ("gt", 5, 3, 1),
+            ("ge", 3, 5, 0),
+        ],
+    )
+    def test_results(self, op, a, b, expected):
+        assert SwitchALU().execute(op, a, b) == expected
+
+    def test_not(self):
+        alu = SwitchALU(width=8)
+        assert alu.execute("not", 0b10101010) == 0b01010101
+
+    def test_counts_executed_ops(self):
+        alu = SwitchALU()
+        alu.execute("add", 1, 1)
+        alu.execute("xor", 1, 1)
+        assert alu.ops_executed == 2
+
+
+class TestWrapAround:
+    def test_add_wraps(self):
+        alu = SwitchALU(width=8)
+        assert alu.execute("add", 255, 1) == 0
+
+    def test_sub_wraps(self):
+        alu = SwitchALU(width=8)
+        assert alu.execute("sub", 0, 1) == 255
+
+    def test_shl_truncates(self):
+        alu = SwitchALU(width=8)
+        assert alu.execute("shl", 0x81, 1) == 0x02
+
+    def test_saturating_add_clamps(self):
+        alu = SwitchALU(width=8)
+        assert alu.saturating_add(250, 10) == 255
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_results_fit_width(self, a, b):
+        alu = SwitchALU(width=8)
+        for op in SUPPORTED_OPS:
+            assert 0 <= alu.execute(op, a, b) <= 255
+
+
+class TestHardwareLimits:
+    @pytest.mark.parametrize("op", ["mod", "div", "mul", "log", "sqrt"])
+    def test_unsupported_operands_raise(self, op):
+        with pytest.raises(UnsupportedOperationError):
+            SwitchALU().execute(op, 10, 3)
+
+    def test_error_carries_hint(self):
+        with pytest.raises(UnsupportedOperationError, match="modulo"):
+            SwitchALU().execute("mod", 10, 3)
+
+    def test_operand_range_checked(self):
+        alu = SwitchALU(width=8)
+        with pytest.raises(ValueError, match="container"):
+            alu.execute("add", 256, 0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SwitchALU(width=0)

@@ -1,0 +1,109 @@
+"""Register arrays and the SRAM budget."""
+
+import pytest
+
+from repro.switch.registers import (
+    RegisterArray,
+    RegisterFile,
+    SramExhaustedError,
+)
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        array = RegisterArray("r", 4)
+        array.write(2, 99)
+        assert array.read(2) == 99
+        assert array.read(0) == 0
+
+    def test_width_masking(self):
+        array = RegisterArray("r", 2, width=8)
+        array.write(0, 0x1FF)
+        assert array.read(0) == 0xFF
+
+    def test_add_returns_new_value_and_wraps(self):
+        array = RegisterArray("r", 1, width=8)
+        assert array.add(0, 10) == 10
+        array.write(0, 255)
+        assert array.add(0, 2) == 1
+
+    def test_update_min_max(self):
+        array = RegisterArray("r", 1)
+        array.write(0, 50)
+        assert array.update_min(0, 20) == 20
+        assert array.update_min(0, 30) == 20
+        assert array.update_max(0, 70) == 70
+        assert array.update_max(0, 60) == 70
+
+    def test_fill_and_reset(self):
+        array = RegisterArray("r", 3)
+        array.fill(7)
+        assert array.snapshot() == [7, 7, 7]
+        array.reset()
+        assert array.snapshot() == [0, 0, 0]
+
+    def test_snapshot_is_copy(self):
+        array = RegisterArray("r", 2)
+        snap = array.snapshot()
+        snap[0] = 42
+        assert array.read(0) == 0
+
+    @pytest.mark.parametrize("index", [-1, 4])
+    def test_bounds_checked(self, index):
+        array = RegisterArray("r", 4)
+        with pytest.raises(IndexError):
+            array.read(index)
+        with pytest.raises(IndexError):
+            array.write(index, 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0)
+        with pytest.raises(ValueError):
+            RegisterArray("r", 1, width=0)
+
+    def test_bits_accounting(self):
+        assert RegisterArray("r", 100, width=32).bits == 3200
+
+
+class TestRegisterFile:
+    def test_allocation_tracks_budget(self):
+        rf = RegisterFile(sram_budget_bits=1000)
+        rf.allocate("a", 10, width=32)  # 320 bits
+        assert rf.used_bits == 320
+        assert rf.free_bits == 680
+
+    def test_exhaustion_raises(self):
+        rf = RegisterFile(sram_budget_bits=100)
+        with pytest.raises(SramExhaustedError, match="only 100 remain"):
+            rf.allocate("big", 100, width=32)
+
+    def test_duplicate_name_rejected(self):
+        rf = RegisterFile()
+        rf.allocate("a", 1)
+        with pytest.raises(ValueError, match="already allocated"):
+            rf.allocate("a", 1)
+
+    def test_free_releases_budget(self):
+        rf = RegisterFile(sram_budget_bits=320)
+        rf.allocate("a", 10, width=32)
+        with pytest.raises(SramExhaustedError):
+            rf.allocate("b", 1)
+        rf.free("a")
+        rf.allocate("b", 10, width=32)  # now fits
+
+    def test_free_unknown_is_noop(self):
+        RegisterFile().free("ghost")
+
+    def test_get(self):
+        rf = RegisterFile()
+        array = rf.allocate("a", 2)
+        assert rf.get("a") is array
+        with pytest.raises(KeyError):
+            rf.get("b")
+
+    def test_names_sorted(self):
+        rf = RegisterFile()
+        rf.allocate("z", 1)
+        rf.allocate("a", 1)
+        assert rf.names() == ["a", "z"]

@@ -1,0 +1,115 @@
+"""Count-min sketch: one-sided error, bounds, mergeability."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switch.registers import RegisterFile, SramExhaustedError
+from repro.switch.sketch import CountMinSketch, dimensions_for
+
+
+class TestEstimates:
+    def test_exact_for_sparse_streams(self):
+        cms = CountMinSketch(width=2048, depth=4)
+        for i in range(20):
+            cms.add(b"key-%d" % i, count=i + 1)
+        for i in range(20):
+            assert cms.estimate(b"key-%d" % i) == i + 1
+
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=64, depth=3)
+        truth = {}
+        rng = random.Random(1)
+        for _ in range(2000):
+            key = b"k%d" % rng.randrange(200)
+            truth[key] = truth.get(key, 0) + 1
+            cms.add(key)
+        for key, count in truth.items():
+            assert cms.estimate(key) >= count
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    @settings(max_examples=20)
+    def test_overestimate_within_bound(self, stream):
+        cms = CountMinSketch(width=256, depth=4)
+        truth = {}
+        for item in stream:
+            key = b"%d" % item
+            cms.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert count <= cms.estimate(key) <= count + cms.error_bound()
+
+    def test_absent_key_small_estimate(self):
+        cms = CountMinSketch(width=4096, depth=4)
+        for i in range(100):
+            cms.add(b"present-%d" % i)
+        assert cms.estimate(b"never-seen") <= cms.error_bound() + 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().add(b"x", count=-1)
+
+
+class TestHeavyHitters:
+    def test_finds_the_elephant(self):
+        cms = CountMinSketch(width=1024, depth=4)
+        for _ in range(900):
+            cms.add(b"elephant")
+        for i in range(100):
+            cms.add(b"mouse-%d" % i)
+        candidates = [b"elephant"] + [b"mouse-%d" % i for i in range(100)]
+        hitters = cms.heavy_hitters(candidates, threshold_fraction=0.5)
+        assert hitters[0][0] == b"elephant"
+        assert len(hitters) == 1
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().heavy_hitters([], threshold_fraction=0)
+
+
+class TestMerge:
+    def test_merged_counts_add(self):
+        a = CountMinSketch(width=512, depth=3)
+        b = CountMinSketch(width=512, depth=3)
+        a.add(b"k", 5)
+        b.add(b"k", 7)
+        b.add(b"other", 2)
+        a.merge(b)
+        assert a.estimate(b"k") == 12
+        assert a.estimate(b"other") == 2
+        assert a.total == 14
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            CountMinSketch(width=512, depth=3).merge(
+                CountMinSketch(width=256, depth=3)
+            )
+
+
+class TestResources:
+    def test_reset(self):
+        cms = CountMinSketch(width=128, depth=2)
+        cms.add(b"x", 9)
+        cms.reset()
+        assert cms.estimate(b"x") == 0
+        assert cms.total == 0
+
+    def test_uses_register_budget(self):
+        registers = RegisterFile(sram_budget_bits=128 * 32 * 2)
+        CountMinSketch(width=128, depth=2, registers=registers)
+        with pytest.raises(SramExhaustedError):
+            CountMinSketch(width=128, depth=2, name="second",
+                           registers=registers)
+
+    def test_dimensions_for(self):
+        width, depth = dimensions_for(0.01, 0.01)
+        assert width >= 272
+        assert depth >= 5
+        with pytest.raises(ValueError):
+            dimensions_for(0, 0.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)

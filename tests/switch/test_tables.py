@@ -1,0 +1,121 @@
+"""Match-action tables: match kinds, priorities, capacity."""
+
+import pytest
+
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+    TableFullError,
+)
+
+
+def _table(kind, width=32, **kwargs):
+    return MatchActionTable(
+        "t", [MatchKey("f", kind, width)], **kwargs
+    )
+
+
+class TestExactMatch:
+    def test_hit_and_miss(self):
+        table = _table(MatchKind.EXACT)
+        table.insert(TableEntry((7,), "act", {"x": 1}))
+        action, params, hit = table.lookup([7])
+        assert (action, params, hit) == ("act", {"x": 1}, True)
+        action, _params, hit = table.lookup([8])
+        assert (action, hit) == ("NoAction", False)
+
+    def test_default_action_params(self):
+        table = _table(
+            MatchKind.EXACT, default_action="drop", default_params={"why": 1}
+        )
+        action, params, hit = table.lookup([1])
+        assert (action, params["why"], hit) == ("drop", 1, False)
+
+    def test_hit_counters(self):
+        table = _table(MatchKind.EXACT)
+        table.insert(TableEntry((1,), "a"))
+        table.lookup([1])
+        table.lookup([2])
+        assert (table.lookups, table.hits) == (2, 1)
+
+
+class TestTernaryMatch:
+    def test_mask_applies(self):
+        table = _table(MatchKind.TERNARY)
+        table.insert(TableEntry(((0xA0, 0xF0),), "hi"))
+        assert table.lookup([0xAF])[0] == "hi"
+        assert table.lookup([0xBF])[0] == "NoAction"
+
+    def test_priority_orders_overlaps(self):
+        table = _table(MatchKind.TERNARY)
+        table.insert(TableEntry(((0x00, 0x00),), "wildcard", priority=0))
+        table.insert(TableEntry(((0xA0, 0xF0),), "specific", priority=10))
+        assert table.lookup([0xA5])[0] == "specific"
+        assert table.lookup([0x15])[0] == "wildcard"
+
+
+class TestLpmMatch:
+    def test_prefix(self):
+        table = _table(MatchKind.LPM, width=32)
+        table.insert(TableEntry(((0x0A000000, 8),), "net10"))
+        assert table.lookup([0x0A0B0C0D])[0] == "net10"
+        assert table.lookup([0x0B000001])[0] == "NoAction"
+
+
+class TestRangeMatch:
+    def test_inclusive_bounds(self):
+        table = _table(MatchKind.RANGE)
+        table.insert(TableEntry(((10, 20),), "mid"))
+        assert table.lookup([10])[0] == "mid"
+        assert table.lookup([20])[0] == "mid"
+        assert table.lookup([21])[0] == "NoAction"
+
+
+class TestMultiKey:
+    def test_all_keys_must_match(self):
+        table = MatchActionTable(
+            "t",
+            [
+                MatchKey("sid", MatchKind.EXACT, 16),
+                MatchKey("app", MatchKind.EXACT, 8),
+            ],
+        )
+        table.insert(TableEntry((0x5A4E, 7), "merge"))
+        assert table.lookup([0x5A4E, 7])[0] == "merge"
+        assert table.lookup([0x5A4E, 8])[0] == "NoAction"
+        assert table.lookup([0x0000, 7])[0] == "NoAction"
+
+    def test_arity_checked(self):
+        table = _table(MatchKind.EXACT)
+        with pytest.raises(ValueError, match="keys"):
+            table.insert(TableEntry((1, 2), "a"))
+        with pytest.raises(ValueError):
+            table.lookup([1, 2])
+
+
+class TestCapacityAndRemoval:
+    def test_capacity(self):
+        table = _table(MatchKind.EXACT, max_entries=2)
+        table.insert(TableEntry((1,), "a"))
+        table.insert(TableEntry((2,), "a"))
+        with pytest.raises(TableFullError):
+            table.insert(TableEntry((3,), "a"))
+
+    def test_remove(self):
+        table = _table(MatchKind.EXACT)
+        table.insert(TableEntry((1,), "a"))
+        assert table.remove((1,))
+        assert not table.remove((1,))
+        assert table.lookup([1])[0] == "NoAction"
+
+    def test_len_and_entries(self):
+        table = _table(MatchKind.EXACT)
+        table.insert(TableEntry((1,), "a"))
+        assert len(table) == 1
+        assert table.entries()[0].action == "a"
+
+    def test_needs_keys(self):
+        with pytest.raises(ValueError):
+            MatchActionTable("t", [])

@@ -1,0 +1,54 @@
+"""Testbed configuration validation."""
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.testbed.config import Scheme, TestbedConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = TestbedConfig()
+        assert config.scheme is Scheme.BASELINE
+        assert not config.insa
+        assert config.spark_interval_ms == 150.0
+
+    def test_baseline_has_no_insa(self):
+        with pytest.raises(ValueError, match="INSA"):
+            TestbedConfig(scheme=Scheme.BASELINE, insa=True)
+
+    def test_rate_and_duration_positive(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(requests_per_second=0)
+        with pytest.raises(ValueError):
+            TestbedConfig(duration_ms=0)
+
+    def test_percentile_range(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(delay_percentile=101)
+
+    def test_periodical_needs_period(self):
+        with pytest.raises(ValueError):
+            TestbedConfig(
+                scheme=Scheme.TRANS_1RTT,
+                forwarding=ForwardingMode.PERIODICAL,
+            )
+        config = TestbedConfig(
+            scheme=Scheme.TRANS_1RTT,
+            forwarding=ForwardingMode.PERIODICAL,
+            period_ms=100,
+        )
+        assert config.period_ms == 100
+
+    def test_transport_detection(self):
+        assert TestbedConfig(scheme=Scheme.TRANS_1RTT).uses_transport_cookie
+        assert TestbedConfig(scheme=Scheme.TRANS_0RTT).uses_transport_cookie
+        assert not TestbedConfig(scheme=Scheme.APP_HTTPS).uses_transport_cookie
+
+    def test_paper_capacity_calibration(self):
+        """Worker counts match the Fig. 6(b) congestion onsets."""
+        config = TestbedConfig()
+        web_capacity = config.web_workers / (config.web_service_ms / 1000)
+        edge_capacity = config.edge_workers / (config.edge_service_ms / 1000)
+        assert 100 < web_capacity < 130
+        assert 200 < edge_capacity < 300

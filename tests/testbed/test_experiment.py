@@ -1,0 +1,166 @@
+"""End-to-end testbed runs vs the paper's Figure 6 anchors."""
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import TestbedExperiment
+
+
+def _run(scheme, insa=False, rps=10, percentile=50, duration=4000, **kwargs):
+    config = TestbedConfig(
+        scheme=scheme,
+        insa=insa,
+        requests_per_second=rps,
+        delay_percentile=percentile,
+        duration_ms=duration,
+        **kwargs,
+    )
+    return TestbedExperiment(config).run()
+
+
+class TestMedianAnchors:
+    """Figure 6(a) at the 50th percentile, 10 req/s."""
+
+    def test_baseline_around_506ms(self):
+        result = _run(Scheme.BASELINE)
+        assert result.median_latency_ms == pytest.approx(506, rel=0.05)
+
+    def test_trans_insa_around_61ms(self):
+        result = _run(Scheme.TRANS_1RTT, insa=True)
+        assert result.median_latency_ms == pytest.approx(61, rel=0.05)
+
+    def test_median_speedups_match_paper(self):
+        baseline = _run(Scheme.BASELINE).median_latency_ms
+        cases = [
+            (Scheme.APP_HTTPS, False, 1.9),
+            (Scheme.APP_HTTPS, True, 6.3),
+            (Scheme.TRANS_1RTT, False, 2.0),
+            (Scheme.TRANS_1RTT, True, 8.3),
+        ]
+        for scheme, insa, expected in cases:
+            got = baseline / _run(scheme, insa).median_latency_ms
+            assert got == pytest.approx(expected, rel=0.12), (scheme, insa)
+
+    def test_scheme_ordering(self):
+        """Shortest to longest: Trans+INSA < App+INSA < Trans < App <
+        baseline (the Figure 6(a) curve order at the median)."""
+        latencies = [
+            _run(Scheme.TRANS_1RTT, True).median_latency_ms,
+            _run(Scheme.APP_HTTPS, True).median_latency_ms,
+            _run(Scheme.TRANS_1RTT, False).median_latency_ms,
+            _run(Scheme.APP_HTTPS, False).median_latency_ms,
+            _run(Scheme.BASELINE).median_latency_ms,
+        ]
+        assert latencies == sorted(latencies)
+
+
+class TestPercentileSweep:
+    def test_latency_grows_with_percentile(self):
+        lows = _run(Scheme.BASELINE, percentile=10, duration=2500)
+        highs = _run(Scheme.BASELINE, percentile=90, duration=2500)
+        assert lows.median_latency_ms < highs.median_latency_ms
+
+    def test_p100_baseline_near_2800ms(self):
+        result = _run(Scheme.BASELINE, percentile=100, duration=2500)
+        assert result.median_latency_ms == pytest.approx(2807, rel=0.1)
+
+    def test_snatch_still_wins_at_p100(self):
+        """Paper: >= 3.8x even at the 100th percentile."""
+        baseline = _run(Scheme.BASELINE, percentile=100, duration=2500)
+        snatch = _run(Scheme.TRANS_1RTT, True, percentile=100, duration=2500)
+        assert baseline.median_latency_ms / snatch.median_latency_ms >= 3.8
+
+
+class TestWorkloadSweep:
+    """Figure 6(b): congestion, and Snatch's 'no parallelism inflation'."""
+
+    def test_trans_insa_flat_under_load(self):
+        low = _run(Scheme.TRANS_1RTT, True, rps=10, duration=2000)
+        high = _run(Scheme.TRANS_1RTT, True, rps=300, duration=2000)
+        assert high.median_latency_ms == pytest.approx(
+            low.median_latency_ms, rel=0.02
+        )
+
+    def test_baseline_congests_at_300rps(self):
+        low = _run(Scheme.BASELINE, rps=50, duration=2000)
+        high = _run(Scheme.BASELINE, rps=300, duration=2000)
+        assert high.median_latency_ms > 2 * low.median_latency_ms
+
+    def test_app_https_congests_later_than_baseline(self):
+        """App-HTTPS only traverses the edge queue (capacity ~235)."""
+        app = _run(Scheme.APP_HTTPS, True, rps=200, duration=2000)
+        base = _run(Scheme.BASELINE, rps=200, duration=2000)
+        assert app.median_latency_ms < base.median_latency_ms / 2
+
+
+class TestPeriodicalForwarding:
+    """Figure 6(c): latency rises, bandwidth falls with the interval."""
+
+    def test_latency_increases_with_interval(self):
+        per_packet = _run(Scheme.TRANS_1RTT, True, rps=200, duration=2000)
+        periodical = _run(
+            Scheme.TRANS_1RTT, True, rps=200, duration=2000,
+            forwarding=ForwardingMode.PERIODICAL, period_ms=200,
+        )
+        assert periodical.median_latency_ms > per_packet.median_latency_ms
+
+    def test_bandwidth_decreases_with_interval(self):
+        short = _run(
+            Scheme.TRANS_1RTT, True, rps=200, duration=2000,
+            forwarding=ForwardingMode.PERIODICAL, period_ms=10,
+        )
+        long = _run(
+            Scheme.TRANS_1RTT, True, rps=200, duration=2000,
+            forwarding=ForwardingMode.PERIODICAL, period_ms=500,
+        )
+        # Longer intervals send far fewer (though individually larger)
+        # aggregation packets; the paper's grey line falls ~100x with a
+        # fixed-size snapshot, ours ~5x because flush size grows with
+        # the number of touched statistic cells.
+        assert long.bandwidth_kbps < short.bandwidth_kbps / 3
+        assert long.aggregation_packets < short.aggregation_packets / 10
+
+    def test_per_packet_sends_one_packet_per_request(self):
+        result = _run(Scheme.TRANS_1RTT, True, rps=50, duration=2000)
+        assert result.aggregation_packets == len(result.records)
+
+    def test_periodical_completes_all_requests(self):
+        result = _run(
+            Scheme.TRANS_1RTT, True, rps=100, duration=2000,
+            forwarding=ForwardingMode.PERIODICAL, period_ms=100,
+        )
+        assert result.completed == len(result.records)
+
+
+class TestCorrectness:
+    """The aggregates produced by real switch pipelines must equal the
+    workload's ground truth."""
+
+    @pytest.mark.parametrize(
+        "scheme", [Scheme.TRANS_1RTT, Scheme.APP_HTTPS]
+    )
+    def test_per_packet_counts_exact(self, scheme):
+        result = _run(scheme, insa=True, rps=50, duration=2000)
+        assert result.completed == len(result.records)
+        assert result.counts_match_reference()
+
+    def test_periodical_counts_exact(self):
+        result = _run(
+            Scheme.TRANS_1RTT, True, rps=50, duration=2000,
+            forwarding=ForwardingMode.PERIODICAL, period_ms=100,
+        )
+        assert result.counts_match_reference()
+
+    def test_trans_0rtt_same_path_as_1rtt(self):
+        a = _run(Scheme.TRANS_0RTT, True, duration=2000)
+        b = _run(Scheme.TRANS_1RTT, True, duration=2000)
+        assert a.median_latency_ms == pytest.approx(
+            b.median_latency_ms, rel=0.01
+        )
+
+    def test_result_statistics_api(self):
+        result = _run(Scheme.TRANS_1RTT, True, duration=2000)
+        assert result.percentile_latency_ms(0) <= result.median_latency_ms
+        assert result.median_latency_ms <= result.percentile_latency_ms(100)
+        assert result.mean_latency_ms > 0

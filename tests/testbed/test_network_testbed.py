@@ -1,0 +1,88 @@
+"""Packet-routed testbed: agreement with the chain-based experiment
+and link-level loss behaviour."""
+
+import pytest
+
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.experiment import TestbedExperiment
+from repro.testbed.network_testbed import NetworkTestbed
+
+
+def _config(**kwargs):
+    defaults = dict(
+        scheme=Scheme.TRANS_1RTT,
+        insa=True,
+        requests_per_second=20,
+        duration_ms=2500,
+    )
+    defaults.update(kwargs)
+    return TestbedConfig(**defaults)
+
+
+class TestAgreement:
+    def test_latency_matches_chain_based_experiment(self):
+        """Two independent implementations of the Trans-1RTT + INSA
+        pathway (explicit chains vs hop-by-hop packets) must agree."""
+        config = _config()
+        chain = TestbedExperiment(config).run()
+        network = NetworkTestbed(config).run()
+        assert network.median_latency_ms == pytest.approx(
+            chain.median_latency_ms, rel=0.02
+        )
+
+    def test_counts_exact_without_loss(self):
+        result = NetworkTestbed(_config()).run()
+        assert result.counts_match_reference()
+        assert result.lost_packets == 0
+        assert result.aggregation_packets == len(result.latencies_ms)
+
+    def test_latency_scales_with_percentile(self):
+        low = NetworkTestbed(_config(delay_percentile=25)).run()
+        high = NetworkTestbed(_config(delay_percentile=90)).run()
+        assert low.median_latency_ms < high.median_latency_ms
+
+    def test_original_traffic_still_reaches_web(self):
+        testbed = NetworkTestbed(_config())
+        result = testbed.run()
+        web = testbed.net.nodes["web"]
+        # Every request's original QUIC packet continued to the web
+        # server (Snatch never disturbs the user's traffic).
+        assert web.completed == len(result.latencies_ms)
+
+
+class TestLossBehaviour:
+    def test_loss_degrades_gracefully(self):
+        """Appendix B.3: losing aggregation packets loses those data
+        points and nothing else."""
+        result = NetworkTestbed(_config(), agg_loss_rate=0.05).run()
+        assert result.lost_packets > 0
+        total = result.lost_packets + len(result.latencies_ms)
+        assert len(result.latencies_ms) == total - result.lost_packets
+        # The aggregate undercounts by exactly the lost packets.
+        counted = sum(result.report["gender_by_campaign"].values())
+        expected = sum(result.reference["gender_by_campaign"].values())
+        assert expected - counted == result.lost_packets
+
+    def test_tiny_wan_loss_rarely_matters(self):
+        result = NetworkTestbed(_config(), agg_loss_rate=0.0001).run()
+        counted = sum(result.report["gender_by_campaign"].values())
+        expected = sum(result.reference["gender_by_campaign"].values())
+        assert expected - counted <= 1
+
+
+class TestWebServerOutage:
+    def test_transport_path_survives_web_failure(self):
+        """The transport-layer pathway forks at the LarkSwitch, before
+        the web server; a web-server outage therefore cannot touch the
+        analytics stream, even as the original requests are dropped."""
+        testbed = NetworkTestbed(_config(duration_ms=2000))
+        web = testbed.net.nodes["web"]
+        web.fail_until(recover_at_ms=1000)
+        result = testbed.run()
+        # Analytics completed for every request despite the outage...
+        assert result.counts_match_reference()
+        assert len(result.latencies_ms) == result.aggregation_packets
+        # ...while the web server genuinely dropped original traffic
+        # during its first-second downtime.
+        assert web.dropped > 0
+        assert web.completed < len(result.latencies_ms)

@@ -1,0 +1,62 @@
+"""Spark latency model: batch boundaries and sequential backlog."""
+
+import pytest
+
+from repro.testbed.spark_model import SparkLatencyModel
+
+
+class TestBoundaries:
+    def test_batch_boundary(self):
+        model = SparkLatencyModel(interval_ms=150)
+        assert model.batch_boundary_after(0) == 150
+        assert model.batch_boundary_after(149.9) == 150
+        assert model.batch_boundary_after(150) == 300
+
+    def test_result_time_is_boundary_plus_processing(self):
+        model = SparkLatencyModel(interval_ms=150, batch_processing_ms=100)
+        assert model.result_time_ms(10) == 250
+        # A second record in the same batch shares the result time.
+        assert model.result_time_ms(100) == 250
+        assert model.records_submitted == 2
+
+    def test_distinct_batches(self):
+        model = SparkLatencyModel(interval_ms=100, batch_processing_ms=50)
+        assert model.result_time_ms(10) == 150
+        assert model.result_time_ms(110) == 250
+
+    def test_negative_arrival(self):
+        with pytest.raises(ValueError):
+            SparkLatencyModel().result_time_ms(-1)
+
+
+class TestBacklog:
+    def test_slow_batches_back_up(self):
+        """Processing (250 ms) exceeding the interval (100 ms) delays
+        subsequent batch starts."""
+        model = SparkLatencyModel(interval_ms=100, batch_processing_ms=250)
+        first = model.result_time_ms(10)    # batch [0,100): 100+250=350
+        second = model.result_time_ms(110)  # starts at 350, not 200
+        assert first == 350
+        assert second == 600
+
+    def test_fast_batches_do_not_back_up(self):
+        model = SparkLatencyModel(interval_ms=100, batch_processing_ms=20)
+        model.result_time_ms(10)
+        assert model.result_time_ms(110) == 220
+
+
+class TestConfiguration:
+    def test_mean_latency(self):
+        model = SparkLatencyModel(interval_ms=150, batch_processing_ms=115)
+        assert model.mean_latency_ms == pytest.approx(75 + 115)
+
+    def test_paper_default_interval_mean(self):
+        """Footnote 3: Spark's default 1 s interval -> 500 ms mean wait."""
+        model = SparkLatencyModel(interval_ms=1000, batch_processing_ms=0)
+        assert model.mean_latency_ms == 500.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SparkLatencyModel(interval_ms=0)
+        with pytest.raises(ValueError):
+            SparkLatencyModel(batch_processing_ms=-1)

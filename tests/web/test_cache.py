@@ -1,0 +1,91 @@
+"""LRU/TTL cache."""
+
+import pytest
+
+from repro.web.cache import LruTtlCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LruTtlCache(capacity=4)
+        cache.put("/a", "A", now_ms=0)
+        assert cache.get("/a", now_ms=10) == "A"
+        assert cache.stats.hits == 1
+
+    def test_miss_recorded(self):
+        cache = LruTtlCache()
+        assert cache.get("/nope", now_ms=0) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LruTtlCache(capacity=0)
+
+    def test_invalidate(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0)
+        assert cache.invalidate("/a")
+        assert not cache.invalidate("/a")
+        assert cache.get("/a", now_ms=0) is None
+
+    def test_clear(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestTtl:
+    def test_expiry(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0, ttl_ms=100)
+        assert cache.get("/a", now_ms=99) == "A"
+        assert cache.get("/a", now_ms=100) is None
+        assert cache.stats.expirations == 1
+
+    def test_no_ttl_never_expires(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0)
+        assert cache.get("/a", now_ms=1e12) == "A"
+
+    def test_contains_fresh(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0, ttl_ms=50)
+        assert cache.contains_fresh("/a", now_ms=10)
+        assert not cache.contains_fresh("/a", now_ms=60)
+        assert not cache.contains_fresh("/b", now_ms=0)
+
+    def test_reput_refreshes_ttl(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", now_ms=0, ttl_ms=50)
+        cache.put("/a", "A2", now_ms=40, ttl_ms=50)
+        assert cache.get("/a", now_ms=80) == "A2"
+
+
+class TestLru:
+    def test_capacity_evicts_oldest(self):
+        cache = LruTtlCache(capacity=2)
+        cache.put("/a", "A", 0)
+        cache.put("/b", "B", 0)
+        cache.put("/c", "C", 0)
+        assert cache.get("/a", 0) is None
+        assert cache.get("/b", 0) == "B"
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LruTtlCache(capacity=2)
+        cache.put("/a", "A", 0)
+        cache.put("/b", "B", 0)
+        cache.get("/a", 0)       # /a is now most recent
+        cache.put("/c", "C", 0)  # evicts /b
+        assert cache.get("/a", 0) == "A"
+        assert cache.get("/b", 0) is None
+
+    def test_hit_ratio(self):
+        cache = LruTtlCache()
+        cache.put("/a", "A", 0)
+        cache.get("/a", 0)
+        cache.get("/a", 0)
+        cache.get("/x", 0)
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)

@@ -1,0 +1,159 @@
+"""CDN edge + origin integration, including the Snatch page rule."""
+
+import random
+
+import pytest
+
+from repro.core.app_cookie import ApplicationCookieCodec
+from repro.core.edge_service import SnatchEdgeServer
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.web_server import SnatchWebServer
+from repro.web.cdn import CdnEdge
+from repro.web.http import HttpRequest, Method, Status
+from repro.web.origin import OriginServer
+
+KEY = bytes(range(16))
+APP = 0x2A
+
+
+def _schema():
+    return CookieSchema(
+        "ads",
+        (
+            Feature.categorical("event", ["view", "click"]),
+            Feature.categorical("gender", ["f", "m", "x"]),
+        ),
+    )
+
+
+def _origin(with_snatch=True):
+    snatch = None
+    if with_snatch:
+        snatch = SnatchWebServer(
+            APP, _schema(), KEY,
+            lambda prev, req: {"event": "view", "gender": "f"},
+            rng=random.Random(1),
+        )
+    origin = OriginServer(
+        snatch=snatch,
+        static_content={"/static/app.js": "console.log('hi')"},
+    )
+    return origin
+
+
+def _edge(origin=None, with_rule=True):
+    snatch_edge = None
+    if with_rule:
+        snatch_edge = SnatchEdgeServer("pop-1", random.Random(2))
+        snatch_edge.register_application(
+            APP, _schema(), KEY,
+            [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")],
+        )
+    return CdnEdge(origin or _origin(), snatch=snatch_edge)
+
+
+class TestStaticPath:
+    def test_miss_then_hit(self):
+        edge = _edge()
+        request = HttpRequest(Method.GET, "/static/app.js")
+        first = edge.handle(request, now_ms=0)
+        assert not first.cache_hit and first.went_to_origin
+        second = edge.handle(request, now_ms=10)
+        assert second.cache_hit and not second.went_to_origin
+        assert second.response.body == "console.log('hi')"
+        assert edge.origin_fetches == 1
+        assert edge.hit_ratio == pytest.approx(0.5)
+
+    def test_ttl_expiry_refetches(self):
+        origin = _origin()
+        origin.static_ttl_ms = 100
+        edge = _edge(origin)
+        request = HttpRequest(Method.GET, "/static/app.js")
+        edge.handle(request, now_ms=0)
+        stale = edge.handle(request, now_ms=200)
+        assert not stale.cache_hit
+        assert edge.origin_fetches == 2
+
+    def test_missing_asset_404_not_cached(self):
+        edge = _edge()
+        request = HttpRequest(Method.GET, "/static/ghost.js")
+        served = edge.handle(request, now_ms=0)
+        assert served.response.status is Status.NOT_FOUND
+        again = edge.handle(request, now_ms=1)
+        assert again.went_to_origin  # 404s are not cached
+
+    def test_purge(self):
+        edge = _edge()
+        request = HttpRequest(Method.GET, "/static/app.js")
+        edge.handle(request, now_ms=0)
+        assert edge.purge("/static/app.js")
+        served = edge.handle(request, now_ms=1)
+        assert served.went_to_origin
+
+
+class TestDynamicPath:
+    def test_forwarded_to_origin_with_cookie(self):
+        edge = _edge()
+        served = edge.handle(HttpRequest(Method.POST, "/click"), now_ms=0)
+        assert served.went_to_origin
+        assert served.response.body == "dynamic:/click"
+        # The origin's Snatch server planted a semantic cookie.
+        assert any(
+            name.startswith("__sc_") for name in served.response.set_cookies
+        )
+
+    def test_dynamic_never_cached(self):
+        edge = _edge()
+        edge.handle(HttpRequest(Method.POST, "/click"), now_ms=0)
+        edge.handle(HttpRequest(Method.POST, "/click"), now_ms=1)
+        assert edge.origin_fetches == 2
+
+
+class TestSnatchPageRule:
+    def test_semantic_cookie_preaggregated_at_edge(self):
+        edge = _edge()
+        codec = ApplicationCookieCodec(APP, _schema(), KEY, random.Random(3))
+        name, value = codec.encode({"event": "view", "gender": "m"})
+        request = HttpRequest(
+            Method.GET, "/landing",
+            headers={"Cookie": "%s=%s" % (name, value)},
+        )
+        served = edge.handle(request, now_ms=0)
+        assert served.semantic_matched
+        assert served.aggregation_payload is not None
+        assert edge.snatch.stats_report(APP)["by_gender"]["m"] == 1
+
+    def test_plain_traffic_unaffected(self):
+        edge = _edge()
+        served = edge.handle(
+            HttpRequest(Method.GET, "/landing",
+                        headers={"Cookie": "session=xyz"}),
+            now_ms=0,
+        )
+        assert not served.semantic_matched
+        assert served.aggregation_payload is None
+
+    def test_rule_free_edge(self):
+        edge = _edge(with_rule=False)
+        served = edge.handle(HttpRequest(Method.GET, "/landing"), now_ms=0)
+        assert not served.semantic_matched
+
+
+class TestFullLoop:
+    def test_set_cookie_round_trips_to_edge_analytics(self):
+        """Origin plants the cookie; the user's next request lets the
+        edge pre-aggregate it — the complete app-layer Snatch story."""
+        edge = _edge()
+        first = edge.handle(HttpRequest(Method.GET, "/home"), now_ms=0)
+        (name, value), = first.response.set_cookies.items()
+        second = edge.handle(
+            HttpRequest(Method.GET, "/home",
+                        headers={"Cookie": "%s=%s" % (name, value)}),
+            now_ms=100,
+        )
+        assert second.semantic_matched
+        assert second.aggregation_payload is not None
+        assert edge.snatch.stats_report(APP)["by_gender"]["f"] == 1
+        # And nobody ever stored a user record.
+        assert edge.origin.stored_user_records == 0

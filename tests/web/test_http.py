@@ -1,0 +1,72 @@
+"""HTTP message model."""
+
+import pytest
+
+from repro.web.http import HttpRequest, HttpResponse, Method, Status
+
+
+class TestHttpRequest:
+    def test_path_validated(self):
+        with pytest.raises(ValueError):
+            HttpRequest(Method.GET, "no-slash")
+
+    def test_header_names_normalized(self):
+        request = HttpRequest(
+            Method.GET, "/", headers={"cOOkie": "a=1", "x-event": "view"}
+        )
+        assert request.headers == {"Cookie": "a=1", "X-Event": "view"}
+
+    def test_cookie_parsing(self):
+        request = HttpRequest(
+            Method.GET, "/", headers={"Cookie": "a=1; b=2"}
+        )
+        assert request.cookies == {"a": "1", "b": "2"}
+        assert HttpRequest(Method.GET, "/").cookies == {}
+
+    def test_with_cookie_is_immutable_add(self):
+        request = HttpRequest(Method.GET, "/", headers={"Cookie": "a=1"})
+        updated = request.with_cookie("b", "2")
+        assert updated.cookies == {"a": "1", "b": "2"}
+        assert request.cookies == {"a": "1"}
+
+    @pytest.mark.parametrize(
+        "path,static",
+        [
+            ("/static/app.bundle", True),
+            ("/img/logo.png", True),
+            ("/styles.css", True),
+            ("/index.html", False),
+            ("/api/clicks", False),
+            ("/", False),
+        ],
+    )
+    def test_static_detection(self, path, static):
+        assert HttpRequest(Method.GET, path).is_static is static
+
+    def test_post_is_never_static(self):
+        assert not HttpRequest(Method.POST, "/static/x.css").is_static
+
+
+class TestHttpResponse:
+    def test_cacheable_requires_ttl_and_ok(self):
+        assert HttpResponse(cache_ttl_ms=1000).cacheable
+        assert not HttpResponse(cache_ttl_ms=None).cacheable
+        assert not HttpResponse(cache_ttl_ms=0).cacheable
+        assert not HttpResponse(
+            status=Status.NOT_FOUND, cache_ttl_ms=1000
+        ).cacheable
+
+    def test_cookie_setting_responses_uncacheable(self):
+        response = HttpResponse(
+            cache_ttl_ms=1000, set_cookies={"__sc_01": "aabb"}
+        )
+        assert not response.cacheable
+
+    def test_header_lines_include_set_cookie(self):
+        response = HttpResponse(
+            headers={"content-type": "text/html"},
+            set_cookies={"__sc_01": "aabb"},
+        )
+        lines = response.header_lines()
+        assert "Content-Type: text/html" in lines
+        assert "Set-Cookie: __sc_01=aabb" in lines

@@ -1,0 +1,97 @@
+"""Ad-campaign workload generator."""
+
+import pytest
+
+from repro.workloads.adcampaign import (
+    AGE_BRACKETS,
+    AdCampaignWorkload,
+    EVENT_TYPES,
+    GENDERS,
+    GEOS,
+)
+
+
+class TestPopulation:
+    def test_users_have_valid_demographics(self):
+        workload = AdCampaignWorkload(num_users=100, seed=1)
+        for user in workload.users:
+            assert user.gender in GENDERS
+            assert user.age in AGE_BRACKETS
+            assert user.geo in GEOS
+
+    def test_deterministic(self):
+        a = AdCampaignWorkload(num_users=50, seed=2)
+        b = AdCampaignWorkload(num_users=50, seed=2)
+        assert a.users == b.users
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            AdCampaignWorkload(num_users=0)
+        with pytest.raises(ValueError):
+            AdCampaignWorkload(click_fraction=2.0)
+
+
+class TestSchema:
+    def test_schema_fits_transport(self):
+        workload = AdCampaignWorkload(num_campaigns=8)
+        assert workload.schema().fits_transport()
+
+    def test_specs_cover_three_demographics(self):
+        names = {spec.name for spec in AdCampaignWorkload().specs()}
+        assert names == {
+            "gender_by_campaign", "age_by_campaign", "geo_by_campaign"
+        }
+
+    def test_semantic_values_match_schema(self):
+        workload = AdCampaignWorkload(num_users=10, seed=3)
+        schema = workload.schema()
+        values = workload.users[0].semantic_values("camp-0", "click")
+        assert schema.validate_values(values)  # no FeatureValueError
+
+    def test_event_filter(self):
+        assert AdCampaignWorkload.event_filter({"event": "view"})
+        assert AdCampaignWorkload.event_filter({"event": "click"})
+        assert not AdCampaignWorkload.event_filter({"event": "purchase"})
+        assert not AdCampaignWorkload.event_filter({})
+
+
+class TestEventStream:
+    def test_rate_approximately_honoured(self):
+        workload = AdCampaignWorkload(seed=4)
+        events = workload.generate_events(100, 10_000)
+        assert 750 <= len(events) <= 1250
+
+    def test_events_ordered_in_time(self):
+        events = AdCampaignWorkload(seed=5).generate_events(50, 2000)
+        times = [e.time_ms for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 2000 for t in times)
+
+    def test_click_fraction(self):
+        workload = AdCampaignWorkload(seed=6, click_fraction=0.25)
+        events = workload.generate_events(500, 10_000)
+        clicks = sum(1 for e in events if e.event_type == "click")
+        assert clicks / len(events) == pytest.approx(0.25, abs=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdCampaignWorkload().generate_events(0, 1000)
+        with pytest.raises(ValueError):
+            AdCampaignWorkload().generate_events(10, 0)
+
+
+class TestReferenceCounts:
+    def test_totals_consistent(self):
+        workload = AdCampaignWorkload(seed=7)
+        events = workload.generate_events(100, 3000)
+        reference = workload.reference_counts(events)
+        for stat in reference.values():
+            assert sum(stat.values()) == len(events)
+
+    def test_keys_are_campaign_attribute_pairs(self):
+        workload = AdCampaignWorkload(seed=8)
+        events = workload.generate_events(50, 1000)
+        reference = workload.reference_counts(events)
+        for (campaign, gender) in reference["gender_by_campaign"]:
+            assert campaign in workload.campaigns
+            assert gender in GENDERS

@@ -1,0 +1,56 @@
+"""Crowd-analytics workload."""
+
+import pytest
+
+from repro.workloads.crowd import (
+    CrowdWorkload,
+    INTERESTS,
+    REGIONS,
+)
+
+
+class TestPopulation:
+    def test_members_valid(self):
+        workload = CrowdWorkload(num_members=100, seed=1)
+        for member in workload.members:
+            assert member.region in REGIONS
+            assert member.interest in INTERESTS
+            assert 0 <= member.dwell_minutes <= 240
+
+    def test_semantic_values_validate(self):
+        workload = CrowdWorkload(num_members=10, seed=2)
+        schema = workload.schema()
+        for member in workload.members:
+            schema.validate_values(member.semantic_values())
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CrowdWorkload(num_members=0)
+
+
+class TestSchema:
+    def test_constant_cookie_fits_transport(self):
+        """Crowd cookies are constant per user and must fit the
+        transport layer (section 3.1)."""
+        assert CrowdWorkload(num_members=5).schema().fits_transport()
+
+    def test_specs(self):
+        names = {s.name for s in CrowdWorkload(num_members=5).specs()}
+        assert names == {"interest_by_region", "dwell_avg", "dwell_max"}
+
+
+class TestArrivals:
+    def test_rate(self):
+        workload = CrowdWorkload(seed=3)
+        arrivals = workload.arrivals(200, 5000)
+        assert 750 <= len(arrivals) <= 1250
+
+    def test_reference_counts_total(self):
+        workload = CrowdWorkload(seed=4)
+        arrivals = workload.arrivals(100, 2000)
+        reference = workload.reference_interest_counts(arrivals)
+        assert sum(reference.values()) == len(arrivals)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CrowdWorkload().arrivals(0, 100)

@@ -1,0 +1,86 @@
+"""Resource-demand workload and the autoscaler."""
+
+import pytest
+
+from repro.workloads.resource import (
+    Autoscaler,
+    MAX_DEMAND_UNITS,
+    ResourceDemandWorkload,
+    SERVICE_TIERS,
+)
+
+
+class TestWorkload:
+    def test_tenants_valid(self):
+        workload = ResourceDemandWorkload(num_tenants=100, seed=1)
+        for tenant in workload.tenants:
+            assert tenant.tier in SERVICE_TIERS
+            assert 1 <= tenant.demand_units <= MAX_DEMAND_UNITS
+
+    def test_tier_distribution_skewed_to_free(self):
+        workload = ResourceDemandWorkload(num_tenants=1000, seed=2)
+        free = sum(1 for t in workload.tenants if t.tier == "free")
+        premium = sum(1 for t in workload.tenants if t.tier == "premium")
+        assert free > 3 * premium
+
+    def test_schema_fits_transport(self):
+        assert ResourceDemandWorkload(num_tenants=5).schema().fits_transport()
+
+    def test_sessions_and_reference(self):
+        workload = ResourceDemandWorkload(seed=3)
+        sessions = workload.sessions(100, 2000)
+        assert sessions
+        reference = workload.reference_demand_sum(sessions)
+        assert sum(reference.values()) == sum(
+            t.demand_units for _ts, t in sessions
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ResourceDemandWorkload(num_tenants=0)
+        with pytest.raises(ValueError):
+            ResourceDemandWorkload().sessions(0, 10)
+
+
+class TestAutoscaler:
+    def test_target_rounds_up(self):
+        scaler = Autoscaler(units_per_replica=100, min_replicas=1,
+                            max_replicas=10)
+        assert scaler.target_for(0) == 1
+        assert scaler.target_for(101) == 2
+        assert scaler.target_for(10_000) == 10  # clamped
+
+    def test_scales_up_on_demand(self):
+        scaler = Autoscaler(units_per_replica=100, max_replicas=20)
+        replicas = scaler.observe(0.0, 900)
+        assert replicas == 9
+        assert scaler.scaling_events == [(0.0, 9)]
+
+    def test_hysteresis_suppresses_jitter(self):
+        scaler = Autoscaler(units_per_replica=100, hysteresis=0.3,
+                            max_replicas=30)
+        scaler.observe(0.0, 1000)  # -> 10 replicas
+        scaler.observe(1.0, 1050)  # target 11, within 30% band + <2 delta
+        assert scaler.current_replicas == 10
+        assert len(scaler.scaling_events) == 1
+
+    def test_large_change_overrides_hysteresis(self):
+        scaler = Autoscaler(units_per_replica=100, hysteresis=0.3,
+                            max_replicas=50)
+        scaler.observe(0.0, 1000)
+        scaler.observe(1.0, 4000)
+        assert scaler.current_replicas == 40
+
+    def test_scales_down(self):
+        scaler = Autoscaler(units_per_replica=100, max_replicas=30)
+        scaler.observe(0.0, 2000)
+        scaler.observe(1.0, 200)
+        assert scaler.current_replicas == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Autoscaler(units_per_replica=0)
+        with pytest.raises(ValueError):
+            Autoscaler(hysteresis=1.0)
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=5, max_replicas=2)

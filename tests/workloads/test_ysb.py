@@ -1,0 +1,76 @@
+"""Yahoo Streaming Benchmark on the micro-batch engine."""
+
+import pytest
+
+from repro.workloads.ysb import YsbPipeline, YsbWorkload
+
+
+class TestWorkload:
+    def test_campaign_table_shape(self):
+        workload = YsbWorkload(num_campaigns=5, ads_per_campaign=4, seed=1)
+        assert len(workload.campaigns) == 5
+        assert len(workload.ad_to_campaign) == 20
+        assert all(
+            campaign in workload.campaigns
+            for campaign in workload.ad_to_campaign.values()
+        )
+
+    def test_event_stream(self):
+        workload = YsbWorkload(seed=2)
+        events = workload.generate_events(100, 5000)
+        assert 350 <= len(events) <= 650
+        assert all(e.ad_id in workload.ad_to_campaign for e in events)
+        times = [e.event_time_ms for e in events]
+        assert times == sorted(times)
+
+    def test_reference_only_counts_views(self):
+        workload = YsbWorkload(seed=3)
+        events = workload.generate_events(300, 2000)
+        reference = workload.reference_window_counts(events, 1000)
+        views = sum(1 for e in events if e.event_type == "view")
+        assert sum(reference.values()) == views
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            YsbWorkload(num_campaigns=0)
+        with pytest.raises(ValueError):
+            YsbWorkload().generate_events(0, 100)
+
+
+class TestPipeline:
+    def test_matches_reference_exactly(self):
+        workload = YsbWorkload(num_campaigns=5, ads_per_campaign=4, seed=1)
+        events = workload.generate_events(200, 3000)
+        pipeline = YsbPipeline(workload, window_ms=1000,
+                               batch_interval_ms=500)
+        pipeline.feed(events)
+        pipeline.run(4000)
+        assert pipeline.results() == workload.reference_window_counts(
+            events, 1000
+        )
+
+    def test_window_equals_interval(self):
+        workload = YsbWorkload(seed=4)
+        events = workload.generate_events(100, 2000)
+        pipeline = YsbPipeline(workload, window_ms=500)
+        pipeline.feed(events)
+        pipeline.run(2500)
+        assert pipeline.results() == workload.reference_window_counts(
+            events, 500
+        )
+
+    def test_non_view_events_excluded(self):
+        workload = YsbWorkload(seed=5)
+        events = [
+            e for e in workload.generate_events(200, 1000)
+            if e.event_type != "view"
+        ]
+        pipeline = YsbPipeline(workload, window_ms=1000)
+        pipeline.feed(events)
+        pipeline.run(2000)
+        assert pipeline.results() == {}
+
+    def test_window_must_align_with_interval(self):
+        with pytest.raises(ValueError, match="multiple"):
+            YsbPipeline(YsbWorkload(seed=6), window_ms=1000,
+                        batch_interval_ms=300)
