@@ -6,7 +6,8 @@ Subpackages
 ``repro.crypto``       AES-128 (from scratch) + key management
 ``repro.quic``         QUIC headers, connection IDs, handshakes
 ``repro.switch``       P4/Tofino-style programmable-switch model
-``repro.net``          discrete-event network simulator
+``repro.net``          discrete-event network simulator + fault model
+``repro.chaos``        scripted fault scenarios + self-healing harness
 ``repro.streaming``    Spark-Streaming-like micro-batch engine + queue
 ``repro.measurement``  synthetic global measurement study
 ``repro.model``        analytic speedup model (paper Eqs. 1-6)

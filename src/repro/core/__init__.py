@@ -26,7 +26,7 @@ from repro.core.compiler import (
 )
 from repro.core.fault import Discrepancy, FaultRepairLoop, ResultVerifier
 from repro.core.regional import RegionalDeployment, RegionalHandle
-from repro.core.rpc import RpcBus, RpcCall
+from repro.core.rpc import DeadDeviceError, RpcBus, RpcCall, RpcError
 from repro.core.switch_join import JoinKind, JoinedRow, SwitchJoinTable
 from repro.core.app_cookie import (
     ApplicationCookieCodec,
@@ -111,9 +111,11 @@ __all__ = [
     "JoinKind",
     "JoinedRow",
     "QUIC_CARRIER_PROFILE",
+    "DeadDeviceError",
     "RegionalDeployment",
     "RpcBus",
     "RpcCall",
+    "RpcError",
     "RegionalHandle",
     "ResultVerifier",
     "SwitchJoinTable",

@@ -70,6 +70,8 @@ class AggSwitch:
 
     def __init__(self, name: str = "agg", rng: Optional[random.Random] = None):
         self.name = name
+        self.alive = True
+        self.crashes = 0
         self._rng = rng or random.Random()
         self.pipeline = SwitchPipeline(name)
         self._apps: Dict[int, _AggApp] = {}
@@ -135,6 +137,18 @@ class AggSwitch:
     def registered_app_ids(self) -> List[int]:
         return sorted(self._apps)
 
+    # -- lifecycle (crash / recovery, paper section 6) -------------------------
+
+    def crash(self) -> None:
+        """Power loss: merged aggregates and parameters are gone."""
+        for app_id in list(self._apps):
+            self.revoke_application(app_id)
+        self.alive = False
+        self.crashes += 1
+
+    def restart(self) -> None:
+        self.alive = True
+
     # -- data plane -----------------------------------------------------------
 
     def _action_merge(
@@ -182,6 +196,10 @@ class AggSwitch:
 
     def process_packet(self, payload: bytes) -> AggResult:
         """Inspect one packet heading for the analytics server."""
+        if not self.alive:
+            return AggResult(
+                is_aggregation=False, merged=False, latency_ms=0.0
+            )
         is_agg = AggregationCodec.is_aggregation_packet(payload)
         sid = int.from_bytes(payload[0:2], "big") if len(payload) >= 2 else 0
         app_id = payload[2] if len(payload) >= 3 else -1
@@ -214,6 +232,15 @@ class AggSwitch:
     def reset(self, app_id: int) -> None:
         """Period-boundary reset after delivering results."""
         self._apps[app_id].stats.reset()
+
+    def reconcile_report(self, app_id: int, report: Dict[str, Any]) -> None:
+        """Fault repair (section 6): replace the drifted in-network
+        aggregate with the result re-computed from the complete
+        web-server-side data — the registers are overwritten with the
+        ground-truth report."""
+        if app_id not in self._apps:
+            raise KeyError("no application %d registered" % app_id)
+        self._apps[app_id].stats.load_report(report)
 
     def packets_merged(self, app_id: int) -> int:
         return self._apps[app_id].packets_merged

@@ -18,6 +18,17 @@ The developer-facing API surface (section 3.5):
 Consistency (section 4.3): every update creates a **new version with a
 new application-ID**; the old version's rules are revoked only after a
 grace period, so in-flight cookies in either format stay decodable.
+
+Control-plane transport: by default the controller provisions devices
+synchronously (direct method calls — convenient for unit tests).  When
+constructed with an :class:`~repro.core.rpc.RpcBus`, every push rides
+the bus instead, and the AggSwitch -> LarkSwitch -> edge-server order
+is enforced with acknowledgment barriers: the next tier's RPCs are not
+even *sent* until every call to the previous tier has acked (or been
+declared dead), so the ordering invariant survives RPC loss and
+retries.  Devices that restart after a crash re-enroll through
+:meth:`SnatchController.reenroll_device`, which re-pushes every
+application they lost (section 6 recovery).
 """
 
 from __future__ import annotations
@@ -64,27 +75,41 @@ class RpcLog:
 class SnatchController:
     """Coordinates AggSwitches, LarkSwitches and edge servers."""
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None, bus: Optional[Any] = None):
         self._rng = random.Random(seed)
+        self.bus = bus
         self._agg_switches: List[Any] = []
         self._lark_switches: List[Any] = []
         self._edge_servers: List[Any] = []
         self._apps: Dict[str, ApplicationHandle] = {}
+        self._event_filters: Dict[str, Any] = {}
         self._used_app_ids: set = set()
         self._retired: List[Tuple[str, int]] = []  # (name, old app_id)
         self.rpc_log: List[RpcLog] = []
+        self.push_failures: List[Any] = []  # terminal RpcCall failures
+        self._inflight: set = set()  # (device_name, app_id) pushes en route
         self._rpc_counter = 0
 
     # -- device enrollment ------------------------------------------------------
 
-    def attach_agg_switch(self, switch: Any) -> None:
+    def _enroll(self, device: Any, delay_ms: Optional[float]) -> None:
+        if self.bus is not None:
+            self.bus.register_device(device.name, device, delay_ms)
+
+    def attach_agg_switch(self, switch: Any,
+                          delay_ms: Optional[float] = None) -> None:
         self._agg_switches.append(switch)
+        self._enroll(switch, delay_ms)
 
-    def attach_lark_switch(self, switch: Any) -> None:
+    def attach_lark_switch(self, switch: Any,
+                           delay_ms: Optional[float] = None) -> None:
         self._lark_switches.append(switch)
+        self._enroll(switch, delay_ms)
 
-    def attach_edge_server(self, server: Any) -> None:
+    def attach_edge_server(self, server: Any,
+                           delay_ms: Optional[float] = None) -> None:
         self._edge_servers.append(server)
+        self._enroll(server, delay_ms)
 
     # -- internals ------------------------------------------------------------------
 
@@ -109,41 +134,78 @@ class SnatchController:
             self._rng.getrandbits(8) for _ in range(AES128_KEY_LEN)
         )
 
+    def _register_args(
+        self, tier: str, handle: ApplicationHandle, event_filter=None
+    ) -> Tuple[Tuple, Dict[str, Any]]:
+        """(args, kwargs) for ``register_application`` on one tier."""
+        args = (handle.app_id, handle.transport_schema, handle.key,
+                handle.specs)
+        if tier == "agg":
+            return args, {}
+        kwargs: Dict[str, Any] = {
+            "mode": handle.mode,
+            "period_ms": handle.period_ms,
+            "version": handle.version,
+        }
+        if tier == "edge":
+            kwargs["event_filter"] = event_filter
+        return args, kwargs
+
+    def _tiers(self) -> List[Tuple[str, List[Any]]]:
+        """Installation order: the tier above must be ready first."""
+        return [
+            ("agg", self._agg_switches),
+            ("lark", self._lark_switches),
+            ("edge", self._edge_servers),
+        ]
+
     def _install(
         self, handle: ApplicationHandle, event_filter=None
     ) -> None:
         """Push parameters in the consistency-preserving order."""
-        for switch in self._agg_switches:
-            switch.register_application(
-                handle.app_id,
-                handle.transport_schema,
-                handle.key,
-                handle.specs,
-            )
-            self._log(switch.name, "register", handle.app_id)
-        for switch in self._lark_switches:
-            switch.register_application(
-                handle.app_id,
-                handle.transport_schema,
-                handle.key,
-                handle.specs,
-                mode=handle.mode,
-                period_ms=handle.period_ms,
-                version=handle.version,
-            )
-            self._log(switch.name, "register", handle.app_id)
-        for server in self._edge_servers:
-            server.register_application(
-                handle.app_id,
-                handle.transport_schema,
-                handle.key,
-                handle.specs,
-                mode=handle.mode,
-                period_ms=handle.period_ms,
-                event_filter=event_filter,
-                version=handle.version,
-            )
-            self._log(server.name, "register", handle.app_id)
+        if self.bus is not None:
+            self._install_via_bus(handle, event_filter)
+            return
+        for tier, devices in self._tiers():
+            for device in devices:
+                args, kwargs = self._register_args(tier, handle, event_filter)
+                device.register_application(*args, **kwargs)
+                self._log(device.name, "register", handle.app_id)
+
+    def _install_via_bus(
+        self, handle: ApplicationHandle, event_filter=None
+    ) -> None:
+        """Reliably-ordered push: tier N+1's RPCs are sent only after
+        every tier-N call acked (or was declared dead after retries).
+        A lost or delayed ack therefore delays the lower tiers instead
+        of reordering them — the paper's invariant holds under loss."""
+        tiers = self._tiers()
+
+        def push_tier(index: int) -> None:
+            while index < len(tiers) and not tiers[index][1]:
+                index += 1
+            if index >= len(tiers):
+                return
+            tier, devices = tiers[index]
+            remaining = {"count": len(devices)}
+
+            def done(record) -> None:
+                if record.error is None:
+                    self._log(record.device, "register", handle.app_id)
+                else:
+                    self.push_failures.append(record)
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    push_tier(index + 1)
+
+            for device in devices:
+                args, kwargs = self._register_args(tier, handle, event_filter)
+                kwargs["_on_complete"] = done
+                self.bus.call(
+                    device.name, "register_application", *args, **kwargs
+                )
+
+        push_tier(0)
 
     # -- developer API 1: add/remove applications -------------------------------------
 
@@ -174,25 +236,25 @@ class SnatchController:
         )
         self._install(handle, event_filter)
         self._apps[name] = handle
+        self._event_filters[name] = event_filter
         return handle
 
     def remove_application(self, name: str) -> None:
         handle = self._apps.pop(name, None)
         if handle is None:
             raise KeyError("no application %r" % name)
+        self._event_filters.pop(name, None)
         self._revoke(handle.app_id)
 
     def _revoke(self, app_id: int) -> None:
         # Revocation order mirrors installation.
-        for switch in self._agg_switches:
-            switch.revoke_application(app_id)
-            self._log(switch.name, "revoke", app_id)
-        for switch in self._lark_switches:
-            switch.revoke_application(app_id)
-            self._log(switch.name, "revoke", app_id)
-        for server in self._edge_servers:
-            server.revoke_application(app_id)
-            self._log(server.name, "revoke", app_id)
+        for _tier, devices in self._tiers():
+            for device in devices:
+                if self.bus is not None:
+                    self.bus.call(device.name, "revoke_application", app_id)
+                else:
+                    device.revoke_application(app_id)
+                self._log(device.name, "revoke", app_id)
 
     # -- developer APIs 2-4: versioned updates ------------------------------------------
 
@@ -234,6 +296,7 @@ class SnatchController:
         )
         self._install(handle, event_filter)
         self._apps[name] = handle
+        self._event_filters[name] = event_filter
         self._retired.append((name, old.app_id))
         return handle
 
@@ -293,39 +356,70 @@ class SnatchController:
     def pending_retirements(self) -> int:
         return len(self._retired)
 
+    def _push_to_device(self, tier: str, device: Any,
+                        handle: ApplicationHandle, action: str) -> None:
+        """Re-push one application to one device, over the bus when
+        present (retried until acked) or directly otherwise."""
+        args, kwargs = self._register_args(
+            tier, handle, self._event_filters.get(handle.name)
+        )
+        if self.bus is not None:
+            key = (device.name, handle.app_id)
+            if key in self._inflight:
+                return  # an identical push is already being retried
+            self._inflight.add(key)
+
+            def done(record) -> None:
+                self._inflight.discard(key)
+                if record.error is None:
+                    self._log(record.device, action, handle.app_id)
+                else:
+                    self.push_failures.append(record)
+
+            kwargs["_on_complete"] = done
+            self.bus.call(
+                device.name, "register_application", *args, **kwargs
+            )
+        else:
+            device.register_application(*args, **kwargs)
+            self._log(device.name, action, handle.app_id)
+
     def resync(self, name: str) -> int:
         """Fault repair (section 6): re-push the current version's
         parameters to every device that lost them (e.g. after a failed
-        key update).  Returns the number of devices re-provisioned."""
+        key update).  Returns the number of devices re-provisioned
+        (push scheduled, when riding an RpcBus)."""
         handle = self._apps[name]
         resynced = 0
-        for switch in self._agg_switches:
-            if handle.app_id not in switch.registered_app_ids():
-                switch.register_application(
-                    handle.app_id, handle.transport_schema, handle.key,
-                    handle.specs,
-                )
-                self._log(switch.name, "resync", handle.app_id)
-                resynced += 1
-        for switch in self._lark_switches:
-            if handle.app_id not in switch.registered_app_ids():
-                switch.register_application(
-                    handle.app_id, handle.transport_schema, handle.key,
-                    handle.specs, mode=handle.mode,
-                    period_ms=handle.period_ms, version=handle.version,
-                )
-                self._log(switch.name, "resync", handle.app_id)
-                resynced += 1
-        for server in self._edge_servers:
-            if handle.app_id not in server.registered_app_ids():
-                server.register_application(
-                    handle.app_id, handle.transport_schema, handle.key,
-                    handle.specs, mode=handle.mode,
-                    period_ms=handle.period_ms, version=handle.version,
-                )
-                self._log(server.name, "resync", handle.app_id)
+        for tier, devices in self._tiers():
+            for device in devices:
+                if not getattr(device, "alive", True):
+                    continue  # a crashed device re-enrolls on restart
+                if handle.app_id in device.registered_app_ids():
+                    continue
+                self._push_to_device(tier, device, handle, "resync")
                 resynced += 1
         return resynced
+
+    def reenroll_device(self, device: Any) -> int:
+        """Crash recovery: a restarted device lost all register state
+        and parameters; re-push every current application it is missing.
+        Returns the number of applications (re-)pushed."""
+        tier = None
+        for tier_name, devices in self._tiers():
+            if any(d is device for d in devices):
+                tier = tier_name
+                break
+        if tier is None:
+            raise KeyError("device %r is not attached" % device.name)
+        pushed = 0
+        registered = set(device.registered_app_ids())
+        for handle in self._apps.values():
+            if handle.app_id in registered:
+                continue
+            self._push_to_device(tier, device, handle, "reenroll")
+            pushed += 1
+        return pushed
 
     def is_consistent(self, name: str) -> bool:
         """Every device knows the application's current version."""

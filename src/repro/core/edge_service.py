@@ -71,6 +71,8 @@ class SnatchEdgeServer:
 
     def __init__(self, name: str = "edge", rng: Optional[random.Random] = None):
         self.name = name
+        self.alive = True
+        self.crashes = 0
         self._rng = rng or random.Random()
         self._apps: Dict[int, _EdgeApp] = {}
         self.requests_handled = 0
@@ -126,6 +128,18 @@ class SnatchEdgeServer:
     def registered_app_ids(self) -> List[int]:
         return sorted(self._apps)
 
+    # -- lifecycle (crash / recovery, paper section 6) -------------------------
+
+    def crash(self) -> None:
+        """Process death: pre-aggregation state and page rules vanish."""
+        for app_id in list(self._apps):
+            self.revoke_application(app_id)
+        self.alive = False
+        self.crashes += 1
+
+    def restart(self) -> None:
+        self.alive = True
+
     # -- request path ------------------------------------------------------------
 
     def handle_request(
@@ -135,6 +149,13 @@ class SnatchEdgeServer:
     ) -> EdgeResult:
         """Serve one HTTPS request: static content plus Snatch's
         semantic-cookie page rule."""
+        if not self.alive:
+            return EdgeResult(
+                served_static=False,
+                semantic_matched=False,
+                filtered_out=False,
+                aggregation_payload=None,
+            )
         self.requests_handled += 1
         for app in self._apps.values():
             decoded = (

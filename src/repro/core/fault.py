@@ -11,12 +11,17 @@ which re-pushes parameters over RPC.
 :class:`ResultVerifier` performs the diff with a configurable relative
 tolerance (per-packet UDP loss legitimately drops a data point or
 two); :class:`FaultRepairLoop` drives detection -> controller resync.
+The loop can also *reconcile* — overwrite the drifted aggregate with
+the web-server-side re-computation — and *self-schedule* on a
+simulator so the detect -> repair cycle runs periodically with no
+manual ``check()`` calls (the ``repro.chaos`` harness drives it that
+way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Discrepancy", "ResultVerifier", "FaultRepairLoop"]
 
@@ -49,14 +54,22 @@ class ResultVerifier:
         in_network: Dict[str, Dict[Any, Any]],
         ground_truth: Dict[str, Dict[Any, Any]],
     ) -> List[Discrepancy]:
-        """Cells outside tolerance.  Ground-truth statistics absent
-        from the report count as fully missing."""
+        """Cells outside tolerance.
+
+        The diff is symmetric over statistics *and* cell keys: a
+        statistic or cell present on either side joins the comparison,
+        with the missing side read as zero.  (Report cells with falsy
+        values used to be excluded from the key union, and
+        report-only statistics were skipped entirely — so a spurious
+        in-network statistic, or a cell the switch reports as 0/None
+        against a small non-zero truth, could slip through.)
+        """
         out: List[Discrepancy] = []
-        for statistic, truth_cells in ground_truth.items():
+        statistics = set(ground_truth) | set(in_network)
+        for statistic in sorted(statistics):
+            truth_cells = ground_truth.get(statistic, {})
             report_cells = in_network.get(statistic, {})
-            keys = set(truth_cells) | {
-                k for k, v in report_cells.items() if v
-            }
+            keys = set(truth_cells) | set(report_cells)
             for key in keys:
                 truth = float(truth_cells.get(key, 0) or 0)
                 got_raw = report_cells.get(key, 0)
@@ -87,6 +100,12 @@ class RepairRecord:
     application: str
     discrepancies: int
     devices_resynced: int
+    at_ms: float = 0.0
+    reconciled: bool = False
+
+
+# reconciler(application_name, ground_truth) -> None
+Reconciler = Callable[[str, Dict[str, Dict[Any, Any]]], None]
 
 
 class FaultRepairLoop:
@@ -94,30 +113,74 @@ class FaultRepairLoop:
 
     The developer calls :meth:`check` with the (delayed) ground truth;
     on any discrepancy the loop asks the controller to re-push the
-    application's parameters to every device that lost them.
+    application's parameters to every device that lost them, and — when
+    a ``reconciler`` is supplied — replaces the drifted aggregate with
+    the re-computation on the complete web-server data.
+
+    :meth:`schedule` closes the loop end-to-end: verification runs
+    periodically on a simulator, so faults are detected and repaired
+    with zero manual ``check()`` calls.
     """
 
-    def __init__(self, controller, verifier: Optional[ResultVerifier] = None):
+    def __init__(self, controller, verifier: Optional[ResultVerifier] = None,
+                 reconciler: Optional[Reconciler] = None):
         self.controller = controller
         self.verifier = verifier or ResultVerifier()
+        self.reconciler = reconciler
         self.history: List[RepairRecord] = []
+        self.checks_run = 0
 
     def check(
         self,
         application: str,
         in_network: Dict[str, Dict[Any, Any]],
         ground_truth: Dict[str, Dict[Any, Any]],
+        at_ms: float = 0.0,
     ) -> List[Discrepancy]:
-        """Diff and, if needed, trigger a resync.  Returns the
-        discrepancies that prompted the repair (empty when healthy)."""
+        """Diff and, if needed, trigger a resync (and reconcile).
+        Returns the discrepancies that prompted the repair (empty when
+        healthy)."""
+        self.checks_run += 1
         discrepancies = self.verifier.diff(in_network, ground_truth)
         if discrepancies:
             resynced = self.controller.resync(application)
+            reconciled = False
+            if self.reconciler is not None:
+                self.reconciler(application, ground_truth)
+                reconciled = True
             self.history.append(
                 RepairRecord(
                     application=application,
                     discrepancies=len(discrepancies),
                     devices_resynced=resynced,
+                    at_ms=at_ms,
+                    reconciled=reconciled,
                 )
             )
         return discrepancies
+
+    def schedule(
+        self,
+        sim,
+        application: str,
+        in_network_fn: Callable[[], Dict[str, Dict[Any, Any]]],
+        ground_truth_fn: Callable[[], Dict[str, Dict[Any, Any]]],
+        period_ms: float,
+        start_ms: Optional[float] = None,
+        until_ms: Optional[float] = None,
+    ) -> None:
+        """Self-scheduling verification: every ``period_ms`` the loop
+        pulls the current in-network report and the (complete, delayed)
+        ground truth and runs :meth:`check` — no manual driving."""
+        if period_ms <= 0:
+            raise ValueError("verification period must be positive")
+
+        def tick() -> None:
+            self.check(
+                application, in_network_fn(), ground_truth_fn(),
+                at_ms=sim.now,
+            )
+
+        sim.schedule_periodic(
+            period_ms, tick, start_ms=start_ms, until_ms=until_ms
+        )

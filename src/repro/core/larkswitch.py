@@ -89,6 +89,8 @@ class LarkSwitch:
 
     def __init__(self, name: str = "lark", rng: Optional[random.Random] = None):
         self.name = name
+        self.alive = True
+        self.crashes = 0
         self._rng = rng or random.Random()
         self.pipeline = SwitchPipeline(name)
         self._apps: Dict[int, RegisteredApp] = {}
@@ -174,6 +176,21 @@ class LarkSwitch:
     def registered_app_ids(self) -> List[int]:
         return sorted(self._apps)
 
+    # -- lifecycle (crash / recovery, paper section 6) -------------------------
+
+    def crash(self) -> None:
+        """Power loss: register state, table entries and parameters are
+        gone; the switch stops matching until it restarts and the
+        controller re-enrolls it."""
+        for app_id in list(self._apps):
+            self.revoke_application(app_id)
+        self.alive = False
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Come back up empty; parameters arrive via re-enrollment."""
+        self.alive = True
+
     # -- data plane -----------------------------------------------------------
 
     def _action_decode(
@@ -229,6 +246,16 @@ class LarkSwitch:
 
     def process_quic_packet(self, dcid: ConnectionID) -> LarkResult:
         """Run one QUIC short-header packet through the pipeline."""
+        if not self.alive:
+            # A downed switch is routed around: traffic still reaches
+            # the web server, but no in-network processing happens
+            # (the edge-server fallback picks up the analytics).
+            return LarkResult(
+                matched=False,
+                forwarded_original=True,
+                aggregation_payload=None,
+                latency_ms=0.0,
+            )
         raw = bytes(dcid)
         app_id = raw[APP_ID_BYTE_INDEX] if len(raw) > APP_ID_BYTE_INDEX else -1
         result = self.pipeline.process({"app_id": app_id, "dcid": raw})

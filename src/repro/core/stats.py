@@ -216,6 +216,56 @@ class SwitchStatistics:
         return out
 
 
+    def load_report(self, report: Dict[str, Any]) -> None:
+        """Inverse of :meth:`report`: overwrite the registers so that
+        :meth:`report` returns ``report``.  This is the section-6
+        reconcile step — the analytics re-run on the complete
+        web-server-side data replaces a drifted in-network aggregate.
+
+        AVG statistics are restored as (value, 1) sum/count pairs: the
+        average itself is preserved even though the original update
+        count is unrecoverable from a report.
+        """
+        for spec in self.specs:
+            cells_map = report.get(spec.name)
+            if cells_map is None:
+                continue
+            feature = self.schema.feature(spec.feature)
+            groups = (
+                list(self.schema.feature(spec.group_by).classes)
+                if spec.group_by
+                else [None]
+            )
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                classes = list(feature.classes)
+                array = self._arrays[spec.name]
+                for gi, group in enumerate(groups):
+                    for ci, cls in enumerate(classes):
+                        key = cls if group is None else (group, cls)
+                        array.write(
+                            gi * len(classes) + ci,
+                            int(cells_map.get(key, 0) or 0),
+                        )
+            elif spec.kind is StatKind.AVG:
+                sums = self._arrays[spec.name + ".sum"]
+                counts = self._arrays[spec.name + ".count"]
+                for gi, group in enumerate(groups):
+                    value = cells_map.get(group if group is not None else "all")
+                    if value is None:
+                        sums.write(gi, 0)
+                        counts.write(gi, 0)
+                    else:
+                        sums.write(gi, int(round(value)))
+                        counts.write(gi, 1)
+            else:
+                array = self._arrays[spec.name]
+                for gi, group in enumerate(groups):
+                    value = cells_map.get(group if group is not None else "all")
+                    if value is None:
+                        value = _MIN_SENTINEL if spec.kind is StatKind.MIN else 0
+                    array.write(gi, int(value))
+
+
 def merge_snapshots(
     specs: List[StatSpec],
     a: Dict[str, List[int]],

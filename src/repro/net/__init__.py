@@ -5,6 +5,7 @@ Replaces the paper's six-machine testbed + Tofino + Linux ``tc`` setup
 server queues, and in-path switch processing.
 """
 
+from repro.net.faults import FaultModel, LinkFaultSpec, LinkFaults
 from repro.net.link import Link
 from repro.net.node import Node, ProcessingNode, SinkNode, SwitchNode
 from repro.net.packet import NetPacket
@@ -13,7 +14,10 @@ from repro.net.topology import Network, NoRouteError
 
 __all__ = [
     "Event",
+    "FaultModel",
     "Link",
+    "LinkFaultSpec",
+    "LinkFaults",
     "NetPacket",
     "Network",
     "NoRouteError",

@@ -1,0 +1,134 @@
+"""Seeded per-link fault injection for the network simulator.
+
+The paper's testbed injects faults with Linux ``tc netem`` (loss,
+duplication, reordering, delay jitter); Appendix B.3 argues Snatch's
+periodical UDP aggregation reports tolerate WAN loss because a lost
+report merely surfaces as aggregate drift that the section-6 repair
+loop recovers.  To make that story executable, :class:`FaultModel`
+attaches deterministic, independently-seeded fault processes to links:
+
+* **drop** — the report never arrives (drift toward under-counting);
+* **duplicate** — the report is merged twice (drift toward
+  over-counting);
+* **reorder** — the packet is held back so a later one overtakes it;
+* **extra jitter** — additional uniform delay on top of the link's own.
+
+Every link gets its own :class:`random.Random` derived from the model
+seed and the link's endpoints, so adding a fault on one link never
+perturbs the sequence drawn on another — scenario runs are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FaultModel", "LinkFaultSpec", "LinkFaults"]
+
+
+@dataclass
+class LinkFaultSpec:
+    """Fault probabilities and magnitudes for one directed link."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    extra_jitter_ms: float = 0.0
+    reorder_delay_ms: float = 5.0
+    duplicate_gap_ms: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("%s probability must be in [0, 1]" % name)
+        if self.extra_jitter_ms < 0 or self.reorder_delay_ms < 0:
+            raise ValueError("delays must be non-negative")
+
+
+class LinkFaults:
+    """One link's fault process: a spec plus a private RNG.
+
+    :meth:`apply` maps a base transit time to the list of delivery
+    times for the (possibly dropped or duplicated) packet.
+    """
+
+    def __init__(self, spec: LinkFaultSpec, rng: random.Random):
+        self.spec = spec
+        self._rng = rng
+
+    def apply(self, link, base_transit_ms: float) -> List[float]:
+        spec = self.spec
+        if spec.drop and self._rng.random() < spec.drop:
+            link.packets_lost += 1
+            return []
+        transit = base_transit_ms
+        if spec.extra_jitter_ms:
+            transit += self._rng.uniform(0, spec.extra_jitter_ms)
+        if spec.reorder and self._rng.random() < spec.reorder:
+            transit += spec.reorder_delay_ms
+            link.packets_reordered += 1
+        if spec.duplicate and self._rng.random() < spec.duplicate:
+            link.packets_duplicated += 1
+            return [transit, transit + spec.duplicate_gap_ms]
+        return [transit]
+
+
+class FaultModel:
+    """Deterministic fault configuration for a whole network.
+
+    Usage::
+
+        model = FaultModel(seed=7)
+        model.set_link("lark", "agg", drop=0.05)
+        model.install(network)          # attaches to existing links
+
+    ``set_link`` after ``install`` mutates the live spec in place, so
+    chaos scenarios can turn faults on and off mid-run.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._specs: Dict[Tuple[str, str], LinkFaultSpec] = {}
+        self._installed: Dict[Tuple[str, str], LinkFaults] = {}
+
+    def set_link(self, src: str, dst: str, **spec_kwargs) -> LinkFaultSpec:
+        """Configure (or reconfigure) faults on the ``src -> dst`` link."""
+        key = (src, dst)
+        spec = LinkFaultSpec(**spec_kwargs)
+        if key in self._installed:
+            # Mutate in place so the link's bound LinkFaults sees it.
+            self._installed[key].spec = spec
+        self._specs[key] = spec
+        return spec
+
+    def clear_link(self, src: str, dst: str) -> None:
+        """Remove faults from a link (heal it)."""
+        self.set_link(src, dst)
+
+    def spec_for(self, src: str, dst: str) -> Optional[LinkFaultSpec]:
+        return self._specs.get((src, dst))
+
+    def _rng_for(self, src: str, dst: str) -> random.Random:
+        # String seeding is deterministic across runs and platforms and
+        # independent per link.
+        return random.Random("faultmodel/%d/%s>%s" % (self.seed, src, dst))
+
+    def install(self, network) -> int:
+        """Attach fault processes to every configured link that exists
+        in ``network``; returns the number of links armed."""
+        armed = 0
+        for key, spec in self._specs.items():
+            if key not in network.links:
+                continue
+            if key in self._installed:
+                faults = self._installed[key]
+                faults.spec = spec
+            else:
+                faults = LinkFaults(spec, self._rng_for(*key))
+                self._installed[key] = faults
+            network.links[key].faults = faults
+            armed += 1
+        return armed

@@ -47,7 +47,12 @@ class Link:
         self._busy_until_ms = 0.0
         self.packets_sent = 0
         self.packets_lost = 0
+        self.packets_duplicated = 0
+        self.packets_reordered = 0
         self.bytes_sent = 0
+        # Optional injected fault process (repro.net.faults.LinkFaults),
+        # attached by FaultModel.install.
+        self.faults = None
 
     def serialization_delay_ms(self, size_bytes: int) -> float:
         if self.bandwidth_mbps is None:
@@ -68,6 +73,17 @@ class Link:
         jitter = self._rng.uniform(0, self.jitter_ms) if self.jitter_ms else 0.0
         return (start - now_ms) + serialization + self.delay_ms + jitter
 
+    def transit_times_ms(self, now_ms: float, size_bytes: int) -> list:
+        """Like :meth:`transit_time_ms` but fault-aware: returns every
+        delivery time for this packet (empty = lost, two = duplicated,
+        inflated = reordered/jittered)."""
+        base = self.transit_time_ms(now_ms, size_bytes)
+        if base is None:
+            return []
+        if self.faults is None:
+            return [base]
+        return self.faults.apply(self, base)
+
     def throughput_kbps(self, duration_ms: float) -> float:
         """Average throughput over a window (for Figure 6(c))."""
         if duration_ms <= 0:
@@ -77,4 +93,6 @@ class Link:
     def reset_counters(self) -> None:
         self.packets_sent = 0
         self.packets_lost = 0
+        self.packets_duplicated = 0
+        self.packets_reordered = 0
         self.bytes_sent = 0

@@ -127,14 +127,12 @@ class Network:
 
     def _send_over(self, src: str, dst: str, packet: NetPacket) -> None:
         link = self.links[(src, dst)]
-        transit = link.transit_time_ms(self.sim.now, packet.size_bytes)
-        if transit is None:
-            return  # lost
-
-        def arrive() -> None:
-            self._arrived(dst, packet)
-
-        self.sim.schedule(transit, arrive)
+        # Fault-aware transmission: a packet may be lost (no delivery),
+        # duplicated (two deliveries), or delayed past its successors.
+        for transit in link.transit_times_ms(self.sim.now, packet.size_bytes):
+            self.sim.schedule(
+                transit, lambda p=packet: self._arrived(dst, p)
+            )
 
     def _arrived(self, at: str, packet: NetPacket) -> None:
         node = self.nodes[at]

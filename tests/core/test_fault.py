@@ -63,6 +63,39 @@ class TestResultVerifier:
             ResultVerifier(relative_tolerance=-0.1)
 
 
+class TestVerifierSymmetry:
+    """Regression: the diff used to build its key union from truth keys
+    plus only *truthy* report cells, and iterated report-side statistics
+    not at all — so spurious in-network state could slip through."""
+
+    def test_report_only_statistic_detected(self):
+        verifier = ResultVerifier()
+        diffs = verifier.diff({"ghost_stat": {"a": 3}}, {})
+        assert len(diffs) == 1
+        assert diffs[0].statistic == "ghost_stat"
+        assert diffs[0].ground_truth == 0
+
+    def test_falsy_report_cell_still_compared(self):
+        """A cell the switch reports as 0 against a non-zero truth is a
+        discrepancy even though the report value is falsy."""
+        verifier = ResultVerifier()
+        diffs = verifier.diff({"s": {"a": 0}}, {"s": {"a": 4}})
+        assert len(diffs) == 1
+        assert diffs[0].in_network == 0 and diffs[0].ground_truth == 4
+
+    def test_diff_symmetric_under_swap(self):
+        verifier = ResultVerifier()
+        left = {"s": {"a": 5}}
+        right = {"t": {"b": 7}}
+        assert len(verifier.diff(left, right)) == len(
+            verifier.diff(right, left)
+        )
+
+    def test_both_sides_zero_is_consistent(self):
+        verifier = ResultVerifier()
+        assert verifier.consistent({"s": {"a": 0}}, {"s": {"a": 0}})
+
+
 class TestRepairLoop:
     def _deployment(self):
         controller = SnatchController(seed=3)
@@ -116,3 +149,31 @@ class TestRepairLoop:
     def test_resync_is_idempotent(self):
         controller, _agg, _lark, _handle = self._deployment()
         assert controller.resync("ads") == 0
+
+    def test_self_scheduling_loop_repairs_without_manual_check(self):
+        """The loop on a simulator: verification ticks periodically,
+        spots an injected fault, and resyncs — zero check() calls."""
+        from repro.net.simulator import Simulator
+
+        controller, agg, lark, handle = self._deployment()
+        loop = FaultRepairLoop(controller)
+        sim = Simulator()
+        truth = {"by_gender": {"f": 0}}
+        loop.schedule(
+            sim,
+            "ads",
+            in_network_fn=lambda: agg.report(handle.app_id),
+            ground_truth_fn=lambda: dict(truth),
+            period_ms=100.0,
+            until_ms=500.0,
+        )
+        # Fault at t=150: the switch loses its rules; truth keeps moving.
+        sim.schedule_at(150.0, lambda: lark.revoke_application(handle.app_id))
+        sim.schedule_at(
+            150.0, lambda: truth.__setitem__("by_gender", {"f": 9})
+        )
+        sim.run()
+        assert loop.checks_run == 5
+        assert loop.history  # detected
+        assert loop.history[0].at_ms == 200.0  # the first tick after it
+        assert controller.is_consistent("ads")

@@ -1,0 +1,195 @@
+"""RpcBus hardening: acks, retries with backoff, dead-device
+declaration, and error surfacing (``failed`` / ``quiesce(raise_on_error)``)."""
+
+import pytest
+
+from repro.core.rpc import RpcBus, RpcError
+
+
+class Counter:
+    """A device that counts method executions."""
+
+    def __init__(self):
+        self.alive = True
+        self.calls = []
+
+    def ping(self, value=0):
+        self.calls.append(value)
+
+
+class Flaky:
+    def __init__(self):
+        self.alive = True
+
+    def boom(self):
+        raise RuntimeError("nope")
+
+
+class TestErrorSurfacing:
+    def test_failed_lists_device_exceptions(self):
+        bus = RpcBus(default_delay_ms=1)
+        bus.register_device("f", Flaky())
+        record = bus.call("f", "boom")
+        bus.quiesce()
+        assert bus.failed() == [record]
+        assert "nope" in record.error
+
+    def test_quiesce_raise_on_error(self):
+        bus = RpcBus(default_delay_ms=1)
+        bus.register_device("f", Flaky())
+        bus.call("f", "boom")
+        with pytest.raises(RpcError) as excinfo:
+            bus.quiesce(raise_on_error=True)
+        assert len(excinfo.value.calls) == 1
+        assert "f.boom" in str(excinfo.value)
+
+    def test_quiesce_default_still_swallows(self):
+        """Legacy behavior preserved: errors stay in the log unless
+        asked for."""
+        bus = RpcBus(default_delay_ms=1)
+        bus.register_device("f", Flaky())
+        bus.call("f", "boom")
+        bus.quiesce()  # does not raise
+        assert len(bus.failed()) == 1
+
+    def test_healthy_quiesce_raises_nothing(self):
+        bus = RpcBus(default_delay_ms=1)
+        bus.register_device("c", Counter())
+        bus.call("c", "ping", 1)
+        bus.quiesce(raise_on_error=True)
+        assert bus.failed() == []
+
+
+class TestRetries:
+    def _bus(self, **kwargs):
+        defaults = dict(default_delay_ms=10, timeout_ms=30, max_retries=3)
+        defaults.update(kwargs)
+        return RpcBus(**defaults)
+
+    def test_forced_drop_retried_until_acked(self):
+        bus = self._bus()
+        device = Counter()
+        bus.register_device("d", device)
+        bus.drop_next("d")
+        record = bus.call("d", "ping", 7)
+        bus.quiesce()
+        assert device.calls == [7]  # executed exactly once
+        assert record.attempts == 2
+        assert record.completed and record.acked_at_ms is not None
+        assert bus.retries() == 1
+
+    def test_ack_waits_one_round_trip(self):
+        bus = self._bus()
+        bus.register_device("d", Counter())
+        record = bus.call("d", "ping")
+        bus.quiesce()
+        # Delivered at 10 ms, ack propagates back one delay later.
+        assert record.acked_at_ms == 20.0
+
+    def test_at_most_once_execution(self):
+        """A retry racing a slow first delivery must not run the
+        method twice: timeout fires before the first delivery lands."""
+        bus = self._bus(default_delay_ms=50, timeout_ms=10)
+        device = Counter()
+        bus.register_device("d", device)
+        record = bus.call("d", "ping", 1)
+        bus.quiesce()
+        assert device.calls == [1]
+        assert record.attempts >= 2
+
+    def test_dead_device_declared_after_max_retries(self):
+        bus = self._bus(max_retries=2)
+        device = Counter()
+        device.alive = False  # crashed: neither executes nor acks
+        bus.register_device("d", device)
+        record = bus.call("d", "ping")
+        bus.quiesce()
+        assert record.failed
+        assert "DeadDeviceError" in record.error
+        assert record.attempts == 3  # initial + 2 retries
+        assert device.calls == []
+        assert bus.failed() == [record]
+
+    def test_revived_device_picks_up_retry(self):
+        """A device that comes back mid-retry window receives the
+        retried attempt — the self-healing path."""
+        bus = self._bus(max_retries=5)
+        device = Counter()
+        device.alive = False
+        bus.register_device("d", device)
+        record = bus.call("d", "ping", 9)
+        bus.sim.schedule_at(40.0, lambda: setattr(device, "alive", True))
+        bus.quiesce()
+        assert device.calls == [9]
+        assert record.completed and record.attempts >= 2
+
+    def test_on_complete_fires_once_terminal(self):
+        bus = self._bus()
+        terminal = []
+        bus.register_device("d", Counter())
+        bus.drop_next("d")
+        bus.call("d", "ping", _on_complete=terminal.append)
+        bus.quiesce()
+        assert len(terminal) == 1
+        assert terminal[0].acked_at_ms is not None
+
+    def test_backoff_spaces_attempts_out(self):
+        """Exponential backoff: with timeout 30 and factor 2 a dead
+        device is declared at 30 + 60 + 120 ms, not 3 x 30."""
+        bus = self._bus(max_retries=2, backoff_factor=2.0)
+        device = Counter()
+        device.alive = False
+        bus.register_device("d", device)
+        bus.call("d", "ping")
+        bus.quiesce()
+        assert bus.sim.now == pytest.approx(30.0 + 60.0 + 120.0)
+
+    def test_loss_rate_deterministic_per_seed(self):
+        def run(seed):
+            bus = self._bus(seed=seed, max_retries=6)
+            device = Counter()
+            bus.register_device("d", device)
+            bus.set_loss("d", 0.5)
+            records = [bus.call("d", "ping", i) for i in range(10)]
+            bus.quiesce()
+            return [r.attempts for r in records]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # different seed, different losses
+
+    def test_fire_and_forget_mode_unchanged(self):
+        """Without timeout_ms there are no retries: a lost attempt is
+        simply gone (the legacy contract)."""
+        bus = RpcBus(default_delay_ms=10)
+        device = Counter()
+        bus.register_device("d", device)
+        bus.drop_next("d")
+        record = bus.call("d", "ping")
+        bus.quiesce()
+        assert device.calls == []
+        assert record.attempts == 1 and not record.completed
+
+
+class TestFaultInjectionApi:
+    def test_set_loss_validates(self):
+        bus = RpcBus()
+        bus.register_device("d", Counter())
+        with pytest.raises(ValueError):
+            bus.set_loss("d", 1.0)
+        with pytest.raises(KeyError):
+            bus.set_loss("ghost", 0.1)
+
+    def test_drop_next_unknown_device(self):
+        bus = RpcBus()
+        with pytest.raises(KeyError):
+            bus.drop_next("ghost")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RpcBus(timeout_ms=0)
+        with pytest.raises(ValueError):
+            RpcBus(max_retries=-1)
+        with pytest.raises(ValueError):
+            RpcBus(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RpcBus(retry_jitter_ms=-1)

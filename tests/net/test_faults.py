@@ -1,0 +1,164 @@
+"""Seeded link fault injection (drop / duplicate / reorder / jitter)."""
+
+import random
+
+import pytest
+
+from repro.net.faults import FaultModel, LinkFaultSpec, LinkFaults
+from repro.net.link import Link
+from repro.net.node import Node, SinkNode
+from repro.net.packet import NetPacket
+from repro.net.simulator import Simulator
+from repro.net.topology import Network
+
+
+def _packet(src="a", dst="b", size=100):
+    return NetPacket(
+        src=src, dst=dst, protocol="udp", size_bytes=size, payload=b"x",
+        created_at_ms=0.0,
+    )
+
+
+class TestLinkFaultSpec:
+    def test_probabilities_validated(self):
+        for name in ("drop", "duplicate", "reorder"):
+            with pytest.raises(ValueError):
+                LinkFaultSpec(**{name: 1.5})
+            with pytest.raises(ValueError):
+                LinkFaultSpec(**{name: -0.1})
+
+    def test_delays_validated(self):
+        with pytest.raises(ValueError):
+            LinkFaultSpec(extra_jitter_ms=-1)
+        with pytest.raises(ValueError):
+            LinkFaultSpec(reorder_delay_ms=-1)
+
+    def test_default_spec_is_faultless(self):
+        link = Link("a", "b", delay_ms=10)
+        faults = LinkFaults(LinkFaultSpec(), random.Random(0))
+        assert faults.apply(link, 10.0) == [10.0]
+        assert link.packets_lost == 0
+
+
+class TestLinkFaults:
+    def _link(self):
+        return Link("a", "b", delay_ms=10)
+
+    def test_certain_drop(self):
+        link = self._link()
+        faults = LinkFaults(LinkFaultSpec(drop=1.0), random.Random(0))
+        assert faults.apply(link, 10.0) == []
+        assert link.packets_lost == 1
+
+    def test_certain_duplicate(self):
+        link = self._link()
+        faults = LinkFaults(
+            LinkFaultSpec(duplicate=1.0, duplicate_gap_ms=0.5),
+            random.Random(0),
+        )
+        times = faults.apply(link, 10.0)
+        assert times == [10.0, 10.5]
+        assert link.packets_duplicated == 1
+
+    def test_certain_reorder_inflates_transit(self):
+        link = self._link()
+        faults = LinkFaults(
+            LinkFaultSpec(reorder=1.0, reorder_delay_ms=7.0),
+            random.Random(0),
+        )
+        assert faults.apply(link, 10.0) == [17.0]
+        assert link.packets_reordered == 1
+
+    def test_jitter_bounded(self):
+        link = self._link()
+        faults = LinkFaults(
+            LinkFaultSpec(extra_jitter_ms=3.0), random.Random(0)
+        )
+        for _ in range(50):
+            (t,) = faults.apply(link, 10.0)
+            assert 10.0 <= t <= 13.0
+
+    def test_same_seed_same_sequence(self):
+        spec = LinkFaultSpec(drop=0.3, duplicate=0.2, extra_jitter_ms=2.0)
+        runs = []
+        for _ in range(2):
+            link = self._link()
+            faults = LinkFaults(spec, random.Random("seed"))
+            runs.append([tuple(faults.apply(link, 10.0)) for _ in range(40)])
+        assert runs[0] == runs[1]
+
+
+class TestFaultModel:
+    def _network(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.add_node(Node("a"))
+        sink = SinkNode("b")
+        network.add_node(sink)
+        network.add_link("a", "b", 10.0, bidirectional=False)
+        return sim, network, sink
+
+    def test_install_arms_only_existing_links(self):
+        _sim, network, _sink = self._network()
+        model = FaultModel(seed=1)
+        model.set_link("a", "b", drop=0.5)
+        model.set_link("ghost", "b", drop=0.5)
+        assert model.install(network) == 1
+        assert network.link("a", "b").faults is not None
+
+    def test_certain_drop_means_nothing_arrives(self):
+        sim, network, sink = self._network()
+        model = FaultModel(seed=1)
+        model.set_link("a", "b", drop=1.0)
+        model.install(network)
+        for _ in range(5):
+            network.transmit("a", _packet())
+        sim.run()
+        assert sink.received == []
+        assert network.link("a", "b").packets_lost == 5
+
+    def test_certain_duplicate_doubles_arrivals(self):
+        sim, network, sink = self._network()
+        model = FaultModel(seed=1)
+        model.set_link("a", "b", duplicate=1.0)
+        model.install(network)
+        network.transmit("a", _packet())
+        sim.run()
+        assert len(sink.received) == 2
+        assert network.link("a", "b").packets_duplicated == 1
+
+    def test_set_link_after_install_rearms_in_place(self):
+        """Chaos scenarios flip faults on and off mid-run; the live
+        LinkFaults bound to the link must see the new spec."""
+        sim, network, sink = self._network()
+        model = FaultModel(seed=1)
+        model.set_link("a", "b", drop=1.0)
+        model.install(network)
+        network.transmit("a", _packet())
+        sim.run()
+        assert sink.received == []
+        model.clear_link("a", "b")  # heal without reinstalling
+        network.transmit("a", _packet())
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_per_link_rngs_independent(self):
+        """Arming a second link must not perturb the first link's
+        fault sequence."""
+        def drops(extra_link):
+            model = FaultModel(seed=9)
+            model.set_link("a", "b", drop=0.5)
+            if extra_link:
+                model.set_link("c", "d", drop=0.5)
+            faults = model._rng_for("a", "b")
+            link = Link("a", "b", delay_ms=1)
+            process = LinkFaults(model.spec_for("a", "b"), faults)
+            return [bool(process.apply(link, 1.0)) for _ in range(60)]
+
+        assert drops(False) == drops(True)
+
+    def test_spec_for(self):
+        model = FaultModel()
+        assert model.spec_for("a", "b") is None
+        model.set_link("a", "b", drop=0.25)
+        assert model.spec_for("a", "b").drop == 0.25
