@@ -9,6 +9,8 @@ round so wall-clock stays reasonable.
 
 from typing import Any, Dict, Iterable, List, Sequence
 
+from repro.obs import MetricsRegistry, render_table
+
 
 def emit_table(
     title: str,
@@ -34,3 +36,17 @@ def attach(benchmark, **info: Any) -> None:
     """Record reproduction numbers on the benchmark for the JSON output."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def emit_metrics(
+    benchmark, registry: MetricsRegistry, title: str = "metrics"
+) -> List[Dict[str, Any]]:
+    """Print a registry's metrics table next to the timing output and
+    attach the full snapshot to the benchmark record, so every
+    benchmark JSON carries the observability series of the run it
+    timed."""
+    print("\n== %s ==" % title)
+    print(render_table(registry))
+    snapshot = registry.snapshot()
+    benchmark.extra_info["metrics"] = snapshot
+    return snapshot

@@ -7,6 +7,8 @@ tracking regressions in the substrate implementations.
 
 import random
 
+from conftest import emit_metrics
+from repro.obs import MetricsRegistry
 from repro.core.schema import CookieSchema, Feature
 from repro.core.stats import StatKind, StatSpec
 from repro.core.larkswitch import LarkSwitch
@@ -51,7 +53,8 @@ def test_micro_transport_cookie_decode(benchmark):
 
 
 def test_micro_larkswitch_packet(benchmark):
-    lark = LarkSwitch("lark", random.Random(3))
+    registry = MetricsRegistry()
+    lark = LarkSwitch("lark", random.Random(3), registry=registry)
     lark.register_application(
         APP, _schema(), KEY,
         [StatSpec("by_gender", StatKind.COUNT_BY_CLASS, "gender")],
@@ -60,6 +63,8 @@ def test_micro_larkswitch_packet(benchmark):
     cid = codec.encode({"gender": "x"})
     result = benchmark(lark.process_quic_packet, cid)
     assert result.matched
+    emit_metrics(benchmark, registry, "larkswitch data-plane metrics")
+    assert registry.value("pipeline.lark.packets") > 0
 
 
 def test_micro_rdd_reduce_by_key(benchmark):

@@ -7,9 +7,10 @@ medians must agree, and both must equal the analytic model's
 prediction ``d_CI + d_IA + switch costs``.
 """
 
-from conftest import attach, emit_table
+from conftest import attach, emit_metrics, emit_table
 
 from repro.model.params import percentile_scenario
+from repro.obs import scoped_registry
 from repro.testbed.config import Scheme, TestbedConfig
 from repro.testbed.experiment import TestbedExperiment
 from repro.testbed.network_testbed import NetworkTestbed
@@ -34,7 +35,11 @@ def _compute():
 
 
 def test_testbed_crosscheck(benchmark):
-    rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    # Meter the whole cross-check in an isolated registry so the
+    # benchmark JSON carries the pipeline/switch series of exactly
+    # this run.
+    with scoped_registry() as registry:
+        rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
 
     emit_table(
         "Cross-check: Trans-1RTT + INSA median latency (ms)",
@@ -45,6 +50,7 @@ def test_testbed_crosscheck(benchmark):
         ],
     )
     attach(benchmark, medians=[round(r[1], 2) for r in rows])
+    emit_metrics(benchmark, registry, "testbed data-plane metrics")
     for _percentile, chain, network, analytic in rows:
         assert abs(chain - network) / chain < 0.02
         assert abs(chain - analytic) / analytic < 0.05

@@ -46,6 +46,9 @@ from repro.net.node import Node, SinkNode
 from repro.net.packet import NetPacket
 from repro.net.simulator import Simulator
 from repro.net.topology import Network
+from repro.obs.export import jsonl_lines, render_spans, render_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 __all__ = ["ChaosHarness", "ChaosResult"]
 
@@ -116,6 +119,7 @@ class ChaosHarness:
         rpc_timeout_ms: float = 45.0,
         rpc_max_retries: int = 5,
         relative_tolerance: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if duration_ms <= 0 or period_ms <= 0:
             raise ValueError("duration and period must be positive")
@@ -131,6 +135,11 @@ class ChaosHarness:
 
         self.sim = Simulator()
         self.network = Network(self.sim)
+        # The harness keeps its own registry/tracer by default so two
+        # seeded runs can be compared dump-for-dump without leaking
+        # series into (or from) the process-wide default.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(self.sim)
         self.bus = RpcBus(
             self.sim,
             default_delay_ms=rpc_delay_ms,
@@ -138,12 +147,18 @@ class ChaosHarness:
             max_retries=rpc_max_retries,
             retry_jitter_ms=2.0,
             seed=seed,
+            registry=self.registry,
         )
         self.controller = SnatchController(seed=seed, bus=self.bus)
-        self.lifecycle = DeviceLifecycle(self.sim, self.controller)
+        self.lifecycle = DeviceLifecycle(
+            self.sim, self.controller,
+            registry=self.registry, tracer=self.tracer,
+        )
 
-        self.agg = AggSwitch("agg", random.Random("chaos-agg/%d" % seed))
-        self.lark = LarkSwitch("lark", random.Random("chaos-lark/%d" % seed))
+        self.agg = AggSwitch("agg", random.Random("chaos-agg/%d" % seed),
+                             registry=self.registry)
+        self.lark = LarkSwitch("lark", random.Random("chaos-lark/%d" % seed),
+                               registry=self.registry)
         self.edge = SnatchEdgeServer(
             "edge", random.Random("chaos-edge/%d" % seed)
         )
@@ -161,7 +176,7 @@ class ChaosHarness:
                               bidirectional=False)
         self.network.add_link("edge", "agg", link_delay_ms,
                               bidirectional=False)
-        self.fault_model = FaultModel(seed)
+        self.fault_model = FaultModel(seed, registry=self.registry)
 
         # The application under test: periodical forwarding so reports
         # ride (losable) UDP packets at period boundaries.
@@ -190,6 +205,8 @@ class ChaosHarness:
             self.controller,
             ResultVerifier(relative_tolerance),
             reconciler=self._reconcile,
+            registry=self.registry,
+            tracer=self.tracer,
         )
 
         self.events_total = 0
@@ -197,6 +214,12 @@ class ChaosHarness:
         self.reports_sent = 0
         self.reports_dropped_at_agg = 0
         self._ran = False
+        self._m_events = self.registry.counter("chaos.events")
+        self._m_fallback = self.registry.counter("chaos.fallback_events")
+        self._m_reports = self.registry.counter("chaos.reports_sent")
+        self._m_reports_dropped = self.registry.counter(
+            "chaos.reports_dropped_at_agg"
+        )
 
         self._schedule_traffic(events_per_period)
         self._schedule_periods()
@@ -247,6 +270,7 @@ class ChaosHarness:
         cells = self.ground_truth["by_region"]
         cells[region] = cells.get(region, 0) + 1
         self.events_total += 1
+        self._m_events.inc()
         if self.lark.alive:
             self.lark.process_quic_packet(
                 self._transport_codec.encode({"region": region})
@@ -255,6 +279,7 @@ class ChaosHarness:
             # Incremental-deployment fallback: no LarkSwitch in path,
             # the edge server processes the application-layer cookie.
             self.fallback_events += 1
+            self._m_fallback.inc()
             name, value = self._app_codec.encode({"region": region})
             self.edge.handle_request({}, format_cookie_header({name: value}))
 
@@ -272,6 +297,7 @@ class ChaosHarness:
             if payload is None:
                 continue
             self.reports_sent += 1
+            self._m_reports.inc()
             self.network.transmit(source, NetPacket(
                 src=source,
                 dst="agg",
@@ -284,6 +310,7 @@ class ChaosHarness:
     def _on_report(self, packet: NetPacket, _now: float) -> None:
         if not self.agg.alive or self.app_id not in self.agg.registered_app_ids():
             self.reports_dropped_at_agg += 1
+            self._m_reports_dropped.inc()
             return
         self.agg.process_packet(packet.payload)
 
@@ -307,6 +334,20 @@ class ChaosHarness:
         if self.agg.alive and self.app_id in self.agg.registered_app_ids():
             self.agg.reconcile_report(self.app_id, ground_truth)
 
+    # -- observability ----------------------------------------------------------
+
+    def metrics_jsonl(self) -> str:
+        """The run's metrics + spans as a deterministic JSON-lines
+        dump (byte-identical for identical seeded runs)."""
+        lines = jsonl_lines(self.registry, self.tracer)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def metrics_table(self) -> str:
+        return render_table(self.registry)
+
+    def spans_table(self) -> str:
+        return render_spans(self.tracer)
+
     # -- driving ----------------------------------------------------------------
 
     def apply(self, scenario) -> "ChaosHarness":
@@ -319,7 +360,10 @@ class ChaosHarness:
             raise RuntimeError("harness already ran; build a fresh one")
         self._ran = True
         self.fault_model.install(self.network)
-        self.sim.run()
+        # The root span brackets the whole run, so every chaos-phase
+        # span opened inside a scheduled event nests under it.
+        with self.tracer.span("chaos.run", seed=self.seed):
+            self.sim.run()
         final_report = self._in_network_report()
         truth = {
             name: dict(cells) for name, cells in self.ground_truth.items()

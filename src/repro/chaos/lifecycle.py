@@ -17,7 +17,9 @@ for assertions and reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["DeviceLifecycle", "LifecycleEvent"]
 
@@ -35,10 +37,19 @@ class LifecycleEvent:
 class DeviceLifecycle:
     """Crash/restart orchestration for a controller's devices."""
 
-    def __init__(self, sim, controller):
+    def __init__(self, sim, controller,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None):
         self.sim = sim
         self.controller = controller
         self.events: List[LifecycleEvent] = []
+        self.tracer = tracer
+        self.metrics = registry if registry is not None else get_registry()
+        self._m_crashes = self.metrics.counter("lifecycle.crashes")
+        self._m_restarts = self.metrics.counter("lifecycle.restarts")
+        self._m_reenrollments = self.metrics.counter("lifecycle.reenrollments")
+        self._m_apps_repushed = self.metrics.counter("lifecycle.apps_repushed")
+        self._outage_spans: Dict[str, Any] = {}
 
     # -- lookup -----------------------------------------------------------------
 
@@ -66,6 +77,13 @@ class DeviceLifecycle:
         self.events.append(
             LifecycleEvent(self.sim.now, device_name, "crash")
         )
+        self._m_crashes.inc()
+        if self.tracer is not None:
+            self.tracer.event("chaos.inject", device=device_name,
+                              fault="crash")
+            self._outage_spans[device_name] = self.tracer.start(
+                "chaos.outage", device=device_name
+            )
         if down_ms is not None:
             if down_ms <= 0:
                 raise ValueError("downtime must be positive")
@@ -83,10 +101,16 @@ class DeviceLifecycle:
         self.events.append(
             LifecycleEvent(self.sim.now, device_name, "restart")
         )
+        self._m_restarts.inc()
         pushed = self.controller.reenroll_device(device)
         self.events.append(
             LifecycleEvent(self.sim.now, device_name, "reenroll", pushed)
         )
+        self._m_reenrollments.inc()
+        self._m_apps_repushed.inc(pushed)
+        span = self._outage_spans.pop(device_name, None)
+        if span is not None:
+            self.tracer.finish(span, apps_repushed=pushed)
         return pushed
 
     def schedule_crash(self, at_ms: float, device_name: str,

@@ -8,7 +8,9 @@ Subcommands mirror the evaluation:
 * ``testbed``   — one end-to-end DES run (scheme, INSA, rate, ...);
 * ``measure``   — the synthetic measurement campaign summary;
 * ``table1``    — DStream methods vs INSA support;
-* ``carriers``  — the Appendix-B.2 transport-carrier comparison.
+* ``carriers``  — the Appendix-B.2 transport-carrier comparison;
+* ``metrics``   — run a chaos workload and dump the observability
+  layer's metrics (text table and/or JSON-lines).
 
 Usage: ``python -m repro.cli testbed --scheme trans-1rtt --insa``
 """
@@ -133,6 +135,39 @@ def _cmd_measure(args, out) -> int:
     return 0
 
 
+def _cmd_metrics(args, out) -> int:
+    from repro.chaos import ChaosHarness, standard_outage
+    from repro.obs import dump_jsonl
+
+    harness = ChaosHarness(seed=args.seed, duration_ms=args.duration_ms)
+    if args.scenario == "standard-outage":
+        harness.apply(standard_outage())
+    result = harness.run()
+    out.write(
+        "workload: chaos scenario=%s seed=%d duration=%.0f ms\n"
+        % (args.scenario, args.seed, args.duration_ms)
+    )
+    out.write(
+        "events=%d fallback=%d reports=%d lost=%d repairs=%d "
+        "consistent=%s\n\n"
+        % (
+            result.events_total,
+            result.fallback_events,
+            result.reports_sent,
+            result.reports_lost,
+            len(result.repairs),
+            "yes" if result.consistent else "no",
+        )
+    )
+    out.write(harness.metrics_table() + "\n")
+    if args.spans:
+        out.write("\n" + harness.spans_table() + "\n")
+    if args.json:
+        written = dump_jsonl(args.json, harness.registry, harness.tracer)
+        out.write("\nwrote %d records to %s\n" % (written, args.json))
+    return 0
+
+
 def _cmd_table1(args, out) -> int:
     _print_rows(["method", "INSA", "categories"], table1_rows(), out)
     return 0
@@ -185,6 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sites", type=int, default=400)
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a workload and dump the observability metrics",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration-ms", type=float, default=1000.0)
+    p.add_argument("--scenario", choices=["standard-outage", "none"],
+                   default="standard-outage")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write a JSON-lines dump to PATH")
+    p.add_argument("--spans", action="store_true",
+                   help="also print the sim-time span table")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("table1", help="DStream methods vs INSA support")
     p.set_defaults(func=_cmd_table1)

@@ -32,6 +32,7 @@ from repro.core.stats import (
     merge_snapshots,
     min_array_names,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.switch.pipeline import AES_PASS_LATENCY_MS, PHV, SwitchPipeline
 from repro.switch.tables import (
     MatchActionTable,
@@ -68,12 +69,28 @@ class AggResult:
 class AggSwitch:
     """The aggregating switch in front of the analytics server."""
 
-    def __init__(self, name: str = "agg", rng: Optional[random.Random] = None):
+    def __init__(self, name: str = "agg", rng: Optional[random.Random] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.name = name
         self.alive = True
         self.crashes = 0
         self._rng = rng or random.Random()
-        self.pipeline = SwitchPipeline(name)
+        self.pipeline = SwitchPipeline(name, registry=registry)
+        self.metrics = self.pipeline.metrics
+        base = "agg.%s" % name
+        self._m_packets = self.metrics.counter(base + ".packets")
+        self._m_per_packet_merges = self.metrics.counter(
+            base + ".per_packet_merges"
+        )
+        self._m_report_merges = self.metrics.counter(base + ".report_merges")
+        self._m_decode_failures = self.metrics.counter(
+            base + ".decode_failures"
+        )
+        self._m_register_updates = self.metrics.counter(
+            base + ".register_updates"
+        )
+        self._m_reconciles = self.metrics.counter(base + ".reconciles")
+        self._m_crashes = self.metrics.counter(base + ".crashes")
         self._apps: Dict[int, _AggApp] = {}
         self._match_table = MatchActionTable(
             "%s.sid_app_match" % name,
@@ -145,6 +162,7 @@ class AggSwitch:
             self.revoke_application(app_id)
         self.alive = False
         self.crashes += 1
+        self._m_crashes.inc()
 
     def restart(self) -> None:
         self.alive = True
@@ -160,6 +178,7 @@ class AggSwitch:
             packet = app.codec.decode(phv["payload"])
         except ValueError:
             phv.metadata["decode_failed"] = True
+            self._m_decode_failures.inc()
             return
         if packet.mode == ForwardingMode.PER_PACKET:
             # Items are (feature_index, wire_value) for one cookie.
@@ -167,10 +186,13 @@ class AggSwitch:
             for index, wire in packet.items:
                 if index >= len(app.schema.features):
                     phv.metadata["decode_failed"] = True
+                    self._m_decode_failures.inc()
                     return
                 feature = app.schema.features[index]
                 values[feature.name] = feature.decode_value(wire)
             app.stats.update(values)
+            self._m_register_updates.inc()
+            self._m_per_packet_merges.inc()
         else:
             # Items are a flattened statistics snapshot from one source.
             mins = min_array_names(app.specs)
@@ -181,6 +203,7 @@ class AggSwitch:
                 app.specs, app.stats.snapshot(), incoming
             )
             self._write_snapshot(app, merged)
+            self._m_report_merges.inc()
         app.packets_merged += 1
         phv.metadata["merged_app"] = app.app_id
 
@@ -193,6 +216,7 @@ class AggSwitch:
             )
             for index, value in enumerate(cells):
                 array.write(index, value)
+            self._m_register_updates.inc(len(cells))
 
     def process_packet(self, payload: bytes) -> AggResult:
         """Inspect one packet heading for the analytics server."""
@@ -200,6 +224,7 @@ class AggSwitch:
             return AggResult(
                 is_aggregation=False, merged=False, latency_ms=0.0
             )
+        self._m_packets.inc()
         is_agg = AggregationCodec.is_aggregation_packet(payload)
         sid = int.from_bytes(payload[0:2], "big") if len(payload) >= 2 else 0
         app_id = payload[2] if len(payload) >= 3 else -1
@@ -241,6 +266,7 @@ class AggSwitch:
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
         self._apps[app_id].stats.load_report(report)
+        self._m_reconciles.inc()
 
     def packets_merged(self, app_id: int) -> int:
         return self._apps[app_id].packets_merged

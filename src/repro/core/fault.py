@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.registry import MetricsRegistry, get_registry
+
 __all__ = ["Discrepancy", "ResultVerifier", "FaultRepairLoop"]
 
 
@@ -123,12 +125,24 @@ class FaultRepairLoop:
     """
 
     def __init__(self, controller, verifier: Optional[ResultVerifier] = None,
-                 reconciler: Optional[Reconciler] = None):
+                 reconciler: Optional[Reconciler] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None):
         self.controller = controller
         self.verifier = verifier or ResultVerifier()
         self.reconciler = reconciler
         self.history: List[RepairRecord] = []
         self.checks_run = 0
+        self.tracer = tracer
+        self.metrics = registry if registry is not None else get_registry()
+        self._m_checks = self.metrics.counter("repair.checks")
+        self._m_drift = self.metrics.counter("repair.drift_detected")
+        self._m_discrepancies = self.metrics.counter("repair.discrepancies")
+        self._m_resyncs = self.metrics.counter("repair.devices_resynced")
+        self._m_reconciles = self.metrics.counter("repair.reconciles")
+        # The open drift window: from the check that first saw the
+        # aggregate diverge to the first clean check after repair.
+        self._drift_span = None
 
     def check(
         self,
@@ -141,13 +155,31 @@ class FaultRepairLoop:
         Returns the discrepancies that prompted the repair (empty when
         healthy)."""
         self.checks_run += 1
+        self._m_checks.inc()
         discrepancies = self.verifier.diff(in_network, ground_truth)
         if discrepancies:
+            self._m_drift.inc()
+            self._m_discrepancies.inc(len(discrepancies))
+            if self.tracer is not None and self._drift_span is None:
+                self._drift_span = self.tracer.start(
+                    "chaos.drift", application=application
+                )
             resynced = self.controller.resync(application)
+            self._m_resyncs.inc(resynced)
             reconciled = False
             if self.reconciler is not None:
-                self.reconciler(application, ground_truth)
+                if self.tracer is not None:
+                    with self.tracer.span(
+                        "chaos.repair",
+                        application=application,
+                        discrepancies=len(discrepancies),
+                        devices_resynced=resynced,
+                    ):
+                        self.reconciler(application, ground_truth)
+                else:
+                    self.reconciler(application, ground_truth)
                 reconciled = True
+                self._m_reconciles.inc()
             self.history.append(
                 RepairRecord(
                     application=application,
@@ -157,6 +189,10 @@ class FaultRepairLoop:
                     reconciled=reconciled,
                 )
             )
+        elif self._drift_span is not None:
+            # First clean check after a drift window: the repair held.
+            self.tracer.finish(self._drift_span, checks=self.checks_run)
+            self._drift_span = None
         return discrepancies
 
     def schedule(

@@ -37,6 +37,7 @@ from repro.core.transport_cookie import (
     APP_ID_BYTE_INDEX,
     TransportCookieCodec,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.quic.connection_id import ConnectionID
 from repro.switch.bloom import BloomFilter
 from repro.switch.pipeline import (
@@ -87,12 +88,27 @@ class LarkResult:
 class LarkSwitch:
     """A Snatch-programmed ISP switch."""
 
-    def __init__(self, name: str = "lark", rng: Optional[random.Random] = None):
+    def __init__(self, name: str = "lark", rng: Optional[random.Random] = None,
+                 registry: Optional["MetricsRegistry"] = None):
         self.name = name
         self.alive = True
         self.crashes = 0
         self._rng = rng or random.Random()
-        self.pipeline = SwitchPipeline(name)
+        self.pipeline = SwitchPipeline(name, registry=registry)
+        self.metrics = self.pipeline.metrics
+        base = "lark.%s" % name
+        self._m_packets = self.metrics.counter(base + ".packets")
+        self._m_decoded = self.metrics.counter(base + ".decoded")
+        self._m_decode_failures = self.metrics.counter(
+            base + ".decode_failures"
+        )
+        self._m_dedup_hits = self.metrics.counter(base + ".dedup_hits")
+        self._m_register_updates = self.metrics.counter(
+            base + ".register_updates"
+        )
+        self._m_digests = self.metrics.counter(base + ".digests")
+        self._m_reports = self.metrics.counter(base + ".reports")
+        self._m_crashes = self.metrics.counter(base + ".crashes")
         self._apps: Dict[int, RegisteredApp] = {}
         self._app_table = MatchActionTable(
             "%s.app_match" % name,
@@ -186,6 +202,7 @@ class LarkSwitch:
             self.revoke_application(app_id)
         self.alive = False
         self.crashes += 1
+        self._m_crashes.inc()
 
     def restart(self) -> None:
         """Come back up empty; parameters arrive via re-enrollment."""
@@ -202,6 +219,7 @@ class LarkSwitch:
         decoded = app.cookie_codec.try_decode(cid)
         if decoded is None:
             phv.metadata["decode_failed"] = True
+            self._m_decode_failures.inc()
             return
         if app.dedup is not None:
             # Dedup on the raw encrypted cookie bytes: stable per user
@@ -209,8 +227,11 @@ class LarkSwitch:
             cookie_bytes = bytes(cid)[1:18]
             if app.dedup.add(cookie_bytes):
                 phv.metadata["duplicate"] = True
+                self._m_dedup_hits.inc()
                 return
+        self._m_decoded.inc()
         app.stats.update(decoded.values)
+        self._m_register_updates.inc()
         phv.metadata["decoded"] = decoded.values
         # Punt values of digest-designated features to the control
         # plane (paper section 4.1: complex ops via P4 digests).
@@ -221,6 +242,7 @@ class LarkSwitch:
                     {"feature": feature_name,
                      "value": decoded.values[feature_name]},
                 )
+                self._m_digests.inc()
         if app.mode == ForwardingMode.PER_PACKET:
             clone = pipeline.clone_packet(phv)
             clone.metadata["aggregation"] = self._per_packet_payload(
@@ -258,6 +280,7 @@ class LarkSwitch:
             )
         raw = bytes(dcid)
         app_id = raw[APP_ID_BYTE_INDEX] if len(raw) > APP_ID_BYTE_INDEX else -1
+        self._m_packets.inc()
         result = self.pipeline.process({"app_id": app_id, "dcid": raw})
         payload: Optional[bytes] = None
         for clone in result.clones:
@@ -298,6 +321,7 @@ class LarkSwitch:
             source=self.name,
         )
         payload = app.agg_codec.encode(packet)
+        self._m_reports.inc()
         self._reset_period(app)
         return payload
 

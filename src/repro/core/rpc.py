@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.simulator import Simulator
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["RpcBus", "RpcCall", "RpcError", "DeadDeviceError"]
 
@@ -84,7 +85,8 @@ class RpcBus:
                  max_retries: int = 3,
                  backoff_factor: float = 2.0,
                  retry_jitter_ms: float = 0.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
         if default_delay_ms < 0:
             raise ValueError("delay must be non-negative")
         if timeout_ms is not None and timeout_ms <= 0:
@@ -107,6 +109,18 @@ class RpcBus:
         self._loss: Dict[str, float] = {}
         self._forced_drops: Dict[str, int] = {}
         self.log: List[RpcCall] = []
+        self.metrics = registry if registry is not None else get_registry()
+        self._m_sends = self.metrics.counter("rpc.sends")
+        self._m_attempts = self.metrics.counter("rpc.attempts")
+        self._m_retries = self.metrics.counter("rpc.retries")
+        self._m_drops = self.metrics.counter("rpc.drops")
+        self._m_acks = self.metrics.counter("rpc.acks")
+        self._m_timeouts = self.metrics.counter("rpc.timeouts")
+        self._m_handler_errors = self.metrics.counter("rpc.handler_errors")
+        self._m_dead = self.metrics.counter("rpc.dead_devices")
+        # Simulated milliseconds spent waiting out backoff timers that
+        # actually expired into a retry.
+        self._m_backoff_ms = self.metrics.counter("rpc.backoff_wait_ms")
 
     def register_device(self, name: str, device: Any,
                         delay_ms: Optional[float] = None) -> None:
@@ -173,6 +187,7 @@ class RpcBus:
             deliver_at_ms=self.sim.now + delay,
         )
         self.log.append(record)
+        self._m_sends.inc()
         self._attempt(record, args, kwargs, on_complete, attempt=0)
         return record
 
@@ -185,10 +200,15 @@ class RpcBus:
         attempt: int,
     ) -> None:
         record.attempts += 1
+        self._m_attempts.inc()
+        if attempt > 0:
+            self._m_retries.inc()
         name = record.device
         target = self._devices[name]
         delay = self._delays[name]
         lost = self._attempt_lost(name)
+        if lost:
+            self._m_drops.inc()
 
         def deliver() -> None:
             # A crashed device neither executes nor acks; the retry
@@ -203,6 +223,7 @@ class RpcBus:
                 record.completed = True
             except Exception as exc:  # surfaced via the record, not raised
                 record.error = "%s: %s" % (type(exc).__name__, exc)
+                self._m_handler_errors.inc()
                 if on_complete is not None:
                     on_complete(record)
                 return
@@ -215,6 +236,7 @@ class RpcBus:
 
             def ack() -> None:
                 record.acked_at_ms = self.sim.now
+                self._m_acks.inc()
                 if on_complete is not None:
                     on_complete(record)
 
@@ -233,15 +255,18 @@ class RpcBus:
             if (record.acked_at_ms is not None or record.error is not None
                     or record.failed):
                 return
+            self._m_timeouts.inc()
             if attempt + 1 > self.max_retries:
                 record.failed = True
                 record.error = (
                     "DeadDeviceError: device %r unresponsive after "
                     "%d attempt(s)" % (name, record.attempts)
                 )
+                self._m_dead.inc()
                 if on_complete is not None:
                     on_complete(record)
                 return
+            self._m_backoff_ms.inc(timeout)
             self._attempt(record, args, kwargs, on_complete, attempt + 1)
 
         self.sim.schedule(timeout, maybe_retry)

@@ -41,6 +41,7 @@ class QuantileCurve:
         self.name = name
         self._ps = [p for p, _ in points]
         self._vs = [v for _, v in points]
+        self._default_rng: Optional[random.Random] = None
 
     def percentile(self, p: float) -> float:
         """Value at percentile ``p`` (linear interpolation)."""
@@ -69,8 +70,21 @@ class QuantileCurve:
         return self._vs[-1]
 
     def sample(self, rng: Optional[random.Random] = None) -> float:
-        """Draw one value by inverse-CDF sampling."""
-        rng = rng or random
+        """Draw one value by inverse-CDF sampling.
+
+        Pass an explicit :class:`random.Random` to correlate draws
+        with other seeded processes.  Without one, the curve uses its
+        own deterministically seeded generator (derived from the curve
+        name) — it must never fall back to the process-global
+        ``random`` module, which would silently break run-to-run
+        reproducibility.
+        """
+        if rng is None:
+            if self._default_rng is None:
+                self._default_rng = random.Random(
+                    "quantilecurve/%s" % self.name
+                )
+            rng = self._default_rng
         return self.percentile(rng.uniform(0.0, 100.0))
 
     def sample_at(self, u: float) -> float:

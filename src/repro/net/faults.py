@@ -25,6 +25,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry, get_registry
+
 __all__ = ["FaultModel", "LinkFaultSpec", "LinkFaults"]
 
 
@@ -55,23 +57,38 @@ class LinkFaults:
     times for the (possibly dropped or duplicated) packet.
     """
 
-    def __init__(self, spec: LinkFaultSpec, rng: random.Random):
+    def __init__(self, spec: LinkFaultSpec, rng: random.Random,
+                 meters: Optional[Dict[str, object]] = None):
         self.spec = spec
         self._rng = rng
+        # Counters for faults *actually injected* (not just configured
+        # probabilities), keyed "drops"/"duplicates"/"reorders"/
+        # "jitter_ms" — attached by FaultModel.install.
+        self.meters = meters
 
     def apply(self, link, base_transit_ms: float) -> List[float]:
         spec = self.spec
+        meters = self.meters
         if spec.drop and self._rng.random() < spec.drop:
             link.packets_lost += 1
+            if meters is not None:
+                meters["drops"].inc()
             return []
         transit = base_transit_ms
         if spec.extra_jitter_ms:
-            transit += self._rng.uniform(0, spec.extra_jitter_ms)
+            jitter = self._rng.uniform(0, spec.extra_jitter_ms)
+            transit += jitter
+            if meters is not None:
+                meters["jitter_ms"].inc(jitter)
         if spec.reorder and self._rng.random() < spec.reorder:
             transit += spec.reorder_delay_ms
             link.packets_reordered += 1
+            if meters is not None:
+                meters["reorders"].inc()
         if spec.duplicate and self._rng.random() < spec.duplicate:
             link.packets_duplicated += 1
+            if meters is not None:
+                meters["duplicates"].inc()
             return [transit, transit + spec.duplicate_gap_ms]
         return [transit]
 
@@ -89,8 +106,10 @@ class FaultModel:
     chaos scenarios can turn faults on and off mid-run.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
         self.seed = seed
+        self.metrics = registry if registry is not None else get_registry()
         self._specs: Dict[Tuple[str, str], LinkFaultSpec] = {}
         self._installed: Dict[Tuple[str, str], LinkFaults] = {}
 
@@ -116,6 +135,15 @@ class FaultModel:
         # independent per link.
         return random.Random("faultmodel/%d/%s>%s" % (self.seed, src, dst))
 
+    def _meters_for(self, src: str, dst: str) -> Dict[str, object]:
+        base = "faults.%s->%s" % (src, dst)
+        return {
+            "drops": self.metrics.counter(base + ".drops"),
+            "duplicates": self.metrics.counter(base + ".duplicates"),
+            "reorders": self.metrics.counter(base + ".reorders"),
+            "jitter_ms": self.metrics.counter(base + ".jitter_ms"),
+        }
+
     def install(self, network) -> int:
         """Attach fault processes to every configured link that exists
         in ``network``; returns the number of links armed."""
@@ -127,7 +155,9 @@ class FaultModel:
                 faults = self._installed[key]
                 faults.spec = spec
             else:
-                faults = LinkFaults(spec, self._rng_for(*key))
+                faults = LinkFaults(
+                    spec, self._rng_for(*key), self._meters_for(*key)
+                )
                 self._installed[key] = faults
             network.links[key].faults = faults
             armed += 1

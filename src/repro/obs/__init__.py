@@ -1,0 +1,46 @@
+"""repro.obs: observability for the reproduction.
+
+A process-wide but injectable :class:`MetricsRegistry` (counters,
+gauges, fixed-bucket histograms), a :class:`Tracer` producing sim-time
+spans off ``Simulator.now``, and deterministic exporters (JSON lines,
+aligned text tables).  The switch pipeline, RPC bus, fault model,
+device lifecycle and chaos repair loop all write here, so one dump
+shows where every simulated millisecond and packet went.
+"""
+
+from repro.obs.export import (
+    dump_jsonl,
+    jsonl_lines,
+    parse_jsonl,
+    render_spans,
+    render_table,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_EDGES_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_EDGES_US",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "dump_jsonl",
+    "get_registry",
+    "jsonl_lines",
+    "parse_jsonl",
+    "render_spans",
+    "render_table",
+    "scoped_registry",
+    "set_registry",
+]

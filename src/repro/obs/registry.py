@@ -1,0 +1,273 @@
+"""Metrics registry: counters, gauges, and integer-bucket histograms.
+
+The paper's headline claims are latency/speedup numbers, so every later
+performance PR needs a uniform way to see where simulated time and
+packets go.  This module is the measurement substrate: a
+:class:`MetricsRegistry` holds named instruments that the switch
+pipeline, the RPC bus, the fault model and the chaos harness all write
+into, and the exporters in :mod:`repro.obs.export` turn one registry
+into a JSON-lines dump or an aligned text table.
+
+Design constraints:
+
+* **Deterministic.**  Instruments are plain Python state keyed by
+  name; snapshots iterate in sorted-name order, so two identical
+  seeded runs dump byte-identical output.  Nothing here reads wall
+  clocks or process state.
+* **P4-plausible histograms.**  A switch-resident histogram is a row
+  of SRAM counters indexed by a TCAM range match, so
+  :class:`Histogram` uses *fixed* bucket edges chosen at creation
+  (integer-friendly microsecond defaults) and only ever increments
+  integer cell counts — no rebinning, no floats in the hot path.
+* **Process-wide but injectable.**  ``get_registry()`` returns the
+  module default so ad-hoc code can meter itself with zero plumbing;
+  every instrumented component also takes a ``registry=`` argument so
+  a harness (or a test) can isolate its own measurements.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_EDGES_US",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+]
+
+# Microsecond latency buckets spanning sub-microsecond line-rate
+# forwarding (1 us) up through the ~0.1 ms AES pass (100 us) and
+# second-scale analytics delays.  Powers of 1-2-5, all integers.
+DEFAULT_LATENCY_EDGES_US: Tuple[int, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1000, 2000, 5000, 10000, 100000, 1000000,
+)
+
+
+class Counter:
+    """A monotonically increasing count (packets, drops, retries)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (pending calls, live devices)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """Fixed-edge histogram: integer cell counts, switch-register style.
+
+    ``edges`` are the inclusive upper bounds of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything
+    above the last edge.  Edges are fixed at creation — a hardware
+    histogram cannot rebin — and must be strictly increasing.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, edges: Optional[Sequence[int]] = None):
+        chosen = tuple(edges) if edges is not None else DEFAULT_LATENCY_EDGES_US
+        if not chosen:
+            raise ValueError("histogram %r needs at least one edge" % name)
+        if any(b <= a for a, b in zip(chosen, chosen[1:])):
+            raise ValueError(
+                "histogram %r edges must be strictly increasing" % name
+            )
+        self.name = name
+        self.edges = chosen
+        self.counts = [0] * (len(chosen) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value) -> None:
+        """Record one observation (rounded to an integer, like a
+        hardware timestamp delta)."""
+        value = int(round(value))
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Upper bucket edge covering percentile ``p`` (0-100); the
+        last edge is returned for overflow observations."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i, cell in enumerate(self.counts):
+            seen += cell
+            if seen >= rank and cell:
+                return self.edges[min(i, len(self.edges) - 1)]
+        return self.edges[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument (so two
+    LarkSwitch instances named ``lark`` share their packet counter,
+    exactly like two processes sharing one Prometheus series); asking
+    for an existing name as a different kind is an error.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                "metric %r already registered as %s, not %s"
+                % (name, instrument.kind, cls.kind)
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[int]] = None
+    ) -> Histogram:
+        histogram = self._get_or_create(name, Histogram, edges)
+        if edges is not None and tuple(edges) != histogram.edges:
+            raise ValueError(
+                "histogram %r already registered with different edges" % name
+            )
+        return histogram
+
+    def get(self, name: str):
+        """The instrument registered under ``name`` (KeyError if none)."""
+        if name not in self._instruments:
+            raise KeyError("no metric %r registered" % name)
+        return self._instruments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> Iterator[Any]:
+        """All instruments in sorted-name order (deterministic)."""
+        for name in sorted(self._instruments):
+            yield self._instruments[name]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Plain-data snapshot of every instrument, sorted by name."""
+        return [i.snapshot() for i in self.instruments()]
+
+    def value(self, name: str):
+        """Shorthand for scalar reads in assertions and reports."""
+        instrument = self.get(name)
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return instrument.value
+
+    def reset(self) -> None:
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument (a fresh namespace)."""
+        self._instruments.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def scoped_registry(registry: Optional[MetricsRegistry] = None):
+    """Temporarily swap the default registry (tests, isolated runs)."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -69,12 +69,23 @@ class ConnectionID:
         )
 
 
+# Deterministic default generator: falling back to the process-global
+# ``random`` module would make no-rng callers (tests, examples) vary
+# run to run and leak draws into unrelated seeded sequences.
+_default_rng = random.Random("repro.quic.connection_id")
+
+
 def random_connection_id(
     length: int = MAX_CONNECTION_ID_BYTES,
     rng: Optional[random.Random] = None,
 ) -> ConnectionID:
-    """Generate a uniformly random connection ID of ``length`` bytes."""
+    """Generate a uniformly random connection ID of ``length`` bytes.
+
+    Without an explicit ``rng`` a module-level seeded generator is
+    used, so runs are reproducible bit-for-bit.
+    """
     if not 0 <= length <= MAX_CONNECTION_ID_BYTES:
         raise ValueError("invalid connection ID length %d" % length)
-    rng = rng or random
+    if rng is None:
+        rng = _default_rng
     return ConnectionID(bytes(rng.getrandbits(8) for _ in range(length)))

@@ -6,7 +6,7 @@ paper leans on: limited stages, integer-only ALU, match-action tables,
 scarce register SRAM, clones, and control-plane digests.
 """
 
-from repro.switch.bloom import BloomFilter, optimal_num_hashes
+from repro.switch.bloom import BloomFilter, bloom_parameters, optimal_num_hashes
 from repro.switch.hashing import HashUnit, crc16, crc32, fold_hash
 from repro.switch.pipeline import (
     AES_PASS_LATENCY_MS,
@@ -86,6 +86,7 @@ __all__ = [
     "TableEntry",
     "TableFullError",
     "UnsupportedOperationError",
+    "bloom_parameters",
     "crc16",
     "build_snatch_packet",
     "dimensions_for",

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.primitives import SwitchALU, UnsupportedOperationError
 from repro.switch.registers import RegisterFile
 from repro.switch.tables import MatchActionTable
@@ -135,7 +136,8 @@ class SwitchPipeline:
         result = pipe.process({"udp_dport": 443, ...})
     """
 
-    def __init__(self, name: str, sram_budget_bits: int = 10 * 1024 * 1024):
+    def __init__(self, name: str, sram_budget_bits: int = 10 * 1024 * 1024,
+                 registry: Optional[MetricsRegistry] = None):
         self.name = name
         self.stages: List[Stage] = []
         self.registers = RegisterFile(sram_budget_bits)
@@ -146,6 +148,14 @@ class SwitchPipeline:
         self._extra_latency_ms = 0.0
         self.packets_processed = 0
         self.packets_dropped = 0
+        # Instruments are resolved once at construction so the
+        # per-packet path only does integer increments.
+        self.metrics = registry if registry is not None else get_registry()
+        base = "pipeline.%s" % name
+        self._m_packets = self.metrics.counter(base + ".packets")
+        self._m_drops = self.metrics.counter(base + ".drops")
+        self._m_latency_us = self.metrics.histogram(base + ".latency_us")
+        self._stage_meters: List[Any] = []  # (hits, misses) per stage
 
     # -- program construction -------------------------------------------
 
@@ -156,6 +166,11 @@ class SwitchPipeline:
             )
         stage = Stage(index=len(self.stages))
         self.stages.append(stage)
+        prefix = "pipeline.%s.stage%02d" % (self.name, stage.index)
+        self._stage_meters.append((
+            self.metrics.counter(prefix + ".hits"),
+            self.metrics.counter(prefix + ".misses"),
+        ))
         return stage
 
     def add_table(
@@ -199,15 +214,18 @@ class SwitchPipeline:
         self._digest_queue = []
         self._extra_latency_ms = 0.0
         self.packets_processed += 1
+        self._m_packets.inc()
 
-        for stage in self.stages:
+        for stage_index, stage in enumerate(self.stages):
             if phv.drop:
                 break
+            hit_meter, miss_meter = self._stage_meters[stage_index]
             for table in stage.tables:
                 if phv.drop:
                     break
                 values = [phv.get(key.field_name, 0) for key in table.keys]
-                action, params, _hit = table.lookup(values)
+                action, params, hit = table.lookup(values)
+                (hit_meter if hit else miss_meter).inc()
                 fn = self._actions.get(action)
                 if fn is None:
                     raise UnsupportedOperationError(
@@ -218,12 +236,15 @@ class SwitchPipeline:
 
         if phv.drop:
             self.packets_dropped += 1
+            self._m_drops.inc()
+        latency_ms = LINE_RATE_LATENCY_MS + self._extra_latency_ms
+        self._m_latency_us.observe(latency_ms * 1000.0)
         return PipelineResult(
             phv=phv,
             forwarded=not phv.drop,
             clones=list(self._clone_requests),
             digests=list(self._digest_queue),
-            latency_ms=LINE_RATE_LATENCY_MS + self._extra_latency_ms,
+            latency_ms=latency_ms,
         )
 
     # -- introspection ----------------------------------------------------

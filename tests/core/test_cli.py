@@ -81,6 +81,41 @@ class TestOtherCommands:
         assert "quic-connection-id" in text
 
 
+class TestMetricsCommand:
+    def test_prints_metrics_table(self):
+        code, text = _run(["metrics", "--duration-ms", "600"])
+        assert code == 0
+        assert "workload: chaos scenario=standard-outage" in text
+        assert "pipeline.lark.packets" in text
+        assert "rpc.sends" in text
+        assert "chaos.events" in text
+
+    def test_spans_flag_prints_span_table(self):
+        code, text = _run(["metrics", "--duration-ms", "600", "--spans"])
+        assert code == 0
+        assert "chaos.run" in text
+
+    def test_json_dump_parses(self, tmp_path):
+        from repro.obs import parse_jsonl
+
+        path = tmp_path / "dump.jsonl"
+        code, text = _run(
+            ["metrics", "--duration-ms", "600", "--json", str(path)]
+        )
+        assert code == 0
+        records = parse_jsonl(path.read_text(encoding="utf-8"))
+        assert records, "dump is empty"
+        assert "wrote %d records" % len(records) in text
+        assert any(r["kind"] == "span" for r in records)
+
+    def test_no_scenario_runs_clean(self):
+        code, text = _run(
+            ["metrics", "--scenario", "none", "--duration-ms", "600"]
+        )
+        assert code == 0
+        assert "consistent=yes" in text
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -4,6 +4,7 @@ declaration, and error surfacing (``failed`` / ``quiesce(raise_on_error)``)."""
 import pytest
 
 from repro.core.rpc import RpcBus, RpcError
+from repro.obs import MetricsRegistry
 
 
 class Counter:
@@ -168,6 +169,64 @@ class TestRetries:
         bus.quiesce()
         assert device.calls == []
         assert record.attempts == 1 and not record.completed
+
+
+class TestMetrics:
+    """Every reliability event lands in the bus's ``rpc.*`` series."""
+
+    def _bus(self, **kwargs):
+        defaults = dict(
+            default_delay_ms=10, timeout_ms=30, max_retries=3,
+            registry=MetricsRegistry(),
+        )
+        defaults.update(kwargs)
+        return RpcBus(**defaults)
+
+    def test_clean_call_counts_send_attempt_ack(self):
+        bus = self._bus()
+        bus.register_device("d", Counter())
+        bus.call("d", "ping")
+        bus.quiesce()
+        metrics = bus.metrics
+        assert metrics.value("rpc.sends") == 1
+        assert metrics.value("rpc.attempts") == 1
+        assert metrics.value("rpc.acks") == 1
+        assert metrics.value("rpc.retries") == 0
+        assert metrics.value("rpc.timeouts") == 0
+
+    def test_drop_counts_retry_timeout_and_backoff(self):
+        bus = self._bus()
+        bus.register_device("d", Counter())
+        bus.drop_next("d")
+        bus.call("d", "ping")
+        bus.quiesce()
+        metrics = bus.metrics
+        assert metrics.value("rpc.drops") == 1
+        assert metrics.value("rpc.timeouts") == 1
+        assert metrics.value("rpc.retries") == 1
+        assert metrics.value("rpc.backoff_wait_ms") == 30
+
+    def test_dead_device_counted(self):
+        bus = self._bus(max_retries=2)
+        device = Counter()
+        device.alive = False
+        bus.register_device("d", device)
+        bus.call("d", "ping")
+        bus.quiesce()
+        assert bus.metrics.value("rpc.dead_devices") == 1
+        assert bus.metrics.value("rpc.attempts") == 3
+
+    def test_handler_error_counted_and_still_raised(self):
+        """The bugfix regression: a handler exception shows up in
+        ``rpc.handler_errors`` *and* ``quiesce(raise_on_error=True)``
+        still surfaces it — metering must not swallow the error."""
+        bus = self._bus()
+        bus.register_device("f", Flaky())
+        bus.call("f", "boom")
+        with pytest.raises(RpcError):
+            bus.quiesce(raise_on_error=True)
+        assert bus.metrics.value("rpc.handler_errors") == 1
+        assert len(bus.failed()) == 1
 
 
 class TestFaultInjectionApi:

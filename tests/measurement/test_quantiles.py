@@ -78,6 +78,36 @@ class TestSampling:
         assert abs(samples[1000] - curve.median) < 2.0
 
 
+class TestSamplingDeterminism:
+    """The bugfix regression: ``sample()`` with no rng must never fall
+    back to the process-global ``random`` module."""
+
+    def test_no_rng_sampling_is_reproducible(self):
+        first, second = _curve(), _curve()
+        assert [first.sample() for _ in range(10)] == \
+            [second.sample() for _ in range(10)]
+
+    def test_no_rng_sampling_leaves_global_random_untouched(self):
+        random.seed(123)
+        expected = random.random()
+        random.seed(123)
+        for _ in range(5):
+            _curve().sample()
+            _curve()
+        assert random.random() == expected
+
+    def test_default_streams_derive_from_curve_name(self):
+        anchors = [(0, 1.0), (50, 10.0), (100, 100.0)]
+        a = QuantileCurve(anchors, name="a")
+        b = QuantileCurve(anchors, name="b")
+        assert [a.sample() for _ in range(5)] != \
+            [b.sample() for _ in range(5)]
+
+    def test_explicit_rng_still_honoured(self):
+        draws = [_curve().sample(random.Random(1)) for _ in range(2)]
+        assert draws[0] == draws[1]
+
+
 class TestCdfPoints:
     def test_shape(self):
         points = _curve().cdf_points(steps=10)

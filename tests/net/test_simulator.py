@@ -109,3 +109,59 @@ class TestPeriodic:
         sim.schedule_periodic(7, lambda: ticks.append(sim.now))
         sim.run(until_ms=30)
         assert ticks == [7, 14, 21, 28]
+
+
+class TestEdgeCases:
+    def test_periodic_tick_exactly_on_until_ms_fires(self):
+        """``until_ms`` is inclusive: a tick landing exactly on the
+        boundary is the last one to fire."""
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(10, lambda: ticks.append(sim.now), until_ms=40)
+        sim.run()
+        assert ticks == [10, 20, 30, 40]
+
+    def test_periodic_starting_on_until_ms_fires_once(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(
+            10, lambda: ticks.append(sim.now), start_ms=40, until_ms=40
+        )
+        sim.run()
+        assert ticks == [40]
+
+    def test_event_exactly_at_run_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(20, lambda: fired.append(sim.now))
+        sim.run(until_ms=20)
+        assert fired == [20.0]
+        assert sim.now == 20.0
+
+    def test_cancelled_events_excluded_from_pending(self):
+        sim = Simulator()
+        kept = sim.schedule(10, lambda: None)
+        doomed = sim.schedule(20, lambda: None)
+        assert sim.pending() == 2
+        doomed.cancel()
+        assert sim.pending() == 1
+        kept.cancel()
+        assert sim.pending() == 0
+
+    def test_run_until_fast_forwards_now_past_queued_events(self):
+        """Stopping early still advances the clock to ``until_ms``;
+        the queued future event survives for the next run."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(sim.now))
+        assert sim.run(until_ms=50) == 50.0
+        assert sim.now == 50.0
+        assert fired == []
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == [100.0]
+
+    def test_run_until_on_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until_ms=75) == 75.0
+        assert sim.now == 75.0

@@ -1,0 +1,143 @@
+"""Exporters: deterministic JSON lines, parsing, text tables."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    dump_jsonl,
+    jsonl_lines,
+    parse_jsonl,
+    render_spans,
+    render_table,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("zeta.packets").inc(3)
+    registry.counter("alpha.drops").inc(1)
+    registry.histogram("alpha.latency_us", edges=[10, 100]).observe(42)
+    return registry
+
+
+def _tracer():
+    state = [0.0]
+    tracer = Tracer(lambda: state[0])
+    with tracer.span("run", seed=7):
+        state[0] = 5.0
+        tracer.event("inject")
+        state[0] = 20.0
+    return tracer
+
+
+class TestJsonLines:
+    def test_metrics_sorted_then_spans_in_start_order(self):
+        lines = jsonl_lines(_registry(), _tracer())
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == [
+            "alpha.drops", "alpha.latency_us", "zeta.packets",
+            "run", "inject",
+        ]
+        assert [r["kind"] for r in records] == [
+            "counter", "histogram", "counter", "span", "span",
+        ]
+
+    def test_encoding_is_compact_and_key_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert jsonl_lines(registry) == [
+            '{"kind":"counter","name":"a","value":1}'
+        ]
+
+    def test_identical_registries_dump_identical_bytes(self):
+        assert jsonl_lines(_registry(), _tracer()) == \
+            jsonl_lines(_registry(), _tracer())
+
+    def test_tracer_optional(self):
+        assert len(jsonl_lines(_registry())) == 3
+
+
+class TestDumpJsonl:
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        written = dump_jsonl(path, _registry(), _tracer())
+        text = path.read_text(encoding="utf-8")
+        assert written == 5
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 5
+
+    def test_writes_to_file_object(self):
+        buffer = io.StringIO()
+        written = dump_jsonl(buffer, _registry())
+        assert written == 3
+        assert len(buffer.getvalue().splitlines()) == 3
+
+    def test_empty_registry_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert dump_jsonl(path, MetricsRegistry()) == 0
+        assert path.read_text(encoding="utf-8") == ""
+
+
+class TestParseJsonl:
+    def test_roundtrip(self):
+        registry = _registry()
+        tracer = _tracer()
+        text = "\n".join(jsonl_lines(registry, tracer)) + "\n"
+        records = parse_jsonl(text)
+        assert len(records) == 5
+        assert records[0] == registry.snapshot()[0]
+
+    def test_blank_lines_skipped(self):
+        assert parse_jsonl('\n{"kind":"counter"}\n\n') == [
+            {"kind": "counter"}
+        ]
+
+    def test_malformed_json_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl('{"kind":"counter"}\n{oops\n')
+
+    def test_non_record_line_rejected(self):
+        with pytest.raises(ValueError, match="not a metrics record"):
+            parse_jsonl("[1,2,3]\n")
+        with pytest.raises(ValueError, match="not a metrics record"):
+            parse_jsonl('{"name":"no-kind"}\n')
+
+
+class TestRenderTable:
+    def test_rows_and_histogram_summary(self):
+        text = render_table(_registry())
+        lines = text.splitlines()
+        assert lines[0].split() == ["metric", "kind", "value"]
+        assert any(
+            "alpha.latency_us" in line
+            and "count=1" in line and "p50<=100" in line
+            for line in lines
+        )
+        assert any(
+            "zeta.packets" in line and line.rstrip().endswith("3")
+            for line in lines
+        )
+
+    def test_empty_histogram_shows_count_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=[1])
+        assert "count=0" in render_table(registry)
+
+
+class TestRenderSpans:
+    def test_children_indented_and_open_spans_marked(self):
+        tracer = _tracer()
+        tracer.start("dangling")  # never finished
+        text = render_spans(tracer)
+        lines = text.splitlines()
+        run_line = next(line for line in lines if line.startswith("run"))
+        inject_line = next(
+            line for line in lines if line.lstrip().startswith("inject")
+        )
+        assert "20.000" in run_line
+        assert inject_line.startswith("  inject")  # child of run
+        assert "(open)" in text

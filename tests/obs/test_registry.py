@@ -1,0 +1,203 @@
+"""Metrics registry: instruments, get-or-create, default swapping."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_EDGES_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_snapshot_and_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {
+            "kind": "counter", "name": "c", "value": 3,
+        }
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_snapshot(self):
+        gauge = Gauge("g")
+        gauge.set(-4)
+        assert gauge.snapshot() == {"kind": "gauge", "name": "g", "value": -4}
+
+
+class TestHistogram:
+    def test_default_edges_are_the_latency_buckets(self):
+        assert Histogram("h").edges == DEFAULT_LATENCY_EDGES_US
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=[1, 1, 2])
+        with pytest.raises(ValueError):
+            Histogram("h", edges=[5, 3])
+        with pytest.raises(ValueError):
+            Histogram("h", edges=[])
+
+    def test_bucketing_uses_inclusive_upper_edges(self):
+        hist = Histogram("h", edges=[10, 20, 30])
+        for value in (5, 10, 11, 20, 30, 31):
+            hist.observe(value)
+        # <=10, <=20, <=30, overflow
+        assert hist.counts == [2, 2, 1, 1]
+        assert hist.count == 6
+        assert hist.total == 5 + 10 + 11 + 20 + 30 + 31
+
+    def test_observations_rounded_to_integers(self):
+        hist = Histogram("h", edges=[10, 20])
+        hist.observe(10.4)  # rounds to 10 -> first bucket
+        hist.observe(10.6)  # rounds to 11 -> second bucket
+        assert hist.counts == [1, 1, 0]
+        assert hist.total == 21
+
+    def test_mean(self):
+        hist = Histogram("h", edges=[100])
+        assert hist.mean == 0.0
+        hist.observe(10)
+        hist.observe(20)
+        assert hist.mean == 15.0
+
+    def test_percentile_returns_covering_edge(self):
+        hist = Histogram("h", edges=[10, 20, 30])
+        for value in (5, 15, 25, 99):
+            hist.observe(value)
+        assert hist.percentile(25) == 10
+        assert hist.percentile(50) == 20
+        assert hist.percentile(75) == 30
+        assert hist.percentile(100) == 30  # overflow reports last edge
+
+    def test_percentile_validation_and_empty(self):
+        hist = Histogram("h", edges=[10])
+        assert hist.percentile(50) == 0
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+
+    def test_snapshot_and_reset(self):
+        hist = Histogram("h", edges=[10])
+        hist.observe(3)
+        snap = hist.snapshot()
+        assert snap["kind"] == "histogram"
+        assert snap["edges"] == [10]
+        assert snap["counts"] == [1, 0]
+        hist.reset()
+        assert hist.count == 0 and hist.counts == [0, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_histogram_edge_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=[1, 2, 3])
+        assert registry.histogram("h").edges == (1, 2, 3)
+        assert registry.histogram("h", edges=[1, 2, 3]) is registry.get("h")
+        with pytest.raises(ValueError, match="different edges"):
+            registry.histogram("h", edges=[1, 2])
+
+    def test_get_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert "a" in registry and "b" not in registry
+        assert len(registry) == 1
+        with pytest.raises(KeyError):
+            registry.get("b")
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        registry.gauge("mm")
+        assert [s["name"] for s in registry.snapshot()] == ["aa", "mm", "zz"]
+
+    def test_value_shorthand(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.histogram("h").observe(1)
+        registry.histogram("h").observe(2)
+        assert registry.value("c") == 7
+        assert registry.value("h") == 2  # histograms report their count
+
+    def test_reset_keeps_instruments_zeroes_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(5)
+        registry.reset()
+        assert registry.counter("c") is counter
+        assert counter.value == 0
+
+    def test_clear_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        try:
+            assert set_registry(replacement) is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+        assert get_registry() is original
+
+    def test_scoped_registry_restores_on_exit(self):
+        original = get_registry()
+        with scoped_registry() as registry:
+            assert get_registry() is registry
+            assert registry is not original
+        assert get_registry() is original
+
+    def test_scoped_registry_restores_on_exception(self):
+        original = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is original
+
+    def test_scoped_registry_accepts_explicit_registry(self):
+        mine = MetricsRegistry()
+        with scoped_registry(mine) as registry:
+            assert registry is mine

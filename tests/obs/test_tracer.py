@@ -1,0 +1,136 @@
+"""Sim-time tracer: spans clocked by ``Simulator.now``, nesting, IDs."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.obs import Tracer
+
+
+def _manual_clock():
+    """A mutable clock: (tracer, advance) with advance(t) setting now."""
+    state = [0.0]
+    tracer = Tracer(lambda: state[0])
+    return tracer, lambda t: state.__setitem__(0, t)
+
+
+class TestSpanLifecycle:
+    def test_start_and_finish_stamp_the_clock(self):
+        tracer, advance = _manual_clock()
+        advance(10.0)
+        span = tracer.start("outage")
+        advance(35.0)
+        tracer.finish(span)
+        assert span.start_ms == 10.0
+        assert span.end_ms == 35.0
+        assert span.duration_ms == 25.0
+        assert span.finished
+
+    def test_unfinished_span_has_no_duration(self):
+        tracer, _advance = _manual_clock()
+        span = tracer.start("open")
+        assert not span.finished
+        with pytest.raises(ValueError):
+            span.duration_ms
+
+    def test_double_finish_rejected(self):
+        tracer, _advance = _manual_clock()
+        span = tracer.finish(tracer.start("x"))
+        with pytest.raises(ValueError, match="already finished"):
+            tracer.finish(span)
+
+    def test_finish_cannot_precede_start(self):
+        tracer, advance = _manual_clock()
+        advance(50.0)
+        span = tracer.start("x")
+        advance(40.0)  # a broken clock going backwards
+        with pytest.raises(ValueError, match="before it starts"):
+            tracer.finish(span)
+
+    def test_event_is_a_zero_duration_span(self):
+        tracer, advance = _manual_clock()
+        advance(7.0)
+        span = tracer.event("inject", fault="crash")
+        assert span.start_ms == span.end_ms == 7.0
+        assert span.attributes == {"fault": "crash"}
+
+    def test_finish_merges_attributes(self):
+        tracer, _advance = _manual_clock()
+        span = tracer.start("x", a=1)
+        tracer.finish(span, b=2)
+        assert span.attributes == {"a": 1, "b": 2}
+
+
+class TestIdsAndNesting:
+    def test_span_ids_are_sequential_from_one(self):
+        tracer, _advance = _manual_clock()
+        spans = [tracer.start(str(i)) for i in range(3)]
+        assert [s.span_id for s in spans] == [1, 2, 3]
+
+    def test_with_span_nests_automatically(self):
+        tracer, _advance = _manual_clock()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert tracer.children_of(outer) == [inner]
+
+    def test_start_inside_with_span_inherits_parent(self):
+        tracer, _advance = _manual_clock()
+        with tracer.span("root") as root:
+            child = tracer.start("child")
+        assert child.parent_id == root.span_id
+
+    def test_explicit_parent_wins(self):
+        tracer, _advance = _manual_clock()
+        other = tracer.start("other")
+        with tracer.span("root"):
+            child = tracer.start("child", parent=other)
+        assert child.parent_id == other.span_id
+
+    def test_find_and_finished_spans(self):
+        tracer, _advance = _manual_clock()
+        open_span = tracer.start("phase")
+        done = tracer.event("phase")
+        assert tracer.find("phase") == [open_span, done]
+        assert tracer.finished_spans() == [done]
+
+    def test_clear_resets_spans_and_ids(self):
+        tracer, _advance = _manual_clock()
+        tracer.event("x")
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.start("y").span_id == 1
+
+    def test_snapshot_sorts_attributes(self):
+        tracer, _advance = _manual_clock()
+        span = tracer.event("x", zebra=1, alpha=2)
+        snap = span.snapshot()
+        assert snap["kind"] == "span"
+        assert list(snap["attributes"]) == ["alpha", "zebra"]
+
+
+class TestSimulatorClock:
+    def test_spans_follow_simulator_time(self):
+        """The acceptance-criteria shape: a span opened in one
+        scheduled event and closed in another carries exactly the
+        simulator timestamps of those events."""
+        sim = Simulator()
+        tracer = Tracer(sim)
+        holder = {}
+        sim.schedule(450, lambda: holder.update(
+            span=tracer.start("outage", device="lark")))
+        sim.schedule(670, lambda: tracer.finish(holder["span"]))
+        sim.run()
+        span = holder["span"]
+        assert span.start_ms == 450.0
+        assert span.end_ms == 670.0
+        assert span.duration_ms == 220.0
+        assert span.end_ms <= sim.now
+
+    def test_tracer_now_reads_the_simulator(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        sim.schedule(12, lambda: None)
+        sim.run()
+        assert tracer.now() == sim.now == 12.0

@@ -86,3 +86,12 @@ class TestRandomConnectionID:
         a = random_connection_id(20, random.Random(7))
         b = random_connection_id(20, random.Random(7))
         assert a == b
+
+    def test_no_rng_leaves_global_random_untouched(self):
+        """The bugfix regression: the no-rng path draws from a seeded
+        module generator, never from the process-global ``random``."""
+        random.seed(123)
+        expected = random.random()
+        random.seed(123)
+        random_connection_id()
+        assert random.random() == expected

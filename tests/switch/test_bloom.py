@@ -4,7 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.switch.bloom import BloomFilter, optimal_num_hashes
+from repro.switch.bloom import (
+    BloomFilter,
+    bloom_parameters,
+    optimal_num_hashes,
+)
 
 
 class TestBasics:
@@ -82,3 +86,56 @@ class TestOptimalHashes:
 
     def test_degenerate_population(self):
         assert optimal_num_hashes(1024, 0) == 1
+
+    def test_overloaded_boundary_pins_k_at_one(self):
+        """The regression: once expected_items exceeds roughly
+        ``2 * bits / ln 2`` the unclamped ``round()`` would return 0 —
+        a zero-hash filter that matches everything."""
+        bits = 1024
+        for items in (2 * bits, 3 * bits, 100 * bits):
+            assert optimal_num_hashes(bits, items) == 1
+
+    @given(st.integers(min_value=1, max_value=1 << 20),
+           st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=50)
+    def test_always_in_switch_budget(self, bits, items):
+        assert 1 <= optimal_num_hashes(bits, items) <= 8
+
+
+class TestBloomParameters:
+    def test_classic_sizing(self):
+        # n=1000 at 1% -> m ~ 9.6 bits/item, k ~ 7.
+        bits, k = bloom_parameters(1000, 0.01)
+        assert 9 * 1000 <= bits <= 10 * 1000
+        assert k == 7
+
+    def test_loose_target_never_degenerates(self):
+        bits, k = bloom_parameters(1, target_fp_rate=0.99)
+        assert bits >= 1
+        assert k >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bloom_parameters(0)
+        with pytest.raises(ValueError):
+            bloom_parameters(100, 0.0)
+        with pytest.raises(ValueError):
+            bloom_parameters(100, 1.0)
+
+    def test_for_expected_items_builds_working_filter(self):
+        bloom = BloomFilter.for_expected_items(500, target_fp_rate=0.01)
+        expected_bits, expected_k = bloom_parameters(500, 0.01)
+        assert bloom.size_bits == expected_bits
+        assert bloom.num_hashes == expected_k
+        for i in range(500):
+            bloom.add(b"user-%d" % i)
+        assert all(bloom.contains(b"user-%d" % i) for i in range(500))
+
+    def test_single_hash_filter_still_works(self):
+        """A k=1 filter (the clamped overload case) must keep the
+        no-false-negative guarantee."""
+        bloom = BloomFilter(64, optimal_num_hashes(64, 1000))
+        assert bloom.num_hashes == 1
+        for i in range(100):
+            bloom.add(b"k%d" % i)
+        assert all(bloom.contains(b"k%d" % i) for i in range(100))

@@ -12,6 +12,7 @@ SUBPACKAGES = (
     "repro.quic",
     "repro.switch",
     "repro.net",
+    "repro.obs",
     "repro.chaos",
     "repro.streaming",
     "repro.measurement",
