@@ -7,6 +7,7 @@ Subcommands mirror the evaluation:
 * ``breakdown`` — the Figure-1 time-cost breakdown;
 * ``testbed``   — one end-to-end DES run (scheme, INSA, rate, ...);
 * ``measure``   — the synthetic measurement campaign summary;
+* ``bench``     — scalar-vs-batch data-plane throughput comparison;
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -168,6 +169,51 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    import json
+
+    from repro.core.aggregation import ForwardingMode
+    from repro.testbed.fastpath import run_fastpath_bench
+
+    mode = (
+        ForwardingMode.PERIODICAL if args.mode == "periodical"
+        else ForwardingMode.PER_PACKET
+    )
+    result = run_fastpath_bench(
+        packets=args.packets,
+        num_users=args.users,
+        mode=mode,
+        batch_size=args.batch_size,
+        shards=args.shards,
+        seed=args.seed,
+    )
+    rows = []
+    for section in ("lark", "agg"):
+        data = result[section]
+        rows.append([
+            section,
+            "%.0f" % data["scalar"]["packets_per_second"],
+            "%.0f" % data["batch"]["packets_per_second"],
+            "%.2fx" % data["speedup"],
+            "yes" if data["reports_match"] else "NO",
+        ])
+    out.write(
+        "fast path: %d packets, %d users, mode=%s, batch=%d, shards=%d\n"
+        % (result["packets"], result["unique_users"], args.mode,
+           result["batch_size"], args.shards)
+    )
+    _print_rows(
+        ["path", "scalar pkts/s", "batch pkts/s", "speedup", "match"],
+        rows, out,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("\nwrote %s\n" % args.json)
+    return 0
+
+
 def _cmd_table1(args, out) -> int:
     _print_rows(["method", "INSA", "categories"], table1_rows(), out)
     return 0
@@ -234,6 +280,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spans", action="store_true",
                    help="also print the sim-time span table")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "bench",
+        help="scalar-vs-batch data-plane throughput comparison",
+    )
+    p.add_argument("--packets", type=int, default=20000)
+    p.add_argument("--users", type=int, default=2000)
+    p.add_argument("--mode", choices=["periodical", "per-packet"],
+                   default="periodical")
+    p.add_argument("--batch-size", type=int, default=1024)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full result JSON to PATH")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("table1", help="DStream methods vs INSA support")
     p.set_defaults(func=_cmd_table1)

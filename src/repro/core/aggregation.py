@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.crypto.aes import decrypt_cbc, encrypt_cbc
+from repro.crypto.aes import AES, decrypt_cbc, encrypt_cbc
 
 __all__ = [
     "AggregationPacket",
@@ -68,6 +68,8 @@ class AggregationCodec:
             raise ValueError("application-ID must fit one byte")
         self.app_id = app_id
         self._key = key
+        # Schedule the key once; en/decode run per packet.
+        self._aes = AES(key)
         self._rng = rng or random.Random()
 
     def encode(self, packet: AggregationPacket) -> bytes:
@@ -88,7 +90,7 @@ class AggregationCodec:
                 raise ValueError("item value %d does not fit 48 bits" % value)
             body += tag.to_bytes(2, "big") + value.to_bytes(6, "big")
         iv = bytes(self._rng.getrandbits(8) for _ in range(16))
-        encrypted = encrypt_cbc(self._key, iv, bytes(body))
+        encrypted = encrypt_cbc(self._aes, iv, bytes(body))
         header = SNATCH_SID.to_bytes(2, "big") + bytes(
             [self.app_id, count & 0xFF]
         )
@@ -114,7 +116,7 @@ class AggregationCodec:
         )
         declared = count_byte & 0x7F
         iv = data[4:20]
-        body = decrypt_cbc(self._key, iv, data[20:])
+        body = decrypt_cbc(self._aes, iv, data[20:])
         if len(body) % 8 != 0:
             raise ValueError("corrupt data-stack length %d" % len(body))
         items: List[Tuple[int, int]] = []

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.aggregation import (
     AggregationCodec,
@@ -33,6 +33,7 @@ from repro.core.stats import (
     min_array_names,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.switch.hashing import crc32
 from repro.switch.pipeline import AES_PASS_LATENCY_MS, PHV, SwitchPipeline
 from repro.switch.tables import (
     MatchActionTable,
@@ -50,7 +51,8 @@ class _AggApp:
     schema: CookieSchema
     specs: List[StatSpec]
     codec: AggregationCodec
-    stats: SwitchStatistics
+    stats: SwitchStatistics  # shard bank 0 (also banks[0])
+    banks: List[SwitchStatistics] = field(default_factory=list)
     destination: str = "analytics"
     packets_merged: int = 0
 
@@ -67,13 +69,25 @@ class AggResult:
 
 
 class AggSwitch:
-    """The aggregating switch in front of the analytics server."""
+    """The aggregating switch in front of the analytics server.
+
+    ``shards`` models a multi-pipe switch: each application's
+    statistics live in N register banks, aggregation packets are
+    hash-partitioned across banks by payload CRC-32, and read-outs
+    deterministically fold the banks with :meth:`merge` (the per-kind
+    folds — add, min, max — are associative and commutative, so the
+    merged result is independent of how packets were partitioned).
+    """
 
     def __init__(self, name: str = "agg", rng: Optional[random.Random] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 shards: int = 1):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.name = name
         self.alive = True
         self.crashes = 0
+        self.shards = shards
         self._rng = rng or random.Random()
         self.pipeline = SwitchPipeline(name, registry=registry)
         self.metrics = self.pipeline.metrics
@@ -91,6 +105,11 @@ class AggSwitch:
         )
         self._m_reconciles = self.metrics.counter(base + ".reconciles")
         self._m_crashes = self.metrics.counter(base + ".crashes")
+        # Occupancy per shard bank: packets folded into that bank.
+        self._m_shard_occupancy = [
+            self.metrics.gauge("%s.shard%02d.occupancy" % (base, shard))
+            for shard in range(shards)
+        ]
         self._apps: Dict[int, _AggApp] = {}
         self._match_table = MatchActionTable(
             "%s.sid_app_match" % name,
@@ -116,17 +135,28 @@ class AggSwitch:
     ) -> None:
         if app_id in self._apps:
             raise ValueError("app-ID %d already registered" % app_id)
+        # Shard 0 keeps the legacy register prefix so single-shard
+        # deployments are unchanged on the wire and in SRAM accounting;
+        # extra shards suffix their bank names.  All shard prefixes
+        # start with the app prefix, so revocation frees every bank.
+        base_prefix = "%s.app%02x" % (self.name, app_id)
+        banks = [
+            SwitchStatistics(
+                schema,
+                specs,
+                self.pipeline.registers,
+                prefix=base_prefix if shard == 0
+                else "%s.shard%d" % (base_prefix, shard),
+            )
+            for shard in range(self.shards)
+        ]
         self._apps[app_id] = _AggApp(
             app_id=app_id,
             schema=schema,
             specs=list(specs),
             codec=AggregationCodec(app_id, key, self._rng),
-            stats=SwitchStatistics(
-                schema,
-                specs,
-                self.pipeline.registers,
-                prefix="%s.app%02x" % (self.name, app_id),
-            ),
+            stats=banks[0],
+            banks=banks,
             destination=destination,
         )
         self._match_table.insert(
@@ -169,17 +199,26 @@ class AggSwitch:
 
     # -- data plane -----------------------------------------------------------
 
+    def _shard_for(self, payload: bytes) -> int:
+        """Deterministic hash partition of a payload onto a shard bank."""
+        if self.shards == 1:
+            return 0
+        return crc32(payload) % self.shards
+
     def _action_merge(
         self, pipeline: SwitchPipeline, phv: PHV, params: Dict[str, Any]
     ) -> None:
         app = self._apps[params["app_id"]]
         pipeline.charge_latency(AES_PASS_LATENCY_MS)  # AES decrypt
+        payload = phv["payload"]
         try:
-            packet = app.codec.decode(phv["payload"])
+            packet = app.codec.decode(payload)
         except ValueError:
             phv.metadata["decode_failed"] = True
             self._m_decode_failures.inc()
             return
+        shard = self._shard_for(payload)
+        bank = app.banks[shard]
         if packet.mode == ForwardingMode.PER_PACKET:
             # Items are (feature_index, wire_value) for one cookie.
             values: Dict[str, Any] = {}
@@ -190,32 +229,35 @@ class AggSwitch:
                     return
                 feature = app.schema.features[index]
                 values[feature.name] = feature.decode_value(wire)
-            app.stats.update(values)
+            bank.update(values)
             self._m_register_updates.inc()
             self._m_per_packet_merges.inc()
         else:
             # Items are a flattened statistics snapshot from one source.
             mins = min_array_names(app.specs)
             incoming = unflatten_snapshot(
-                packet.items, app.stats.snapshot(), mins
+                packet.items, bank.snapshot(), mins
             )
             merged = merge_snapshots(
-                app.specs, app.stats.snapshot(), incoming
+                app.specs, bank.snapshot(), incoming
             )
-            self._write_snapshot(app, merged)
+            self._write_snapshot(bank, merged)
             self._m_report_merges.inc()
+        self._m_shard_occupancy[shard].inc()
         app.packets_merged += 1
         phv.metadata["merged_app"] = app.app_id
+        # Snapshot the merged report *now*: in a batch, later packets
+        # keep mutating the registers, but each packet's AggResult must
+        # reflect the state at its own merge point (scalar semantics).
+        phv.metadata["forward_report"] = app.stats.report_from_snapshot(
+            self.merge(app.app_id)
+        )
 
     def _write_snapshot(
-        self, app: _AggApp, snapshot: Dict[str, List[int]]
+        self, bank: SwitchStatistics, snapshot: Dict[str, List[int]]
     ) -> None:
-        for name, cells in snapshot.items():
-            array = self.pipeline.registers.get(
-                "%s.app%02x.%s" % (self.name, app.app_id, name)
-            )
-            for index, value in enumerate(cells):
-                array.write(index, value)
+        bank.load_snapshot(snapshot)
+        for cells in snapshot.values():
             self._m_register_updates.inc(len(cells))
 
     def process_packet(self, payload: bytes) -> AggResult:
@@ -225,21 +267,47 @@ class AggSwitch:
                 is_aggregation=False, merged=False, latency_ms=0.0
             )
         self._m_packets.inc()
-        is_agg = AggregationCodec.is_aggregation_packet(payload)
         sid = int.from_bytes(payload[0:2], "big") if len(payload) >= 2 else 0
         app_id = payload[2] if len(payload) >= 3 else -1
         result = self.pipeline.process(
             {"sid": sid, "app_id": app_id, "payload": payload}
         )
+        return self._to_agg_result(result)
+
+    def process_batch(self, payloads: Sequence[bytes]) -> List[AggResult]:
+        """Inspect a batch of packets via the compiled fast path.
+
+        Results and register state are bit-identical to calling
+        :meth:`process_packet` once per element in order.
+        """
+        if not self.alive:
+            return [
+                AggResult(is_aggregation=False, merged=False, latency_ms=0.0)
+                for _ in payloads
+            ]
+        batch_fields = []
+        for payload in payloads:
+            sid = (
+                int.from_bytes(payload[0:2], "big") if len(payload) >= 2
+                else 0
+            )
+            app_id = payload[2] if len(payload) >= 3 else -1
+            batch_fields.append(
+                {"sid": sid, "app_id": app_id, "payload": payload}
+            )
+        self._m_packets.inc(len(batch_fields))
+        results = self.pipeline.process_batch(batch_fields)
+        return [self._to_agg_result(result) for result in results]
+
+    def _to_agg_result(self, result: Any) -> AggResult:
         merged_app = result.phv.metadata.get("merged_app")
         forward_report = None
         destination = None
         if merged_app is not None:
-            app = self._apps[merged_app]
-            forward_report = app.stats.report()
-            destination = app.destination
+            forward_report = result.phv.metadata.get("forward_report")
+            destination = self._apps[merged_app].destination
         return AggResult(
-            is_aggregation=is_agg,
+            is_aggregation=result.phv.get("sid", 0) == SNATCH_SID,
             merged=merged_app is not None,
             latency_ms=result.latency_ms,
             forward_report=forward_report,
@@ -248,24 +316,47 @@ class AggSwitch:
 
     # -- read-out ----------------------------------------------------------------
 
-    def report(self, app_id: int) -> Dict[str, Any]:
-        """The aggregated analytics result for an application."""
+    def merge(self, app_id: int) -> Dict[str, List[int]]:
+        """Deterministically fold all shard banks into one raw snapshot.
+
+        The per-kind folds (add for counts/sums, min/max for extrema)
+        are associative and commutative, so the result is independent
+        of both shard order and how packets were partitioned — a
+        single-shard switch fed the same packets produces the same
+        snapshot.
+        """
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
-        return self._apps[app_id].stats.report()
+        app = self._apps[app_id]
+        merged = app.banks[0].snapshot()
+        for bank in app.banks[1:]:
+            merged = merge_snapshots(app.specs, merged, bank.snapshot())
+        return merged
+
+    def report(self, app_id: int) -> Dict[str, Any]:
+        """The aggregated analytics result for an application (all
+        shard banks merged)."""
+        if app_id not in self._apps:
+            raise KeyError("no application %d registered" % app_id)
+        app = self._apps[app_id]
+        return app.stats.report_from_snapshot(self.merge(app_id))
 
     def reset(self, app_id: int) -> None:
         """Period-boundary reset after delivering results."""
-        self._apps[app_id].stats.reset()
+        for bank in self._apps[app_id].banks:
+            bank.reset()
 
     def reconcile_report(self, app_id: int, report: Dict[str, Any]) -> None:
         """Fault repair (section 6): replace the drifted in-network
         aggregate with the result re-computed from the complete
-        web-server-side data — the registers are overwritten with the
-        ground-truth report."""
+        web-server-side data — shard bank 0 is overwritten with the
+        ground-truth report and the other banks are cleared."""
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
-        self._apps[app_id].stats.load_report(report)
+        app = self._apps[app_id]
+        app.stats.load_report(report)
+        for bank in app.banks[1:]:
+            bank.reset()
         self._m_reconciles.inc()
 
     def packets_merged(self, app_id: int) -> int:

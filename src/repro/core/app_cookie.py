@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.crypto.aes import decrypt_cbc, encrypt_cbc
+from repro.crypto.aes import AES, decrypt_cbc, encrypt_cbc
 from repro.core.schema import CookieSchema, FeatureValueError
 
 __all__ = [
@@ -101,6 +101,8 @@ class ApplicationCookieCodec:
         self.app_id = app_id
         self.schema = schema
         self._key = key
+        # Schedule the key once; encode/decode run per request.
+        self._aes = AES(key)
         self._rng = rng or random.Random()
 
     @property
@@ -120,7 +122,7 @@ class ApplicationCookieCodec:
             )
         plaintext = _serialize_values(self.schema, values)
         iv = bytes(self._rng.getrandbits(8) for _ in range(16))
-        ciphertext = encrypt_cbc(self._key, iv, plaintext)
+        ciphertext = encrypt_cbc(self._aes, iv, plaintext)
         return self.cookie_name, (iv + ciphertext).hex()
 
     def decode(self, cookie_value: str) -> DecodedApplicationCookie:
@@ -131,7 +133,7 @@ class ApplicationCookieCodec:
         if len(raw) < 32:
             raise ValueError("cookie value too short")
         iv, ciphertext = raw[:16], raw[16:]
-        plaintext = decrypt_cbc(self._key, iv, ciphertext)
+        plaintext = decrypt_cbc(self._aes, iv, ciphertext)
         return DecodedApplicationCookie(
             app_id=self.app_id,
             values=_deserialize_values(self.schema, plaintext),

@@ -179,6 +179,14 @@ class SwitchStatistics:
     def report(self) -> Dict[str, Any]:
         """Human-readable results: class counts keyed by (group, class)
         labels, numbers as scalars per group, averages computed."""
+        return self.report_from_snapshot(self.snapshot())
+
+    def report_from_snapshot(
+        self, snapshot: Dict[str, List[int]]
+    ) -> Dict[str, Any]:
+        """Render a raw snapshot (this statistics program's shape, but
+        possibly merged from several shards/switches) the way
+        :meth:`report` renders the live registers."""
         out: Dict[str, Any] = {}
         for spec in self.specs:
             feature = self.schema.feature(spec.feature)
@@ -188,7 +196,7 @@ class SwitchStatistics:
                 else [None]
             )
             if spec.kind is StatKind.COUNT_BY_CLASS:
-                cells = self._arrays[spec.name].snapshot()
+                cells = snapshot[spec.name]
                 classes = list(feature.classes)
                 result = {}
                 for gi, group in enumerate(groups):
@@ -197,15 +205,15 @@ class SwitchStatistics:
                         result[key] = cells[gi * len(classes) + ci]
                 out[spec.name] = result
             elif spec.kind is StatKind.AVG:
-                sums = self._arrays[spec.name + ".sum"].snapshot()
-                counts = self._arrays[spec.name + ".count"].snapshot()
+                sums = snapshot[spec.name + ".sum"]
+                counts = snapshot[spec.name + ".count"]
                 result = {}
                 for gi, group in enumerate(groups):
                     value = sums[gi] / counts[gi] if counts[gi] else None
                     result[group if group is not None else "all"] = value
                 out[spec.name] = result
             else:
-                cells = self._arrays[spec.name].snapshot()
+                cells = snapshot[spec.name]
                 result = {}
                 for gi, group in enumerate(groups):
                     value = cells[gi]
@@ -214,6 +222,14 @@ class SwitchStatistics:
                     result[group if group is not None else "all"] = value
                 out[spec.name] = result
         return out
+
+    def load_snapshot(self, snapshot: Dict[str, List[int]]) -> None:
+        """Overwrite the registers with a raw snapshot (AggSwitch
+        periodical merge write-back)."""
+        for name, cells in snapshot.items():
+            array = self._arrays[name]
+            for index, value in enumerate(cells):
+                array.write(index, value)
 
 
     def load_report(self, report: Dict[str, Any]) -> None:

@@ -242,9 +242,17 @@ def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
 # -- modes of operation --------------------------------------------------
 
 
-def encrypt_ecb(key: bytes, plaintext: bytes) -> bytes:
+def _as_cipher(key) -> "AES":
+    """Every mode helper accepts either raw key bytes or a
+    pre-scheduled :class:`AES` instance; hot paths (the per-packet
+    aggregation codecs) pass an instance so the key schedule is not
+    recomputed on every call."""
+    return key if isinstance(key, AES) else AES(key)
+
+
+def encrypt_ecb(key, plaintext: bytes) -> bytes:
     """ECB with PKCS#7 padding.  Used for fixed-format cookie payloads."""
-    cipher = AES(key)
+    cipher = _as_cipher(key)
     padded = pkcs7_pad(plaintext)
     return b"".join(
         cipher.encrypt_block(padded[i:i + BLOCK_SIZE])
@@ -252,8 +260,8 @@ def encrypt_ecb(key: bytes, plaintext: bytes) -> bytes:
     )
 
 
-def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
-    cipher = AES(key)
+def decrypt_ecb(key, ciphertext: bytes) -> bytes:
+    cipher = _as_cipher(key)
     if len(ciphertext) % BLOCK_SIZE != 0:
         raise ValueError("ECB ciphertext must be a multiple of 16 bytes")
     padded = b"".join(
@@ -263,11 +271,11 @@ def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
     return pkcs7_unpad(padded)
 
 
-def encrypt_cbc(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+def encrypt_cbc(key, iv: bytes, plaintext: bytes) -> bytes:
     """CBC with PKCS#7 padding."""
     if len(iv) != BLOCK_SIZE:
         raise ValueError("IV must be 16 bytes")
-    cipher = AES(key)
+    cipher = _as_cipher(key)
     padded = pkcs7_pad(plaintext)
     out = bytearray()
     prev = iv
@@ -280,12 +288,12 @@ def encrypt_cbc(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
     return bytes(out)
 
 
-def decrypt_cbc(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+def decrypt_cbc(key, iv: bytes, ciphertext: bytes) -> bytes:
     if len(iv) != BLOCK_SIZE:
         raise ValueError("IV must be 16 bytes")
     if not ciphertext or len(ciphertext) % BLOCK_SIZE != 0:
         raise ValueError("CBC ciphertext must be a non-empty multiple of 16")
-    cipher = AES(key)
+    cipher = _as_cipher(key)
     out = bytearray()
     prev = iv
     for i in range(0, len(ciphertext), BLOCK_SIZE):
@@ -313,7 +321,7 @@ def encrypt_ctr(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
     connection-ID field without expansion."""
     if len(nonce) != BLOCK_SIZE:
         raise ValueError("CTR nonce must be 16 bytes")
-    cipher = AES(key)
+    cipher = _as_cipher(key)
     nblocks = (len(plaintext) + BLOCK_SIZE - 1) // BLOCK_SIZE
     stream = _ctr_keystream(cipher, nonce, nblocks)
     return bytes(p ^ s for p, s in zip(plaintext, stream))

@@ -27,8 +27,12 @@ def derive_subkey(master: bytes, label: str) -> bytes:
 
     Uses SHA-256 as a KDF; the label namespaces per-purpose keys
     (e.g. "cookie" vs "aggregation") from one registered master key.
+    The master is length-prefixed so no (master, label) pair can alias
+    another by moving bytes across the boundary.
     """
-    digest = hashlib.sha256(master + b"|" + label.encode("utf-8")).digest()
+    digest = hashlib.sha256(
+        len(master).to_bytes(4, "big") + master + label.encode("utf-8")
+    ).digest()
     return digest[:AES128_KEY_LEN]
 
 

@@ -25,12 +25,12 @@ The model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.primitives import SwitchALU, UnsupportedOperationError
 from repro.switch.registers import RegisterFile
-from repro.switch.tables import MatchActionTable
+from repro.switch.tables import MatchActionTable, MatchKind
 
 __all__ = [
     "PHV",
@@ -38,11 +38,13 @@ __all__ = [
     "Stage",
     "PipelineResult",
     "SwitchPipeline",
+    "CompiledPipeline",
     "PipelineCompileError",
     "MAX_STAGES",
     "MAX_TABLES_PER_STAGE",
     "LINE_RATE_LATENCY_MS",
     "AES_PASS_LATENCY_MS",
+    "BATCH_SIZE_EDGES",
 ]
 
 MAX_STAGES = 12
@@ -52,6 +54,13 @@ MAX_TABLES_PER_STAGE = 4
 # paper models AES en/decryption of a 160-bit cookie as ~0.1 ms [45].
 LINE_RATE_LATENCY_MS = 0.001
 AES_PASS_LATENCY_MS = 0.1
+
+# Powers of 1-2-5 covering a single packet up to recirculation-buffer
+# sized bursts; integer edges, same style as the latency buckets.
+BATCH_SIZE_EDGES: Tuple[int, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1000, 2000, 5000, 10000, 100000, 1000000,
+)
 
 
 class PipelineCompileError(RuntimeError):
@@ -148,6 +157,10 @@ class SwitchPipeline:
         self._extra_latency_ms = 0.0
         self.packets_processed = 0
         self.packets_dropped = 0
+        # Program shape version: bumped whenever stages, tables or
+        # actions change, so a compiled batch plan can tell it is stale.
+        self._program_version = 0
+        self._compiled: Optional["CompiledPipeline"] = None
         # Instruments are resolved once at construction so the
         # per-packet path only does integer increments.
         self.metrics = registry if registry is not None else get_registry()
@@ -155,6 +168,13 @@ class SwitchPipeline:
         self._m_packets = self.metrics.counter(base + ".packets")
         self._m_drops = self.metrics.counter(base + ".drops")
         self._m_latency_us = self.metrics.histogram(base + ".latency_us")
+        self._m_batches = self.metrics.counter(base + ".batches")
+        self._m_batch_size = self.metrics.histogram(
+            base + ".batch.size", BATCH_SIZE_EDGES
+        )
+        self._m_batch_latency_us = self.metrics.histogram(
+            base + ".batch.latency_us"
+        )
         self._stage_meters: List[Any] = []  # (hits, misses) per stage
 
     # -- program construction -------------------------------------------
@@ -171,6 +191,7 @@ class SwitchPipeline:
             self.metrics.counter(prefix + ".hits"),
             self.metrics.counter(prefix + ".misses"),
         ))
+        self._program_version += 1
         return stage
 
     def add_table(
@@ -179,12 +200,14 @@ class SwitchPipeline:
         while len(self.stages) <= stage:
             self.add_stage()
         self.stages[stage].add_table(table)
+        self._program_version += 1
         return table
 
     def register_action(self, name: str, fn: ActionFn) -> None:
         if name in self._actions:
             raise ValueError("action %r already registered" % name)
         self._actions[name] = fn
+        self._program_version += 1
 
     # -- runtime services available to actions ---------------------------
 
@@ -247,6 +270,62 @@ class SwitchPipeline:
             latency_ms=latency_ms,
         )
 
+    # -- batched fast path ------------------------------------------------
+
+    def compile_batch(self) -> "CompiledPipeline":
+        """Return the flattened execution plan, rebuilding it only when
+        the program shape or a table's control-plane state changed."""
+        compiled = self._compiled
+        if compiled is None or not compiled.is_current():
+            compiled = CompiledPipeline(self)
+            self._compiled = compiled
+        return compiled
+
+    def process_batch(
+        self, batch: Sequence[Dict[str, Any]]
+    ) -> List[PipelineResult]:
+        """Run a batch of packets through the compiled fast path.
+
+        Results (PHVs, clones, digests, latencies, register state,
+        counters) are bit-identical to calling :meth:`process` once per
+        element in order; only dispatch overhead is amortized.
+        """
+        compiled = self.compile_batch()
+        stage_plans = compiled.stage_plans
+        results: List[PipelineResult] = []
+        total_latency_us = 0.0
+        self.packets_processed += len(batch)
+        self._m_packets.inc(len(batch))
+        for fields in batch:
+            phv = PHV(fields)
+            self._clone_requests = []
+            self._digest_queue = []
+            self._extra_latency_ms = 0.0
+            for plan in stage_plans:
+                if phv.drop:
+                    break
+                for apply_fn in plan:
+                    if phv.drop:
+                        break
+                    apply_fn(self, phv)
+            if phv.drop:
+                self.packets_dropped += 1
+                self._m_drops.inc()
+            latency_ms = LINE_RATE_LATENCY_MS + self._extra_latency_ms
+            self._m_latency_us.observe(latency_ms * 1000.0)
+            total_latency_us += latency_ms * 1000.0
+            results.append(PipelineResult(
+                phv=phv,
+                forwarded=not phv.drop,
+                clones=list(self._clone_requests),
+                digests=list(self._digest_queue),
+                latency_ms=latency_ms,
+            ))
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(batch))
+        self._m_batch_latency_us.observe(total_latency_us)
+        return results
+
     # -- introspection ----------------------------------------------------
 
     def resource_report(self) -> Dict[str, Any]:
@@ -259,3 +338,131 @@ class SwitchPipeline:
             "packets_processed": self.packets_processed,
             "packets_dropped": self.packets_dropped,
         }
+
+
+_TableApplyFn = Callable[[SwitchPipeline, PHV], None]
+
+
+class CompiledPipeline:
+    """A flattened execution plan for :meth:`SwitchPipeline.process_batch`.
+
+    Compilation pre-resolves, per table: the key field names, the
+    action callables, and — for tables whose keys are all EXACT — a
+    dict dispatch index keyed on the match-value tuple.  The index is
+    built in TCAM order (entries pre-sorted by descending priority,
+    first match wins), so dispatch is one dict probe instead of a
+    linear scan of entries.  Tables with ternary/LPM/range keys, or
+    with unhashable match specs, fall back to the scalar
+    :meth:`~repro.switch.tables.MatchActionTable.lookup`.
+
+    The plan records the pipeline's program version and every table's
+    control-plane version, so staleness detection before each batch is
+    a handful of integer comparisons; any control-plane insert/remove
+    or program mutation triggers a transparent recompile.
+    """
+
+    def __init__(self, pipeline: SwitchPipeline):
+        self.pipeline = pipeline
+        self.program_version = pipeline._program_version
+        self._tables: List[MatchActionTable] = [
+            table for stage in pipeline.stages for table in stage.tables
+        ]
+        self.table_versions: Tuple[int, ...] = tuple(
+            table.version for table in self._tables
+        )
+        self.stage_plans: List[List[_TableApplyFn]] = []
+        for stage_index, stage in enumerate(pipeline.stages):
+            meters = pipeline._stage_meters[stage_index]
+            self.stage_plans.append([
+                self._compile_table(table, meters) for table in stage.tables
+            ])
+
+    def is_current(self) -> bool:
+        pipe = self.pipeline
+        if self.program_version != pipe._program_version:
+            return False
+        tables = [table for stage in pipe.stages for table in stage.tables]
+        if len(tables) != len(self._tables):
+            return False
+        return all(
+            now is then and now.version == version
+            for now, then, version
+            in zip(tables, self._tables, self.table_versions)
+        )
+
+    def _compile_table(
+        self, table: MatchActionTable, meters: Tuple[Any, Any]
+    ) -> _TableApplyFn:
+        hit_meter, miss_meter = meters
+        actions = self.pipeline._actions
+        key_names = tuple(key.field_name for key in table.keys)
+
+        index: Optional[Dict[Tuple[Any, ...], Tuple[str, Any, Dict[str, Any]]]]
+        index = None
+        if all(key.kind is MatchKind.EXACT for key in table.keys):
+            index = {}
+            try:
+                for entry in table.entries():
+                    # setdefault keeps the first (highest-priority) entry.
+                    index.setdefault(
+                        tuple(entry.match_values),
+                        (entry.action, actions.get(entry.action),
+                         entry.action_params),
+                    )
+            except TypeError:
+                index = None
+
+        if index is not None:
+            default = (
+                table.default_action,
+                actions.get(table.default_action),
+                table.default_params,
+            )
+
+            def apply_exact(
+                pipe: SwitchPipeline, phv: PHV,
+                _table=table, _index=index, _keys=key_names,
+                _default=default, _hit=hit_meter, _miss=miss_meter,
+            ) -> None:
+                _table.lookups += 1
+                values = tuple(phv.fields.get(name, 0) for name in _keys)
+                try:
+                    found = _index.get(values)
+                except TypeError:
+                    # Unhashable packet value can never equal a hashable
+                    # installed exact spec: scalar lookup would miss too.
+                    found = None
+                if found is not None:
+                    _table.hits += 1
+                    _hit.inc()
+                    action, fn, params = found
+                else:
+                    _miss.inc()
+                    action, fn, params = _default
+                    params = dict(params)
+                if fn is None:
+                    raise UnsupportedOperationError(
+                        "table %s selected unregistered action %r"
+                        % (_table.name, action)
+                    )
+                fn(pipe, phv, params)
+
+            return apply_exact
+
+        def apply_linear(
+            pipe: SwitchPipeline, phv: PHV,
+            _table=table, _keys=key_names, _actions=actions,
+            _hit=hit_meter, _miss=miss_meter,
+        ) -> None:
+            values = [phv.fields.get(name, 0) for name in _keys]
+            action, params, hit = _table.lookup(values)
+            (_hit if hit else _miss).inc()
+            fn = _actions.get(action)
+            if fn is None:
+                raise UnsupportedOperationError(
+                    "table %s selected unregistered action %r"
+                    % (_table.name, action)
+                )
+            fn(pipe, phv, params)
+
+        return apply_linear

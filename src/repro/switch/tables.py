@@ -106,6 +106,10 @@ class MatchActionTable:
         self._entries: List[TableEntry] = []
         self.lookups = 0
         self.hits = 0
+        # Bumped on every control-plane mutation so compiled fast
+        # paths (SwitchPipeline.compile_batch) can cheaply detect
+        # stale dispatch indexes.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -123,6 +127,7 @@ class MatchActionTable:
         self._entries.append(entry)
         # Keep highest priority first for TCAM-order lookup.
         self._entries.sort(key=lambda e: -e.priority)
+        self.version += 1
 
     def remove(self, match_values: Tuple[Any, ...]) -> bool:
         """Remove the entry with exactly these match values; True if
@@ -130,6 +135,7 @@ class MatchActionTable:
         for i, entry in enumerate(self._entries):
             if entry.match_values == match_values:
                 del self._entries[i]
+                self.version += 1
                 return True
         return False
 

@@ -1,0 +1,194 @@
+"""Scalar-vs-batch fast-path benchmark driver.
+
+The compiled batch path (:meth:`SwitchPipeline.process_batch`,
+:meth:`LarkSwitch.process_quic_batch`, :meth:`AggSwitch.process_batch`)
+exists so the simulated data plane stops dominating benchmark
+wall-clock.  This module measures exactly that: it replays one seeded
+connection-ID stream through a scalar switch and a batch switch and
+reports host-CPU throughput for both, verifying on the way that the two
+end states agree (the rigorous bit-identity proof lives in
+``tests/differential/``).
+
+Used by ``python -m repro.cli bench`` and ``benchmarks/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.aggswitch import AggSwitch
+from repro.core.larkswitch import LarkSwitch
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.obs.registry import MetricsRegistry
+from repro.quic.connection_id import ConnectionID
+from repro.workloads.adcampaign import AdCampaignWorkload, iter_batches
+
+__all__ = ["FastpathFixture", "run_fastpath_bench", "BENCH_APP_ID"]
+
+BENCH_APP_ID = 0x5C
+
+
+class FastpathFixture:
+    """Builds matched scalar/batch switches over one seeded workload."""
+
+    def __init__(
+        self,
+        mode: str = ForwardingMode.PERIODICAL,
+        num_users: int = 2000,
+        seed: int = 42,
+        shards: int = 1,
+    ):
+        self.mode = mode
+        self.seed = seed
+        self.shards = shards
+        self.workload = AdCampaignWorkload(num_users=num_users, seed=seed)
+        rng = random.Random(seed + 9)
+        self.key = bytes(rng.getrandbits(8) for _ in range(16))
+        self.schema = self.workload.schema()
+        self.specs = self.workload.specs()
+
+    def new_lark(self) -> LarkSwitch:
+        lark = LarkSwitch(
+            "bench-lark",
+            rng=random.Random(self.seed + 1),
+            registry=MetricsRegistry(),
+        )
+        lark.register_application(
+            BENCH_APP_ID,
+            self.schema,
+            self.key,
+            self.specs,
+            mode=self.mode,
+            period_ms=1000.0
+            if self.mode == ForwardingMode.PERIODICAL else 0.0,
+        )
+        return lark
+
+    def new_agg(self, shards: int = 1) -> AggSwitch:
+        agg = AggSwitch(
+            "bench-agg",
+            rng=random.Random(self.seed + 2),
+            registry=MetricsRegistry(),
+            shards=shards,
+        )
+        agg.register_application(
+            BENCH_APP_ID, self.schema, self.key, self.specs
+        )
+        return agg
+
+    def make_cids(self, packets: int) -> List[ConnectionID]:
+        """One semantic CID per user, replayed in a seeded mix — the
+        Snatch CID policy preserves the cookie bytes across a user's
+        connections, which is what the batch decode memo exploits."""
+        codec = TransportCookieCodec(
+            BENCH_APP_ID, self.schema, self.key, random.Random(self.seed + 3)
+        )
+        rng = random.Random(self.seed + 4)
+        per_user = [
+            codec.encode(
+                user.semantic_values(rng.choice(self.workload.campaigns),
+                                     rng.choice(("view", "click")))
+            )
+            for user in self.workload.users
+        ]
+        return [per_user[rng.randrange(len(per_user))] for _ in range(packets)]
+
+
+def _throughput(seconds: float, packets: int) -> Dict[str, float]:
+    return {
+        "seconds": seconds,
+        "packets_per_second": packets / seconds if seconds > 0 else 0.0,
+    }
+
+
+def run_fastpath_bench(
+    packets: int = 100_000,
+    num_users: int = 2000,
+    mode: str = ForwardingMode.PERIODICAL,
+    batch_size: int = 1024,
+    shards: int = 1,
+    agg_packets: int = 5000,
+    seed: int = 42,
+) -> Dict[str, Any]:
+    """Measure scalar vs batch throughput on one seeded CID stream.
+
+    Returns a JSON-ready dict with a LarkSwitch section (the headline
+    scalar-vs-batch comparison) and an AggSwitch section (per-packet
+    merge throughput, scalar vs batch, at the requested shard count).
+    """
+    fixture = FastpathFixture(
+        mode=mode, num_users=num_users, seed=seed, shards=shards
+    )
+    cids = fixture.make_cids(packets)
+
+    scalar_lark = fixture.new_lark()
+    t0 = time.perf_counter()
+    for cid in cids:
+        scalar_lark.process_quic_packet(cid)
+    scalar_s = time.perf_counter() - t0
+
+    batch_lark = fixture.new_lark()
+    t0 = time.perf_counter()
+    for chunk in iter_batches(cids, batch_size):
+        batch_lark.process_quic_batch(chunk)
+    batch_s = time.perf_counter() - t0
+
+    reports_match = (
+        scalar_lark.stats_report(BENCH_APP_ID)
+        == batch_lark.stats_report(BENCH_APP_ID)
+    )
+
+    # AggSwitch merge throughput on per-packet aggregation payloads.
+    agg_n = min(agg_packets, packets)
+    payload_fixture = FastpathFixture(
+        mode=ForwardingMode.PER_PACKET, num_users=num_users, seed=seed
+    )
+    payload_lark = payload_fixture.new_lark()
+    payloads = [
+        result.aggregation_payload
+        for result in payload_lark.process_quic_batch(
+            payload_fixture.make_cids(agg_n)
+        )
+        if result.aggregation_payload is not None
+    ]
+
+    scalar_agg = fixture.new_agg(shards=shards)
+    t0 = time.perf_counter()
+    for payload in payloads:
+        scalar_agg.process_packet(payload)
+    agg_scalar_s = time.perf_counter() - t0
+
+    batch_agg = fixture.new_agg(shards=shards)
+    t0 = time.perf_counter()
+    for chunk in iter_batches(payloads, batch_size):
+        batch_agg.process_batch(chunk)
+    agg_batch_s = time.perf_counter() - t0
+
+    agg_match = (
+        scalar_agg.report(BENCH_APP_ID) == batch_agg.report(BENCH_APP_ID)
+    )
+
+    return {
+        "packets": packets,
+        "unique_users": num_users,
+        "mode": mode,
+        "batch_size": batch_size,
+        "seed": seed,
+        "lark": {
+            "scalar": _throughput(scalar_s, packets),
+            "batch": _throughput(batch_s, packets),
+            "speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+            "reports_match": reports_match,
+        },
+        "agg": {
+            "shards": shards,
+            "packets": len(payloads),
+            "scalar": _throughput(agg_scalar_s, len(payloads)),
+            "batch": _throughput(agg_batch_s, len(payloads)),
+            "speedup": agg_scalar_s / agg_batch_s if agg_batch_s > 0 else 0.0,
+            "reports_match": agg_match,
+        },
+    }

@@ -83,7 +83,20 @@ class NetworkTestbed:
         config: Optional[TestbedConfig] = None,
         agg_loss_rate: float = 0.0,
         workload: Optional[AdCampaignWorkload] = None,
+        batch_window_ms: float = 0.0,
+        batch_max: int = 256,
+        agg_shards: int = 1,
     ):
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        # batch_window_ms > 0 switches the in-path switch nodes to the
+        # compiled batch fast path: packets arriving within a window
+        # are buffered and processed together (capped at batch_max),
+        # modeling a recirculation/burst buffer in front of the pipe.
+        self.batch_window_ms = batch_window_ms
+        self.batch_max = batch_max
         self.config = config or TestbedConfig()
         self.workload = workload or AdCampaignWorkload(
             num_users=self.config.num_users,
@@ -101,7 +114,9 @@ class NetworkTestbed:
         self.lark_device.register_application(
             _APP_ID, schema, self._key, specs
         )
-        self.agg_device = AggSwitch("agg-dev", random.Random(2))
+        self.agg_device = AggSwitch(
+            "agg-dev", random.Random(2), shards=agg_shards
+        )
         self.agg_device.register_application(_APP_ID, schema, self._key, specs)
         self.codec = TransportCookieCodec(
             _APP_ID, schema, self._key, random.Random(3)
@@ -119,16 +134,48 @@ class NetworkTestbed:
 
         class LarkNode(SwitchNode):
             """Runs the real LarkSwitch program on transiting QUIC
-            packets and injects aggregation packets toward the agg."""
+            packets and injects aggregation packets toward the agg.
+
+            With ``batch_window_ms`` set, arriving packets queue in a
+            burst buffer and go through the compiled batch fast path
+            together; per-packet outcomes are identical, each packet
+            just waits out the remainder of its window first.
+            """
+
+            def __init__(self, name: str):
+                super().__init__(name)
+                self._pending: List[NetPacket] = []
+                self._flush_scheduled = False
 
             def handle(self, packet: NetPacket) -> None:
                 if packet.protocol != "quic":
                     self.forward(packet)
                     return
-                result = testbed.lark_device.process_quic_packet(
-                    ConnectionID(packet.headers["dcid"])
-                )
+                if testbed.batch_window_ms <= 0:
+                    result = testbed.lark_device.process_quic_packet(
+                        ConnectionID(packet.headers["dcid"])
+                    )
+                    self._schedule_finish(packet, result)
+                    return
+                self._pending.append(packet)
+                if len(self._pending) >= testbed.batch_max:
+                    self._flush()
+                elif not self._flush_scheduled:
+                    self._flush_scheduled = True
+                    self.sim.schedule(testbed.batch_window_ms, self._flush)
 
+            def _flush(self) -> None:
+                self._flush_scheduled = False
+                pending, self._pending = self._pending, []
+                if not pending:
+                    return
+                results = testbed.lark_device.process_quic_batch(
+                    [ConnectionID(p.headers["dcid"]) for p in pending]
+                )
+                for queued, result in zip(pending, results):
+                    self._schedule_finish(queued, result)
+
+            def _schedule_finish(self, packet: NetPacket, result) -> None:
                 def finish() -> None:
                     if result.forwarded_original:
                         self.forward(packet)
@@ -149,12 +196,38 @@ class NetworkTestbed:
         class AggNode(SwitchNode):
             """Merges aggregation packets, forwards results onward."""
 
+            def __init__(self, name: str):
+                super().__init__(name)
+                self._pending: List[NetPacket] = []
+                self._flush_scheduled = False
+
             def handle(self, packet: NetPacket) -> None:
                 if packet.protocol != "snatch-agg":
                     self.forward(packet)
                     return
-                result = testbed.agg_device.process_packet(packet.payload)
+                if testbed.batch_window_ms <= 0:
+                    result = testbed.agg_device.process_packet(packet.payload)
+                    self._schedule_finish(packet, result)
+                    return
+                self._pending.append(packet)
+                if len(self._pending) >= testbed.batch_max:
+                    self._flush()
+                elif not self._flush_scheduled:
+                    self._flush_scheduled = True
+                    self.sim.schedule(testbed.batch_window_ms, self._flush)
 
+            def _flush(self) -> None:
+                self._flush_scheduled = False
+                pending, self._pending = self._pending, []
+                if not pending:
+                    return
+                results = testbed.agg_device.process_batch(
+                    [p.payload for p in pending]
+                )
+                for queued, result in zip(pending, results):
+                    self._schedule_finish(queued, result)
+
+            def _schedule_finish(self, packet: NetPacket, result) -> None:
                 def finish() -> None:
                     if result.merged:
                         self.forward(

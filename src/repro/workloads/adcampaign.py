@@ -27,7 +27,17 @@ __all__ = [
     "UserProfile",
     "AdEvent",
     "AdCampaignWorkload",
+    "iter_batches",
 ]
+
+
+def iter_batches(items: List, batch_size: int) -> Iterator[List]:
+    """Yield successive ``batch_size``-sized slices of ``items`` (the
+    last one may be shorter).  Feeds the switch batch fast path."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for start in range(0, len(items), batch_size):
+        yield items[start:start + batch_size]
 
 GENDERS = ("female", "male", "other")
 AGE_BRACKETS = ("18-24", "25-34", "35-44", "45-54", "55+")
@@ -148,6 +158,18 @@ class AdCampaignWorkload:
             )
             t += self._rng.expovariate(1.0) * mean_gap_ms
         return events
+
+    def encode_events(self, events: List[AdEvent], codec) -> List:
+        """Pre-encode an event stream into connection IDs with a
+        :class:`~repro.core.transport_cookie.TransportCookieCodec` —
+        the client-side work a driver does before replaying the stream
+        into a LarkSwitch (scalar or batch)."""
+        return [
+            codec.encode(
+                event.user.semantic_values(event.campaign, event.event_type)
+            )
+            for event in events
+        ]
 
     # -- reference analytics ---------------------------------------------------------
 

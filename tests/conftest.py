@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the repro test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden conformance files from the current run "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request):
+    """True when the run should rewrite golden files in place."""
+    return request.config.getoption("--regen-goldens")

@@ -1,0 +1,149 @@
+"""Differential proof that the batch fast path is bit-identical to the
+scalar path.
+
+The load-bearing invariant of the compiled batch path
+(:meth:`SwitchPipeline.process_batch`, ``LarkSwitch.process_quic_batch``,
+``AggSwitch.process_batch``) is that batching is *purely* a host-CPU
+optimization: every observable — per-packet results, digests, decoded
+values, raw register contents, statistics reports, merged shard state —
+must equal the scalar path's, byte for byte.  This suite replays the
+same seeded streams through both paths across three workload shapes
+(uniform, zipfian, adversarial) and five seeds, at several chunk sizes.
+"""
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.testbed.config import Scheme, TestbedConfig
+from repro.testbed.network_testbed import NetworkTestbed
+from repro.workloads.adcampaign import iter_batches
+
+from tests.differential.workloads import (
+    APP_ID,
+    SHAPES,
+    DifferentialWorkload,
+    register_state,
+)
+
+SEEDS = (11, 23, 37, 41, 59)
+# One chunking per seed, covering the degenerate single-packet batch,
+# odd sizes that straddle stream boundaries, and an oversized batch.
+BATCH_SIZES = {11: 1, 23: 7, 37: 64, 41: 113, 59: 4096}
+PACKETS = 240
+
+
+def _run_lark_pair(wl, shape, batch_size, mode):
+    cids = wl.cids(shape, PACKETS)
+    scalar = wl.new_lark(mode=mode)
+    batch = wl.new_lark(mode=mode)
+    scalar_results = [scalar.process_quic_packet(cid) for cid in cids]
+    batch_results = []
+    for chunk in iter_batches(cids, batch_size):
+        batch_results.extend(batch.process_quic_batch(chunk))
+    return scalar, batch, scalar_results, batch_results
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_lark_batch_bit_identical(shape, seed):
+    """LarkResults, digests, registers and reports all match."""
+    wl = DifferentialWorkload(seed)
+    scalar, batch, scalar_results, batch_results = _run_lark_pair(
+        wl, shape, BATCH_SIZES[seed], ForwardingMode.PERIODICAL
+    )
+    assert len(batch_results) == len(scalar_results)
+    for i, (s, b) in enumerate(zip(scalar_results, batch_results)):
+        assert b == s, "packet %d diverged (%s, seed %d)" % (i, shape, seed)
+        assert b.digests == s.digests
+    assert register_state(batch) == register_state(scalar)
+    assert batch.stats_report(APP_ID) == scalar.stats_report(APP_ID)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("shape", SHAPES)
+def test_lark_batch_bit_identical_per_packet_mode(shape, seed):
+    """Per-packet forwarding encodes a payload per match (fresh IV from
+    the app RNG) — the RNG consumption order must also line up."""
+    wl = DifferentialWorkload(seed)
+    scalar, batch, scalar_results, batch_results = _run_lark_pair(
+        wl, shape, BATCH_SIZES[seed], ForwardingMode.PER_PACKET
+    )
+    assert batch_results == scalar_results
+    assert register_state(batch) == register_state(scalar)
+    assert batch.stats_report(APP_ID) == scalar.stats_report(APP_ID)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_agg_batch_bit_identical(shape, seed):
+    """AggResults (including per-packet forward reports), registers and
+    merged report all match between scalar and batch aggregation."""
+    wl = DifferentialWorkload(seed)
+    payloads = wl.payloads(shape, PACKETS)
+    assert payloads, "workload produced no aggregation payloads"
+    scalar = wl.new_agg()
+    batch = wl.new_agg()
+    scalar_results = [scalar.process_packet(p) for p in payloads]
+    batch_results = []
+    for chunk in iter_batches(payloads, BATCH_SIZES[seed]):
+        batch_results.extend(batch.process_batch(chunk))
+    assert batch_results == scalar_results
+    assert register_state(batch) == register_state(scalar)
+    assert batch.merge(APP_ID) == scalar.merge(APP_ID)
+    assert batch.report(APP_ID) == scalar.report(APP_ID)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", (2, 4, 7))
+def test_sharded_agg_matches_unsharded(seed, shards):
+    """Hash-partitioned register banks merge back to exactly the
+    single-bank state, scalar and batch alike."""
+    wl = DifferentialWorkload(seed)
+    payloads = wl.payloads("uniform", PACKETS)
+    flat = wl.new_agg(shards=1)
+    sharded = wl.new_agg(shards=shards)
+    for p in payloads:
+        flat.process_packet(p)
+    sharded.process_batch(payloads)
+    assert sharded.merge(APP_ID) == flat.merge(APP_ID)
+    assert sharded.report(APP_ID) == flat.report(APP_ID)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_sharded_agg_under_hash_collision_skew(seed):
+    """Adversarially skewed payloads (most hashing to one shard) still
+    merge to the same report as the unsharded switch."""
+    shards = 4
+    wl = DifferentialWorkload(seed)
+    payloads = wl.skewed_payloads(PACKETS, shards)
+    flat = wl.new_agg(shards=1)
+    skewed = wl.new_agg(shards=shards)
+    scalar_results = [flat.process_packet(p) for p in payloads]
+    batch_results = skewed.process_batch(payloads)
+    assert skewed.report(APP_ID) == flat.report(APP_ID)
+    # Per-packet forward reports are shard-independent too: the merge
+    # action snapshots the *merged* state after every packet.
+    assert [r.forward_report for r in batch_results] == [
+        r.forward_report for r in scalar_results
+    ]
+
+
+def test_testbed_batched_matches_scalar_analytics():
+    """End to end: a batched-data-plane testbed run reaches the same
+    analytics report as the scalar run (latency differs only by the
+    modeled batching window)."""
+    config = TestbedConfig(
+        scheme=Scheme.TRANS_1RTT,
+        insa=True,
+        requests_per_second=40.0,
+        duration_ms=2000.0,
+    )
+    scalar = NetworkTestbed(config=config).run()
+    batched = NetworkTestbed(
+        config=config, batch_window_ms=5.0, batch_max=64, agg_shards=4
+    ).run()
+    assert scalar.counts_match_reference()
+    assert batched.counts_match_reference()
+    assert batched.report == scalar.report
+    assert len(batched.latencies_ms) == len(scalar.latencies_ms)
+    assert batched.aggregation_packets == scalar.aggregation_packets

@@ -1,0 +1,120 @@
+"""Property tests: cookie encode -> encrypt -> decrypt -> decode is the
+identity, for random schemas and random value sets.
+
+Covers both carriers: the transport cookie (AES-ECB block inside the
+connection ID, 128-bit budget) and the application cookie (AES-CBC HTTP
+cookie, unconstrained widths).  Schemas, keys and values are all drawn
+from seeded stdlib ``random``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.app_cookie import ApplicationCookieCodec
+from repro.core.schema import CookieSchema, Feature, TRANSPORT_COOKIE_BITS
+from repro.core.transport_cookie import TransportCookieCodec
+
+
+def random_feature(rng, index, max_number_span):
+    if rng.random() < 0.6:
+        cardinality = rng.randrange(2, 9)
+        return Feature.categorical(
+            "f%d" % index,
+            tuple("f%d-c%d" % (index, j) for j in range(cardinality)),
+        )
+    low = rng.randrange(-100, 100)
+    return Feature.number("f%d" % index, low, low + rng.randrange(max_number_span))
+
+
+def random_transport_schema(rng):
+    """A random schema guaranteed to fit the 128-bit transport budget."""
+    features = []
+    bits = 0
+    for index in range(rng.randrange(1, 8)):
+        feature = random_feature(rng, index, max_number_span=1000)
+        if bits + 1 + feature.bits > TRANSPORT_COOKIE_BITS:
+            break
+        bits += 1 + feature.bits
+        features.append(feature)
+    if not features:
+        features = [Feature.categorical("f0", ("a", "b"))]
+    return CookieSchema("prop-app", tuple(features))
+
+
+def random_app_schema(rng):
+    """Application-layer cookies have no 128-bit cap: allow wide ranges."""
+    features = tuple(
+        random_feature(rng, index, max_number_span=10**9)
+        for index in range(rng.randrange(1, 10))
+    )
+    return CookieSchema("prop-app", features)
+
+
+def random_value(feature, rng):
+    if feature.classes:
+        return rng.choice(feature.classes)
+    return rng.randrange(feature.min_value, feature.max_value + 1)
+
+
+def random_values(schema, rng, partial):
+    names = list(schema.feature_names())
+    if partial:
+        rng.shuffle(names)
+        names = names[: rng.randrange(1, len(names) + 1)]
+    return {
+        name: random_value(schema.feature(name), rng) for name in names
+    }
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_transport_cookie_roundtrip(seed):
+    rng = random.Random(seed)
+    for trial in range(20):
+        schema = random_transport_schema(rng)
+        app_id = rng.randrange(256)
+        key = bytes(rng.getrandbits(8) for _ in range(16))
+        codec = TransportCookieCodec(
+            app_id, schema, key, random.Random(rng.getrandbits(32))
+        )
+        values = random_values(schema, rng, partial=trial % 2 == 0)
+        cid = codec.encode(values)
+        assert codec.matches(cid)
+        decoded = codec.decode(cid)
+        assert decoded.app_id == app_id
+        assert decoded.values == values
+        for name in schema.feature_names():
+            assert decoded.present(name) == (name in values)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_transport_cookie_unlinkable_but_stable(seed):
+    """Re-encoding the same values yields a distinct CID (random filler)
+    whose preserved cookie bytes decode identically — the property the
+    batch decode memo relies on."""
+    rng = random.Random(1000 + seed)
+    schema = random_transport_schema(rng)
+    key = bytes(rng.getrandbits(8) for _ in range(16))
+    codec = TransportCookieCodec(0x42, schema, key, random.Random(7))
+    values = random_values(schema, rng, partial=False)
+    first = codec.encode(values)
+    second = codec.encode(values)
+    assert codec.decode(first).values == codec.decode(second).values == values
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_app_cookie_roundtrip(seed):
+    rng = random.Random(2000 + seed)
+    for trial in range(20):
+        schema = random_app_schema(rng)
+        app_id = rng.randrange(256)
+        key = bytes(rng.getrandbits(8) for _ in range(16))
+        codec = ApplicationCookieCodec(
+            app_id, schema, key, random.Random(rng.getrandbits(32))
+        )
+        values = random_values(schema, rng, partial=trial % 2 == 0)
+        name, cookie_value = codec.encode(values)
+        assert name == codec.cookie_name
+        decoded = codec.decode(cookie_value)
+        assert decoded.app_id == app_id
+        assert decoded.values == values

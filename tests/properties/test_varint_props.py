@@ -1,0 +1,81 @@
+"""Property tests for QUIC varints (RFC 9000 section 16).
+
+Pure stdlib ``random``: seeded generators sweep the encoding widths,
+and explicit cases pin every boundary where the width changes.
+"""
+
+import random
+
+import pytest
+
+from repro.quic.varint import (
+    MAX_VARINT,
+    decode_varint,
+    encode_varint,
+    varint_length,
+)
+
+# Every width-transition boundary: (value, expected encoded length).
+BOUNDARIES = [
+    (0, 1),
+    ((1 << 6) - 1, 1),
+    (1 << 6, 2),
+    ((1 << 14) - 1, 2),
+    (1 << 14, 4),
+    ((1 << 30) - 1, 4),
+    (1 << 30, 8),
+    (MAX_VARINT, 8),
+]
+
+
+@pytest.mark.parametrize("value,length", BOUNDARIES)
+def test_boundary_roundtrip_and_length(value, length):
+    encoded = encode_varint(value)
+    assert len(encoded) == length == varint_length(value)
+    decoded, end = decode_varint(encoded)
+    assert decoded == value
+    assert end == length
+
+
+@pytest.mark.parametrize("value", [-1, MAX_VARINT + 1, 1 << 62, 1 << 70])
+def test_out_of_range_rejected(value):
+    with pytest.raises(ValueError):
+        varint_length(value)
+    with pytest.raises(ValueError):
+        encode_varint(value)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(500):
+        # Log-uniform over the full 62-bit range so every width is hit.
+        value = rng.randrange(1 << rng.randrange(63)) if rng.random() < 0.9 \
+            else rng.choice([v for v, _ in BOUNDARIES])
+        encoded = encode_varint(value)
+        assert len(encoded) == varint_length(value)
+        decoded, end = decode_varint(encoded)
+        assert (decoded, end) == (value, len(encoded))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_concatenated_stream_decodes_sequentially(seed):
+    rng = random.Random(100 + seed)
+    values = [rng.randrange(1 << rng.randrange(63)) for _ in range(64)]
+    blob = b"".join(encode_varint(v) for v in values)
+    offset = 0
+    for expected in values:
+        value, offset = decode_varint(blob, offset)
+        assert value == expected
+    assert offset == len(blob)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_truncation_always_detected(seed):
+    rng = random.Random(200 + seed)
+    for _ in range(100):
+        value = rng.randrange(1 << rng.randrange(63))
+        encoded = encode_varint(value)
+        for cut in range(len(encoded)):
+            with pytest.raises(ValueError):
+                decode_varint(encoded[:cut])

@@ -1,0 +1,130 @@
+"""Unit tests for the compiled batch execution plan.
+
+Covers the cache-invalidation contract of
+:meth:`SwitchPipeline.compile_batch` — the compiled plan is reused
+while the program and every table's control-plane state are unchanged,
+and rebuilt the moment either moves — plus the per-batch bookkeeping of
+:meth:`SwitchPipeline.process_batch`.
+"""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.switch.pipeline import SwitchPipeline
+from repro.switch.primitives import UnsupportedOperationError
+from repro.switch.tables import (
+    MatchActionTable,
+    MatchKey,
+    MatchKind,
+    TableEntry,
+)
+
+
+def build_pipeline(name="unit"):
+    pipe = SwitchPipeline(name, registry=MetricsRegistry())
+    table = MatchActionTable(
+        "route",
+        [MatchKey("port", MatchKind.EXACT, 8)],
+        default_action="set_tag",
+        default_params={"tag": 0},
+    )
+    pipe.add_table(0, table)
+    pipe.register_action(
+        "set_tag", lambda p, phv, params: phv.__setitem__("tag", params["tag"])
+    )
+    table.insert(TableEntry((1,), "set_tag", {"tag": 100}))
+    table.insert(TableEntry((2,), "set_tag", {"tag": 200}))
+    return pipe, table
+
+
+def run_batch(pipe, ports):
+    results = pipe.process_batch([{"port": p} for p in ports])
+    return [r.phv["tag"] for r in results]
+
+
+def test_compiled_plan_is_cached_while_unchanged():
+    pipe, _ = build_pipeline()
+    first = pipe.compile_batch()
+    assert pipe.compile_batch() is first
+    pipe.process_batch([{"port": 1}])
+    pipe.process({"port": 2})
+    assert pipe.compile_batch() is first
+
+
+def test_table_insert_invalidates_plan():
+    pipe, table = build_pipeline()
+    first = pipe.compile_batch()
+    assert run_batch(pipe, [1, 3]) == [100, 0]
+    table.insert(TableEntry((3,), "set_tag", {"tag": 300}))
+    assert not first.is_current()
+    second = pipe.compile_batch()
+    assert second is not first
+    # The new entry takes effect in the batch path immediately.
+    assert run_batch(pipe, [1, 3]) == [100, 300]
+
+
+def test_table_remove_invalidates_plan():
+    pipe, table = build_pipeline()
+    first = pipe.compile_batch()
+    assert run_batch(pipe, [2]) == [200]
+    table.remove((2,))
+    assert not first.is_current()
+    assert run_batch(pipe, [2]) == [0]
+    assert pipe.compile_batch() is not first
+
+
+def test_register_action_invalidates_plan():
+    pipe, table = build_pipeline()
+    first = pipe.compile_batch()
+    pipe.register_action(
+        "double", lambda p, phv, params: phv.__setitem__("tag", 2 * params["tag"])
+    )
+    assert not first.is_current()
+    table.insert(TableEntry((4,), "double", {"tag": 7}))
+    assert run_batch(pipe, [4]) == [14]
+
+
+def test_new_table_invalidates_plan():
+    pipe, _ = build_pipeline()
+    first = pipe.compile_batch()
+    pipe.add_table(
+        1, MatchActionTable("extra", [MatchKey("tag", MatchKind.EXACT, 16)])
+    )
+    assert not first.is_current()
+    assert pipe.compile_batch() is not first
+
+
+def test_unregistered_action_raises_in_batch():
+    pipe = SwitchPipeline("unit-ghost", registry=MetricsRegistry())
+    table = MatchActionTable("t", [MatchKey("x", MatchKind.EXACT, 8)])
+    pipe.add_table(0, table)
+    table.insert(TableEntry((1,), "ghost"))
+    with pytest.raises(UnsupportedOperationError):
+        pipe.process_batch([{"x": 1}])
+
+
+def test_empty_batch_is_a_noop():
+    pipe, _ = build_pipeline()
+    before = pipe.packets_processed
+    assert pipe.process_batch([]) == []
+    assert pipe.packets_processed == before
+
+
+def test_batch_counters_and_parity_with_scalar():
+    scalar, _ = build_pipeline("unit-scalar")
+    batched, _ = build_pipeline("unit-batched")
+    ports = [1, 2, 3, 1, 2]
+    scalar_results = [scalar.process({"port": p}) for p in ports]
+    batch_results = batched.process_batch([{"port": p} for p in ports])
+    assert [r.phv["tag"] for r in batch_results] == \
+        [r.phv["tag"] for r in scalar_results]
+    assert [r.latency_ms for r in batch_results] == \
+        [r.latency_ms for r in scalar_results]
+    assert [r.forwarded for r in batch_results] == \
+        [r.forwarded for r in scalar_results]
+    assert batched.packets_processed == scalar.packets_processed
+    assert batched.metrics.value("pipeline.unit-batched.batches") == 1
+    assert batched.metrics.get("pipeline.unit-batched.batch.size").count == 1
+    # Table meters advance identically on both paths.
+    assert batched.metrics.value("pipeline.unit-batched.packets") == \
+        scalar.metrics.value("pipeline.unit-scalar.packets")
