@@ -7,7 +7,9 @@ Subcommands mirror the evaluation:
 * ``breakdown`` — the Figure-1 time-cost breakdown;
 * ``testbed``   — one end-to-end DES run (scheme, INSA, rate, ...);
 * ``measure``   — the synthetic measurement campaign summary;
-* ``bench``     — scalar-vs-batch data-plane throughput comparison;
+* ``bench``     — data-plane throughput: scalar vs one fast path
+  (``--backend batch|columnar``), or the three-way ``--compare`` mode
+  that writes ``BENCH_columnar.json``;
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -173,12 +175,66 @@ def _cmd_bench(args, out) -> int:
     import json
 
     from repro.core.aggregation import ForwardingMode
-    from repro.testbed.fastpath import run_fastpath_bench
+    from repro.testbed.fastpath import (
+        BACKENDS,
+        run_backend_bench,
+        run_fastpath_bench,
+    )
 
     mode = (
         ForwardingMode.PERIODICAL if args.mode == "periodical"
         else ForwardingMode.PER_PACKET
     )
+    if args.compare:
+        # Three-way backend comparison; the columnar path must not
+        # regress below the batch path on the periodical workload.
+        result = run_backend_bench(
+            packets=args.packets,
+            num_users=args.users,
+            mode=mode,
+            batch_size=args.batch_size,
+            shards=args.shards,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        out.write(
+            "backend compare: %d packets, %d users, mode=%s, batch=%d, "
+            "best of %d\n"
+            % (result["packets"], result["unique_users"], args.mode,
+               result["batch_size"], result["repeats"])
+        )
+        rows = []
+        for section in ("lark", "agg"):
+            data = result[section]
+            rows.append(
+                [section]
+                + ["%.0f" % data[b]["packets_per_second"] for b in BACKENDS]
+                + ["%.2fx" % data["columnar_vs_batch"],
+                   "yes" if data["reports_match"] else "NO"]
+            )
+        _print_rows(
+            ["path", "scalar pkts/s", "batch pkts/s", "columnar pkts/s",
+             "col/batch", "match"],
+            rows, out,
+        )
+        json_path = args.json or "BENCH_columnar.json"
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("\nwrote %s\n" % json_path)
+        if not (result["lark"]["reports_match"]
+                and result["agg"]["reports_match"]):
+            out.write("FAIL: backend reports disagree\n")
+            return 1
+        if (args.mode == "periodical"
+                and result["lark"]["columnar_vs_batch"] < 1.0):
+            out.write(
+                "FAIL: columnar lark path slower than batch (%.2fx)\n"
+                % result["lark"]["columnar_vs_batch"]
+            )
+            return 1
+        return 0
+
     result = run_fastpath_bench(
         packets=args.packets,
         num_users=args.users,
@@ -186,6 +242,7 @@ def _cmd_bench(args, out) -> int:
         batch_size=args.batch_size,
         shards=args.shards,
         seed=args.seed,
+        backend=args.backend,
     )
     rows = []
     for section in ("lark", "agg"):
@@ -198,12 +255,14 @@ def _cmd_bench(args, out) -> int:
             "yes" if data["reports_match"] else "NO",
         ])
     out.write(
-        "fast path: %d packets, %d users, mode=%s, batch=%d, shards=%d\n"
+        "fast path: %d packets, %d users, mode=%s, batch=%d, shards=%d, "
+        "backend=%s\n"
         % (result["packets"], result["unique_users"], args.mode,
-           result["batch_size"], args.shards)
+           result["batch_size"], args.shards, args.backend)
     )
     _print_rows(
-        ["path", "scalar pkts/s", "batch pkts/s", "speedup", "match"],
+        ["path", "scalar pkts/s", "%s pkts/s" % args.backend, "speedup",
+         "match"],
         rows, out,
     )
     if args.json:
@@ -292,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=1024)
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--backend", choices=["scalar", "batch", "columnar"],
+                   default="batch",
+                   help="fast path to measure against scalar")
+    p.add_argument("--compare", action="store_true",
+                   help="three-way scalar/batch/columnar comparison; "
+                        "writes BENCH_columnar.json and exits nonzero "
+                        "if columnar is slower than batch")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="interleaved best-of-N rounds for --compare")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the full result JSON to PATH")
     p.set_defaults(func=_cmd_bench)

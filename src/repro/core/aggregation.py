@@ -96,7 +96,15 @@ class AggregationCodec:
         )
         return header + iv + encrypted
 
-    def decode(self, data: bytes) -> AggregationPacket:
+    @property
+    def aes(self) -> AES:
+        """The scheduled AES-128 cipher (the columnar AggSwitch path
+        decrypts many payload bodies through it in one batched pass)."""
+        return self._aes
+
+    def check_header(self, data: bytes) -> None:
+        """Validate the plaintext header (length, SID, app-ID); raises
+        the same errors as :meth:`decode`."""
         if len(data) < 4 + 16 + 16:
             raise ValueError("aggregation packet too short")
         sid = int.from_bytes(data[0:2], "big")
@@ -108,15 +116,18 @@ class AggregationCodec:
                 "application-ID mismatch: packet %d, codec %d"
                 % (app_id, self.app_id)
             )
-        count_byte = data[3]
+
+    def packet_from_body(
+        self, body: bytes, count_byte: int
+    ) -> AggregationPacket:
+        """Parse an already-decrypted data-stack (the post-AES half of
+        :meth:`decode`)."""
         mode = (
             ForwardingMode.PERIODICAL
             if count_byte & 0x80
             else ForwardingMode.PER_PACKET
         )
         declared = count_byte & 0x7F
-        iv = data[4:20]
-        body = decrypt_cbc(self._aes, iv, data[20:])
         if len(body) % 8 != 0:
             raise ValueError("corrupt data-stack length %d" % len(body))
         items: List[Tuple[int, int]] = []
@@ -129,7 +140,12 @@ class AggregationCodec:
                 "item count mismatch: declared %d, decoded %d"
                 % (declared, len(items))
             )
-        return AggregationPacket(app_id=app_id, mode=mode, items=items)
+        return AggregationPacket(app_id=self.app_id, mode=mode, items=items)
+
+    def decode(self, data: bytes) -> AggregationPacket:
+        self.check_header(data)
+        body = decrypt_cbc(self._aes, data[4:20], data[20:])
+        return self.packet_from_body(body, data[3])
 
     @staticmethod
     def is_aggregation_packet(data: bytes) -> bool:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.aggregation import (
     AggregationCodec,
@@ -32,9 +32,16 @@ from repro.core.stats import (
     merge_snapshots,
     min_array_names,
 )
+from repro.crypto.aes import decrypt_cbc_many
 from repro.obs.registry import MetricsRegistry
-from repro.switch.hashing import crc32
-from repro.switch.pipeline import AES_PASS_LATENCY_MS, PHV, SwitchPipeline
+from repro.switch.columns import PacketColumns, get_numpy
+from repro.switch.hashing import crc32, crc32_many
+from repro.switch.pipeline import (
+    AES_PASS_LATENCY_MS,
+    LINE_RATE_LATENCY_MS,
+    PHV,
+    SwitchPipeline,
+)
 from repro.switch.tables import (
     MatchActionTable,
     MatchKey,
@@ -55,9 +62,15 @@ class _AggApp:
     banks: List[SwitchStatistics] = field(default_factory=list)
     destination: str = "analytics"
     packets_merged: int = 0
+    # Incrementally maintained fold of all shard banks (None =
+    # invalid).  Per-packet updates keep it in lockstep through the
+    # stats mirror; periodical write-backs and control-plane resets
+    # invalidate it.  This turns the per-packet forward report from a
+    # full K-bank re-merge into a cache read.
+    merged_cache: Optional[Dict[str, List[int]]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AggResult:
     """Outcome of processing one packet at the AggSwitch."""
 
@@ -122,6 +135,15 @@ class AggSwitch:
         )
         self.pipeline.add_table(stage=0, table=self._match_table)
         self.pipeline.register_action("snatch_merge", self._action_merge)
+        # Known-good program shape for the columnar backend, cached as
+        # (program version, match-table version).
+        self._columnar_plan: Optional[Tuple[int, int]] = None
+        # Batch-scoped pre-decode results (payload -> packet), set by
+        # process_batch so _action_merge can skip the per-packet AES
+        # decrypt; None outside a batch.
+        self._batch_decode_cache: Optional[
+            Dict[bytes, AggregationPacket]
+        ] = None
 
     # -- controller RPC surface ---------------------------------------------
 
@@ -205,31 +227,44 @@ class AggSwitch:
             return 0
         return crc32(payload) % self.shards
 
-    def _action_merge(
-        self, pipeline: SwitchPipeline, phv: PHV, params: Dict[str, Any]
-    ) -> None:
-        app = self._apps[params["app_id"]]
-        pipeline.charge_latency(AES_PASS_LATENCY_MS)  # AES decrypt
-        payload = phv["payload"]
-        try:
-            packet = app.codec.decode(payload)
-        except ValueError:
-            phv.metadata["decode_failed"] = True
-            self._m_decode_failures.inc()
-            return
-        shard = self._shard_for(payload)
+    def _merged_view(self, app: _AggApp) -> Dict[str, List[int]]:
+        """The live fold of all shard banks, rebuilt only when a
+        control-plane write invalidated it.  Callers must not mutate
+        the returned snapshot (use :meth:`merge` for a copy)."""
+        cache = app.merged_cache
+        if cache is None:
+            cache = app.banks[0].snapshot()
+            for bank in app.banks[1:]:
+                cache = merge_snapshots(app.specs, cache, bank.snapshot())
+            app.merged_cache = cache
+        return cache
+
+    def _fold_packet(
+        self,
+        app: _AggApp,
+        payload: bytes,
+        packet: AggregationPacket,
+        shard: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Fold one decoded aggregation packet into its shard bank and
+        return the forward report (the merged state at this packet's
+        own merge point).  ``None`` means a malformed per-packet item
+        stack; the caller counts it as a decode failure."""
+        if shard is None:
+            shard = self._shard_for(payload)
         bank = app.banks[shard]
         if packet.mode == ForwardingMode.PER_PACKET:
             # Items are (feature_index, wire_value) for one cookie.
             values: Dict[str, Any] = {}
             for index, wire in packet.items:
                 if index >= len(app.schema.features):
-                    phv.metadata["decode_failed"] = True
-                    self._m_decode_failures.inc()
-                    return
+                    return None
                 feature = app.schema.features[index]
                 values[feature.name] = feature.decode_value(wire)
-            bank.update(values)
+            # The merged view is kept in lockstep via the mirror, so
+            # the per-packet forward report below is a cache read
+            # instead of a full K-bank re-merge.
+            bank.update(values, mirror=self._merged_view(app))
             self._m_register_updates.inc()
             self._m_per_packet_merges.inc()
         else:
@@ -242,16 +277,42 @@ class AggSwitch:
                 app.specs, bank.snapshot(), incoming
             )
             self._write_snapshot(bank, merged)
+            # load_snapshot masks cells on write, which the mirror
+            # arithmetic cannot reproduce — rebuild lazily instead.
+            app.merged_cache = None
             self._m_report_merges.inc()
         self._m_shard_occupancy[shard].inc()
         app.packets_merged += 1
+        return app.stats.report_from_snapshot(self._merged_view(app))
+
+    def _action_merge(
+        self, pipeline: SwitchPipeline, phv: PHV, params: Dict[str, Any]
+    ) -> None:
+        app = self._apps[params["app_id"]]
+        pipeline.charge_latency(AES_PASS_LATENCY_MS)  # AES decrypt
+        payload = phv["payload"]
+        cache = self._batch_decode_cache
+        packet = cache.get(payload) if cache is not None else None
+        if packet is None:
+            # Not pre-decoded (scalar path, unhashable payload, or a
+            # decode failure — re-decoding the failure reproduces the
+            # scalar error accounting exactly).
+            try:
+                packet = app.codec.decode(payload)
+            except ValueError:
+                phv.metadata["decode_failed"] = True
+                self._m_decode_failures.inc()
+                return
+        report = self._fold_packet(app, payload, packet)
+        if report is None:
+            phv.metadata["decode_failed"] = True
+            self._m_decode_failures.inc()
+            return
         phv.metadata["merged_app"] = app.app_id
         # Snapshot the merged report *now*: in a batch, later packets
         # keep mutating the registers, but each packet's AggResult must
         # reflect the state at its own merge point (scalar semantics).
-        phv.metadata["forward_report"] = app.stats.report_from_snapshot(
-            self.merge(app.app_id)
-        )
+        phv.metadata["forward_report"] = report
 
     def _write_snapshot(
         self, bank: SwitchStatistics, snapshot: Dict[str, List[int]]
@@ -285,19 +346,218 @@ class AggSwitch:
                 AggResult(is_aggregation=False, merged=False, latency_ms=0.0)
                 for _ in payloads
             ]
-        batch_fields = []
+        def header_fields() -> Iterator[Dict[str, Any]]:
+            # One dict reused across the whole batch (PHV copies it):
+            # per-packet dict churn here is what made large batches
+            # GC-bound and slower than the scalar loop.
+            fields: Dict[str, Any] = {}
+            for payload in payloads:
+                fields["sid"] = (
+                    int.from_bytes(payload[0:2], "big") if len(payload) >= 2
+                    else 0
+                )
+                fields["app_id"] = payload[2] if len(payload) >= 3 else -1
+                fields["payload"] = payload
+                yield fields
+
+        self._m_packets.inc(len(payloads))
+        out: List[AggResult] = []
+        convert = self._to_agg_result
+        self._batch_decode_cache = self._predecode(payloads)
+        try:
+            self.pipeline.process_batch(
+                header_fields(),
+                sink=lambda result: out.append(convert(result)),
+            )
+        finally:
+            self._batch_decode_cache = None
+        return out
+
+    def _predecode(
+        self, payloads: Sequence[bytes]
+    ) -> Dict[bytes, AggregationPacket]:
+        """One batched CBC pass over every decodable payload in the
+        batch (:func:`decrypt_cbc_many`), keyed by payload bytes for
+        :meth:`_action_merge` to consume.  Only successful decodes are
+        cached; failures fall through to the scalar ``codec.decode``
+        so error paths and metrics stay bit-identical."""
+        groups: Dict[int, List[bytes]] = {}
         for payload in payloads:
-            sid = (
-                int.from_bytes(payload[0:2], "big") if len(payload) >= 2
-                else 0
+            if (
+                isinstance(payload, bytes)
+                and len(payload) >= 4 + 16 + 16
+                and int.from_bytes(payload[0:2], "big") == SNATCH_SID
+                and payload[2] in self._apps
+            ):
+                groups.setdefault(payload[2], []).append(payload)
+        cache: Dict[bytes, AggregationPacket] = {}
+        for app_id, subs in groups.items():
+            codec = self._apps[app_id].codec
+            bodies = decrypt_cbc_many(
+                codec.aes,
+                [p[4:20] for p in subs],
+                [p[20:] for p in subs],
             )
-            app_id = payload[2] if len(payload) >= 3 else -1
-            batch_fields.append(
-                {"sid": sid, "app_id": app_id, "payload": payload}
+            for payload, body in zip(subs, bodies):
+                if body is None:
+                    continue
+                try:
+                    cache[payload] = codec.packet_from_body(
+                        body, payload[3]
+                    )
+                except ValueError:
+                    pass
+        return cache
+
+    # -- columnar fast path -------------------------------------------------
+
+    def _columnar_ready(self) -> bool:
+        """True when the pipeline still has exactly the shape the
+        columnar backend assumes (one stage, the SID/app match table,
+        snatch_merge entries for the registered apps)."""
+        key = (self.pipeline._program_version, self._match_table.version)
+        if self._columnar_plan == key:
+            return True
+        stages = self.pipeline.stages
+        if len(stages) != 1 or stages[0].tables != [self._match_table]:
+            return False
+        if self._match_table.default_action != "NoAction":
+            return False
+        matched = set()
+        for entry in self._match_table.entries():
+            if entry.action != "snatch_merge":
+                return False
+            sid, app_id = entry.match_values
+            if sid != SNATCH_SID or entry.action_params.get("app_id") != app_id:
+                return False
+            if app_id not in self._apps:
+                return False
+            matched.add(app_id)
+        if matched != set(self._apps):
+            return False
+        self._columnar_plan = key
+        return True
+
+    def process_columnar(self, payloads: Sequence[bytes]) -> List[AggResult]:
+        """Columnar fast path over a batch of analytics-bound packets.
+
+        Bit-identical to :meth:`process_batch`: header fields and shard
+        hashes are extracted as columns, every matched payload's CBC
+        body is decrypted in one batched AES pass, and the folds run
+        sequentially in packet order (each forward report reflects the
+        merged state at that packet's own merge point).  Falls back to
+        :meth:`process_batch` when numpy is gated off or the pipeline
+        shape changed under us.
+        """
+        if not self.alive:
+            return [
+                AggResult(is_aggregation=False, merged=False, latency_ms=0.0)
+                for _ in payloads
+            ]
+        np = get_numpy()
+        if np is None or not payloads or not self._columnar_ready():
+            return self.process_batch(payloads)
+        raws = [bytes(p) for p in payloads]
+        n = len(raws)
+        pipe = self.pipeline
+        self._m_packets.inc(n)
+        pipe.packets_processed += n
+        pipe._m_packets.inc(n)
+        table = self._match_table
+        table.lookups += n
+        columns = PacketColumns(raws)
+        sids = columns.be16_column(0, default=0)
+        app_ids = columns.byte_column(2, default=-1)
+        shard_column = None
+        if self.shards > 1:
+            shard_column = crc32_many(columns) % self.shards
+        assignments: List[Optional[_AggApp]] = [None] * n
+        packets: List[Optional[AggregationPacket]] = [None] * n
+        hit_count = 0
+        for app_id, app in self._apps.items():
+            idxs = np.nonzero((sids == SNATCH_SID) & (app_ids == app_id))[0]
+            if idxs.size == 0:
+                continue
+            hit_count += int(idxs.size)
+            sub = [raws[int(i)] for i in idxs]
+            # One batched CBC pass over every long-enough payload; the
+            # header checks the scalar decode performs are already
+            # guaranteed by the match mask.
+            positions = [
+                j for j, payload in enumerate(sub)
+                if len(payload) >= 4 + 16 + 16
+            ]
+            bodies = decrypt_cbc_many(
+                app.codec.aes,
+                [sub[j][4:20] for j in positions],
+                [sub[j][20:] for j in positions],
             )
-        self._m_packets.inc(len(batch_fields))
-        results = self.pipeline.process_batch(batch_fields)
-        return [self._to_agg_result(result) for result in results]
+            body_at = dict(zip(positions, bodies))
+            for j, i in enumerate(idxs):
+                i = int(i)
+                assignments[i] = app
+                body = body_at.get(j)
+                if body is None:
+                    continue  # too short or corrupt CBC: decode failure
+                try:
+                    packets[i] = app.codec.packet_from_body(
+                        body, sub[j][3]
+                    )
+                except ValueError:
+                    pass  # malformed data-stack: decode failure
+        hit_meter, miss_meter = pipe._stage_meters[0]
+        table.hits += hit_count
+        hit_meter.inc(hit_count)
+        miss_meter.inc(n - hit_count)
+        hit_latency = LINE_RATE_LATENCY_MS + AES_PASS_LATENCY_MS
+        pipe._m_latency_us.observe_many(
+            LINE_RATE_LATENCY_MS * 1000.0, n - hit_count
+        )
+        pipe._m_latency_us.observe_many(hit_latency * 1000.0, hit_count)
+        failure_count = 0
+        total_latency_us = 0.0
+        results: List[AggResult] = []
+        for i in range(n):
+            app = assignments[i]
+            is_aggregation = int(sids[i]) == SNATCH_SID
+            if app is None:
+                total_latency_us += LINE_RATE_LATENCY_MS * 1000.0
+                results.append(AggResult(
+                    is_aggregation=is_aggregation,
+                    merged=False,
+                    latency_ms=LINE_RATE_LATENCY_MS,
+                ))
+                continue
+            total_latency_us += hit_latency * 1000.0
+            packet = packets[i]
+            report = None
+            if packet is not None:
+                shard = (
+                    int(shard_column[i]) if shard_column is not None else 0
+                )
+                report = self._fold_packet(
+                    app, raws[i], packet, shard=shard
+                )
+            if report is None:
+                failure_count += 1
+                results.append(AggResult(
+                    is_aggregation=True,
+                    merged=False,
+                    latency_ms=hit_latency,
+                ))
+                continue
+            results.append(AggResult(
+                is_aggregation=True,
+                merged=True,
+                latency_ms=hit_latency,
+                forward_report=report,
+                destination=app.destination,
+            ))
+        self._m_decode_failures.inc(failure_count)
+        pipe._m_batches.inc()
+        pipe._m_batch_size.observe(n)
+        pipe._m_batch_latency_us.observe(total_latency_us)
+        return results
 
     def _to_agg_result(self, result: Any) -> AggResult:
         merged_app = result.phv.metadata.get("merged_app")
@@ -328,10 +588,10 @@ class AggSwitch:
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
         app = self._apps[app_id]
-        merged = app.banks[0].snapshot()
-        for bank in app.banks[1:]:
-            merged = merge_snapshots(app.specs, merged, bank.snapshot())
-        return merged
+        return {
+            name: list(cells)
+            for name, cells in self._merged_view(app).items()
+        }
 
     def report(self, app_id: int) -> Dict[str, Any]:
         """The aggregated analytics result for an application (all
@@ -339,12 +599,14 @@ class AggSwitch:
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
         app = self._apps[app_id]
-        return app.stats.report_from_snapshot(self.merge(app_id))
+        return app.stats.report_from_snapshot(self._merged_view(app))
 
     def reset(self, app_id: int) -> None:
         """Period-boundary reset after delivering results."""
-        for bank in self._apps[app_id].banks:
+        app = self._apps[app_id]
+        for bank in app.banks:
             bank.reset()
+        app.merged_cache = None
 
     def reconcile_report(self, app_id: int, report: Dict[str, Any]) -> None:
         """Fault repair (section 6): replace the drifted in-network
@@ -357,6 +619,7 @@ class AggSwitch:
         app.stats.load_report(report)
         for bank in app.banks[1:]:
             bank.reset()
+        app.merged_cache = None
         self._m_reconciles.inc()
 
     def packets_merged(self, app_id: int) -> int:

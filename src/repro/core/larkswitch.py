@@ -24,25 +24,31 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.aggregation import (
     AggregationCodec,
     AggregationPacket,
     ForwardingMode,
 )
-from repro.core.schema import CookieSchema
+from repro.core.schema import CookieSchema, FeatureValueError
 from repro.core.stats import StatSpec, SwitchStatistics, min_array_names
 from repro.core.transport_cookie import (
     APP_ID_BYTE_INDEX,
+    COOKIE_BLOCK_START,
     COOKIE_BYTE_END,
+    COOKIE_BYTE_START,
     TransportCookieCodec,
 )
+from repro.crypto.aes import decrypt_blocks_many
 from repro.obs.registry import MetricsRegistry
-from repro.quic.connection_id import ConnectionID
+from repro.quic.connection_id import ConnectionID, MAX_CONNECTION_ID_BYTES
 from repro.switch.bloom import BloomFilter
+from repro.switch.columns import PacketColumns, get_numpy, group_rows
 from repro.switch.pipeline import (
     AES_PASS_LATENCY_MS,
+    Digest,
+    LINE_RATE_LATENCY_MS,
     PHV,
     SwitchPipeline,
 )
@@ -73,7 +79,7 @@ class RegisteredApp:
     version: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LarkResult:
     """Outcome of processing one QUIC packet."""
 
@@ -131,6 +137,9 @@ class LarkSwitch:
         self._batch_decode_cache: Optional[
             Dict[Tuple[int, int, bytes], Optional[Dict[str, Any]]]
         ] = None
+        # Known-good program shape for the columnar backend, cached as
+        # (program version, app-table version); see _columnar_ready().
+        self._columnar_plan: Optional[Tuple[int, int]] = None
 
     # -- controller RPC surface ---------------------------------------------
 
@@ -292,22 +301,26 @@ class LarkSwitch:
                 app, values
             )
 
-    def _per_packet_payload(
+    def _aggregation_packet(
         self, app: RegisteredApp, values: Dict[str, Any]
-    ) -> bytes:
+    ) -> AggregationPacket:
         items: List[Tuple[int, int]] = []
         for index, feature in enumerate(app.schema.features):
             if feature.name in values:
                 items.append(
                     (index, feature.encode_value(values[feature.name]))
                 )
-        packet = AggregationPacket(
+        return AggregationPacket(
             app_id=app.app_id,
             mode=ForwardingMode.PER_PACKET,
             items=items,
             source=self.name,
         )
-        return app.agg_codec.encode(packet)
+
+    def _per_packet_payload(
+        self, app: RegisteredApp, values: Dict[str, Any]
+    ) -> bytes:
+        return app.agg_codec.encode(self._aggregation_packet(app, values))
 
     def process_quic_packet(self, dcid: ConnectionID) -> LarkResult:
         """Run one QUIC short-header packet through the pipeline."""
@@ -347,20 +360,289 @@ class LarkSwitch:
                 )
                 for _ in dcids
             ]
-        batch_fields = []
-        for dcid in dcids:
-            raw = bytes(dcid)
-            app_id = (
-                raw[APP_ID_BYTE_INDEX] if len(raw) > APP_ID_BYTE_INDEX else -1
-            )
-            batch_fields.append({"app_id": app_id, "dcid": raw})
-        self._m_packets.inc(len(batch_fields))
+        def header_fields() -> Iterator[Dict[str, Any]]:
+            # One dict reused across the whole batch (PHV copies it),
+            # so the dispatch loop allocates nothing per packet.
+            fields: Dict[str, Any] = {}
+            for dcid in dcids:
+                raw = bytes(dcid)
+                fields["app_id"] = (
+                    raw[APP_ID_BYTE_INDEX]
+                    if len(raw) > APP_ID_BYTE_INDEX else -1
+                )
+                fields["dcid"] = raw
+                yield fields
+
+        self._m_packets.inc(len(dcids))
+        out: List[LarkResult] = []
+        convert = self._to_lark_result
         self._batch_decode_cache = self._decode_memo
         try:
-            results = self.pipeline.process_batch(batch_fields)
+            self.pipeline.process_batch(
+                header_fields(),
+                sink=lambda result: out.append(convert(result)),
+            )
         finally:
             self._batch_decode_cache = None
-        return [self._to_lark_result(result) for result in results]
+        return out
+
+    # -- columnar fast path -------------------------------------------------
+
+    def _columnar_ready(self) -> bool:
+        """True when the pipeline still has exactly the shape the
+        columnar backend assumes: one stage holding the app table,
+        whose entries all dispatch ``snatch_decode`` to a registered
+        app.  Cached on (program version, table version), the same
+        staleness check the compiled batch plan uses."""
+        key = (self.pipeline._program_version, self._app_table.version)
+        if self._columnar_plan == key:
+            return True
+        stages = self.pipeline.stages
+        if len(stages) != 1 or stages[0].tables != [self._app_table]:
+            return False
+        if self._app_table.default_action != "NoAction":
+            return False
+        matched = set()
+        for entry in self._app_table.entries():
+            if entry.action != "snatch_decode":
+                return False
+            app_id = entry.match_values[0]
+            if entry.action_params.get("app_id") != app_id:
+                return False
+            if app_id not in self._apps:
+                return False
+            matched.add(app_id)
+        if matched != set(self._apps):
+            return False
+        self._columnar_plan = key
+        return True
+
+    def _decode_groups(
+        self,
+        app: RegisteredApp,
+        sub: List[bytes],
+        keys: List[bytes],
+        firsts: List[int],
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Decode each unique cookie group once: memo probe first, then
+        one batched AES pass over the still-unknown blocks."""
+        memo = self._decode_memo
+        out: List[Optional[Dict[str, Any]]] = [None] * len(keys)
+        pending: List[int] = []
+        for group, key_bytes in enumerate(keys):
+            rep = sub[firsts[group]]
+            memo_key = (app.app_id, len(rep), key_bytes)
+            if memo_key in memo:
+                out[group] = memo[memo_key]
+            elif len(rep) != MAX_CONNECTION_ID_BYTES:
+                # codec.matches() is False: try_decode returns None.
+                memo[memo_key] = None
+            else:
+                pending.append(group)
+        if pending:
+            blocks = [
+                sub[firsts[group]][COOKIE_BLOCK_START:COOKIE_BYTE_END]
+                for group in pending
+            ]
+            plains = decrypt_blocks_many(app.cookie_codec.aes, blocks)
+            for group, block in zip(pending, plains):
+                try:
+                    values: Optional[Dict[str, Any]] = (
+                        app.cookie_codec.values_from_block(bytes(block))
+                    )
+                except (ValueError, FeatureValueError):
+                    values = None
+                rep = sub[firsts[group]]
+                memo[(app.app_id, len(rep), keys[group])] = values
+                out[group] = values
+        return out
+
+    def process_quic_columnar(
+        self, dcids: Sequence[ConnectionID]
+    ) -> List[LarkResult]:
+        """Columnar fast path: struct-of-arrays over the whole batch.
+
+        Bit-identical to :meth:`process_quic_batch` (itself identical
+        to the scalar path): packets are grouped by the preserved
+        cookie region, each unique cookie is decrypted once through
+        the batched AES kernel, statistics fold through vectorized
+        register scatters, and per-packet results (latencies, digests,
+        RNG-consuming payload encodes) are assembled in packet order.
+        Falls back to :meth:`process_quic_batch` when numpy is gated
+        off or the pipeline shape changed under us.
+        """
+        if not self.alive:
+            return [
+                LarkResult(
+                    matched=False,
+                    forwarded_original=True,
+                    aggregation_payload=None,
+                    latency_ms=0.0,
+                )
+                for _ in dcids
+            ]
+        np = get_numpy()
+        if np is None or not dcids or not self._columnar_ready():
+            return self.process_quic_batch(dcids)
+        raws = [bytes(dcid) for dcid in dcids]
+        n = len(raws)
+        pipe = self.pipeline
+        self._m_packets.inc(n)
+        pipe.packets_processed += n
+        pipe._m_packets.inc(n)
+        table = self._app_table
+        table.lookups += n
+        columns = PacketColumns(raws)
+        app_column = columns.byte_column(APP_ID_BYTE_INDEX, default=-1)
+        # Per-packet assignment: (per-app state, group id) for hits.
+        assignments: List[Optional[Tuple[Dict[str, Any], int]]] = [None] * n
+        hit_count = 0
+        for app_id, app in self._apps.items():
+            idxs = np.nonzero(app_column == app_id)[0]
+            if idxs.size == 0:
+                continue
+            hit_count += int(idxs.size)
+            sub = [raws[int(i)] for i in idxs]
+            keys, firsts, inverse = group_rows(
+                sub, COOKIE_BYTE_START, COOKIE_BYTE_END
+            )
+            group_values = self._decode_groups(app, sub, keys, firsts)
+            dup_first = [False] * len(keys)
+            if app.dedup is not None:
+                # Bloom state evolves at first occurrences only, so
+                # adding unique decoded cookies in first-occurrence
+                # order reproduces the scalar per-packet test-and-set.
+                decoded_groups = [
+                    g for g, values in enumerate(group_values)
+                    if values is not None
+                ]
+                flags = app.dedup.add_many(
+                    [keys[g] for g in decoded_groups]
+                )
+                for g, flag in zip(decoded_groups, flags):
+                    dup_first[g] = flag
+                grouped = [
+                    (group_values[g], 1)
+                    for g in range(len(keys))
+                    if group_values[g] is not None and not dup_first[g]
+                ]
+            else:
+                multiplicity = np.bincount(
+                    np.asarray(inverse, dtype=np.int64),
+                    minlength=len(keys),
+                )
+                grouped = [
+                    (group_values[g], int(multiplicity[g]))
+                    for g in range(len(keys))
+                    if group_values[g] is not None
+                ]
+            app.stats.update_grouped(grouped)
+            state = (
+                app,
+                group_values,
+                dup_first,
+                [False] * len(keys),   # seen
+                [None] * len(keys),    # cached AggregationPackets
+                app.dedup is not None,
+            )
+            inverse_list = (
+                inverse.tolist() if hasattr(inverse, "tolist") else inverse
+            )
+            for j, i in enumerate(idxs.tolist()):
+                assignments[i] = (state, inverse_list[j])
+        hit_meter, miss_meter = pipe._stage_meters[0]
+        table.hits += hit_count
+        hit_meter.inc(hit_count)
+        miss_meter.inc(n - hit_count)
+        hit_latency = LINE_RATE_LATENCY_MS + AES_PASS_LATENCY_MS
+        pipe._m_latency_us.observe_many(
+            LINE_RATE_LATENCY_MS * 1000.0, n - hit_count
+        )
+        pipe._m_latency_us.observe_many(hit_latency * 1000.0, hit_count)
+        decoded_count = 0
+        failure_count = 0
+        dedup_count = 0
+        digest_count = 0
+        total_latency_us = 0.0
+        line_us = LINE_RATE_LATENCY_MS * 1000.0
+        hit_us = hit_latency * 1000.0
+        results: List[LarkResult] = []
+        append = results.append
+        for assignment in assignments:
+            if assignment is None:
+                total_latency_us += line_us
+                append(LarkResult(
+                    matched=False,
+                    forwarded_original=True,
+                    aggregation_payload=None,
+                    latency_ms=LINE_RATE_LATENCY_MS,
+                ))
+                continue
+            state, group = assignment
+            app, group_values, dup_first, seen, packets, dedup_on = state
+            total_latency_us += hit_us
+            values = group_values[group]
+            if values is None:
+                failure_count += 1
+                append(LarkResult(
+                    matched=True,
+                    forwarded_original=True,
+                    aggregation_payload=None,
+                    latency_ms=hit_latency,
+                ))
+                continue
+            if dedup_on:
+                if seen[group]:
+                    duplicate = True
+                else:
+                    seen[group] = True
+                    duplicate = dup_first[group]
+                if duplicate:
+                    dedup_count += 1
+                    append(LarkResult(
+                        matched=True,
+                        forwarded_original=True,
+                        aggregation_payload=None,
+                        latency_ms=hit_latency,
+                        deduplicated=True,
+                    ))
+                    continue
+            decoded_count += 1
+            digests: List[Any] = []
+            if app.digest_features:
+                digests = [
+                    Digest(
+                        "snatch_value",
+                        {"feature": name, "value": values[name]},
+                    )
+                    for name in app.digest_features
+                    if name in values
+                ]
+                digest_count += len(digests)
+            payload = None
+            if app.mode == ForwardingMode.PER_PACKET:
+                packet = packets[group]
+                if packet is None:
+                    packet = self._aggregation_packet(app, values)
+                    packets[group] = packet
+                payload = app.agg_codec.encode(packet)
+            append(LarkResult(
+                matched=True,
+                forwarded_original=True,
+                aggregation_payload=payload,
+                latency_ms=hit_latency,
+                decoded_values=values,
+                digests=digests,
+            ))
+        self._m_decoded.inc(decoded_count)
+        self._m_decode_failures.inc(failure_count)
+        self._m_dedup_hits.inc(dedup_count)
+        self._m_register_updates.inc(decoded_count)
+        self._m_digests.inc(digest_count)
+        pipe._m_batches.inc()
+        pipe._m_batch_size.observe(n)
+        pipe._m_batch_latency_us.observe(total_latency_us)
+        return results
 
     @staticmethod
     def _to_lark_result(result: Any) -> LarkResult:

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.schema import CookieSchema, FeatureType
+from repro.switch.columns import get_numpy
 from repro.switch.registers import RegisterFile
 
 __all__ = [
@@ -72,6 +73,38 @@ class SwitchStatistics:
         for spec in self.specs:
             self._validate_spec(spec)
             self._allocate(spec, prefix)
+        # Per-spec report keys, precomputed once (schema and specs are
+        # fixed after construction).  report_from_snapshot runs per
+        # merged packet on the AggSwitch, so rendering must not redo
+        # schema lookups or key construction.
+        self._report_keys: List[Tuple[StatSpec, List[Any]]] = []
+        for spec in self.specs:
+            feature = self.schema.feature(spec.feature)
+            groups = (
+                list(self.schema.feature(spec.group_by).classes)
+                if spec.group_by
+                else [None]
+            )
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                keys = [
+                    cls if group is None else (group, cls)
+                    for group in groups
+                    for cls in feature.classes
+                ]
+            else:
+                keys = [
+                    group if group is not None else "all" for group in groups
+                ]
+            self._report_keys.append((spec, keys))
+        # Per-values-dict update plans, keyed by dict identity.  The
+        # columnar path feeds update_grouped the same memoized decode
+        # dicts batch after batch, so each distinct cookie's group
+        # indexes and wire encodings are computed once, not per batch.
+        # Entries pin the dict so an id() collision cannot alias; the
+        # dicts are treated as immutable after first sight.
+        self._plan_cache: Dict[
+            int, Tuple[Dict[str, Any], List[Optional[Tuple[int, int]]]]
+        ] = {}
 
     # -- setup ------------------------------------------------------------
 
@@ -130,8 +163,20 @@ class SwitchStatistics:
         group = self.schema.feature(spec.group_by)
         return group.encode_value(values[spec.group_by])
 
-    def update(self, values: Dict[str, Any]) -> None:
-        """Fold one decoded cookie's values into the registers."""
+    def update(
+        self,
+        values: Dict[str, Any],
+        mirror: Optional[Dict[str, List[int]]] = None,
+    ) -> None:
+        """Fold one decoded cookie's values into the registers.
+
+        ``mirror`` is an optional plain snapshot (cells summed across
+        several banks, as the AggSwitch merged-view cache holds) kept
+        in lockstep with the register write: additive cells absorb the
+        same wrapped delta, min/max cells absorb the new cell value —
+        exact because the mirror's fold (sum / min / max across banks)
+        commutes with the single-bank update.
+        """
         self.updates += 1
         for spec in self.specs:
             if spec.feature not in values:
@@ -143,18 +188,189 @@ class SwitchStatistics:
             if spec.kind is StatKind.COUNT_BY_CLASS:
                 classes = feature.cardinality
                 wire = feature.encode_value(values[spec.feature])
-                self._arrays[spec.name].add(group_index * classes + wire)
+                self._mirrored_add(
+                    spec.name, group_index * classes + wire, 1, mirror
+                )
             else:
                 raw = int(values[spec.feature])
                 if spec.kind is StatKind.SUM:
-                    self._arrays[spec.name].add(group_index, raw)
+                    self._mirrored_add(spec.name, group_index, raw, mirror)
+                elif spec.kind is StatKind.MIN:
+                    new = self._arrays[spec.name].update_min(group_index, raw)
+                    if mirror is not None:
+                        cells = mirror[spec.name]
+                        if new < cells[group_index]:
+                            cells[group_index] = new
+                elif spec.kind is StatKind.MAX:
+                    new = self._arrays[spec.name].update_max(group_index, raw)
+                    if mirror is not None:
+                        cells = mirror[spec.name]
+                        if new > cells[group_index]:
+                            cells[group_index] = new
+                elif spec.kind is StatKind.AVG:
+                    self._mirrored_add(
+                        spec.name + ".sum", group_index, raw, mirror
+                    )
+                    self._mirrored_add(
+                        spec.name + ".count", group_index, 1, mirror
+                    )
+
+    def _mirrored_add(
+        self,
+        name: str,
+        index: int,
+        delta: int,
+        mirror: Optional[Dict[str, List[int]]],
+    ) -> None:
+        """Register add that also applies the *wrapped* delta to a
+        mirror snapshot.  The wrapped delta is recovered from the new
+        cell value so that a register wrap shows up in the mirror too."""
+        array = self._arrays[name]
+        new = array.add(index, delta)
+        if mirror is not None:
+            mirror[name][index] += new - ((new - delta) & array.mask)
+
+    def update_weighted(self, values: Dict[str, Any], times: int) -> None:
+        """Fold ``times`` identical decoded cookies in one pass.
+
+        Bit-identical to calling :meth:`update` ``times`` times:
+        counts and sums scale linearly (addition is associative modulo
+        the register mask), min/max are idempotent.
+        """
+        if times < 0:
+            raise ValueError("times must be >= 0")
+        if times == 0:
+            return
+        if times == 1:
+            self.update(values)
+            return
+        self.updates += times
+        for spec in self.specs:
+            if spec.feature not in values:
+                continue
+            group_index = self._group_index(spec, values)
+            if group_index is None:
+                continue
+            feature = self.schema.feature(spec.feature)
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                classes = feature.cardinality
+                wire = feature.encode_value(values[spec.feature])
+                self._arrays[spec.name].add(
+                    group_index * classes + wire, times
+                )
+            else:
+                raw = int(values[spec.feature])
+                if spec.kind is StatKind.SUM:
+                    self._arrays[spec.name].add(group_index, raw * times)
                 elif spec.kind is StatKind.MIN:
                     self._arrays[spec.name].update_min(group_index, raw)
                 elif spec.kind is StatKind.MAX:
                     self._arrays[spec.name].update_max(group_index, raw)
                 elif spec.kind is StatKind.AVG:
-                    self._arrays[spec.name + ".sum"].add(group_index, raw)
-                    self._arrays[spec.name + ".count"].add(group_index, 1)
+                    self._arrays[spec.name + ".sum"].add(
+                        group_index, raw * times
+                    )
+                    self._arrays[spec.name + ".count"].add(group_index, times)
+
+    def _update_plan(
+        self, values: Dict[str, Any]
+    ) -> List[Optional[Tuple[int, int]]]:
+        """Per-spec ``(register index, raw value)`` slots for one
+        decoded-values dict (``None`` where the spec doesn't apply),
+        cached on dict identity — see ``_plan_cache``."""
+        key = id(values)
+        hit = self._plan_cache.get(key)
+        if hit is not None and hit[0] is values:
+            return hit[1]
+        plan: List[Optional[Tuple[int, int]]] = []
+        for spec in self.specs:
+            if spec.feature not in values:
+                plan.append(None)
+                continue
+            group_index = self._group_index(spec, values)
+            if group_index is None:
+                plan.append(None)
+                continue
+            feature = self.schema.feature(spec.feature)
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                wire = feature.encode_value(values[spec.feature])
+                plan.append((group_index * feature.cardinality + wire, 0))
+            else:
+                plan.append((group_index, int(values[spec.feature])))
+        if len(self._plan_cache) > 65536:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (values, plan)
+        return plan
+
+    def update_grouped(self, grouped) -> None:
+        """Columnar fold: ``grouped`` is an iterable of
+        ``(values, times)`` pairs, one per *unique* decoded cookie in a
+        batch, with ``times`` its multiplicity.
+
+        With numpy available the per-spec contributions collapse into
+        scatter updates (``np.add.at`` / ``np.minimum.at`` /
+        ``np.maximum.at``) applied through the register bulk ops;
+        otherwise each pair goes through :meth:`update_weighted`.
+        Either way the result is bit-identical to per-packet
+        :meth:`update` calls, in any order.
+        """
+        grouped = [(values, times) for values, times in grouped if times > 0]
+        np = get_numpy()
+        if np is None or len(grouped) < 2:
+            for values, times in grouped:
+                self.update_weighted(values, times)
+            return
+        self.updates += sum(times for _, times in grouped)
+        plans = [
+            (self._update_plan(values), times) for values, times in grouped
+        ]
+        for spec_index, spec in enumerate(self.specs):
+            indexes: List[int] = []
+            weights: List[int] = []
+            raws: List[int] = []
+            count_by_class = spec.kind is StatKind.COUNT_BY_CLASS
+            for plan, times in plans:
+                slot = plan[spec_index]
+                if slot is None:
+                    continue
+                indexes.append(slot[0])
+                if not count_by_class:
+                    raws.append(slot[1])
+                weights.append(times)
+            if not indexes:
+                continue
+            idx = np.asarray(indexes, dtype=np.int64)
+            if spec.kind is StatKind.COUNT_BY_CLASS:
+                array = self._arrays[spec.name]
+                deltas = np.zeros(array.size, dtype=np.int64)
+                np.add.at(deltas, idx, np.asarray(weights, dtype=np.int64))
+                array.add_vector(deltas)
+            elif spec.kind is StatKind.MIN:
+                array = self._arrays[spec.name]
+                cand = np.full(array.size, array.mask, dtype=np.int64)
+                np.minimum.at(cand, idx, np.asarray(raws, dtype=np.int64))
+                array.min_vector(cand)
+            elif spec.kind is StatKind.MAX:
+                array = self._arrays[spec.name]
+                cand = np.zeros(array.size, dtype=np.int64)
+                np.maximum.at(cand, idx, np.asarray(raws, dtype=np.int64))
+                array.max_vector(cand)
+            else:  # SUM and AVG share the weighted-sum scatter
+                weight_arr = np.asarray(weights, dtype=np.int64)
+                raw_arr = np.asarray(raws, dtype=np.int64)
+                name = (
+                    spec.name if spec.kind is StatKind.SUM
+                    else spec.name + ".sum"
+                )
+                array = self._arrays[name]
+                deltas = np.zeros(array.size, dtype=np.int64)
+                np.add.at(deltas, idx, raw_arr * weight_arr)
+                array.add_vector(deltas)
+                if spec.kind is StatKind.AVG:
+                    counts = self._arrays[spec.name + ".count"]
+                    deltas = np.zeros(counts.size, dtype=np.int64)
+                    np.add.at(deltas, idx, weight_arr)
+                    counts.add_vector(deltas)
 
     # -- read-out ---------------------------------------------------------------
 
@@ -188,39 +404,23 @@ class SwitchStatistics:
         possibly merged from several shards/switches) the way
         :meth:`report` renders the live registers."""
         out: Dict[str, Any] = {}
-        for spec in self.specs:
-            feature = self.schema.feature(spec.feature)
-            groups = (
-                list(self.schema.feature(spec.group_by).classes)
-                if spec.group_by
-                else [None]
-            )
+        for spec, keys in self._report_keys:
             if spec.kind is StatKind.COUNT_BY_CLASS:
-                cells = snapshot[spec.name]
-                classes = list(feature.classes)
-                result = {}
-                for gi, group in enumerate(groups):
-                    for ci, cls in enumerate(classes):
-                        key = cls if group is None else (group, cls)
-                        result[key] = cells[gi * len(classes) + ci]
-                out[spec.name] = result
+                out[spec.name] = dict(zip(keys, snapshot[spec.name]))
             elif spec.kind is StatKind.AVG:
                 sums = snapshot[spec.name + ".sum"]
                 counts = snapshot[spec.name + ".count"]
-                result = {}
-                for gi, group in enumerate(groups):
-                    value = sums[gi] / counts[gi] if counts[gi] else None
-                    result[group if group is not None else "all"] = value
-                out[spec.name] = result
+                out[spec.name] = {
+                    key: sums[gi] / counts[gi] if counts[gi] else None
+                    for gi, key in enumerate(keys)
+                }
+            elif spec.kind is StatKind.MIN:
+                out[spec.name] = {
+                    key: None if value == _MIN_SENTINEL else value
+                    for key, value in zip(keys, snapshot[spec.name])
+                }
             else:
-                cells = snapshot[spec.name]
-                result = {}
-                for gi, group in enumerate(groups):
-                    value = cells[gi]
-                    if spec.kind is StatKind.MIN and value == _MIN_SENTINEL:
-                        value = None
-                    result[group if group is not None else "all"] = value
-                out[spec.name] = result
+                out[spec.name] = dict(zip(keys, snapshot[spec.name]))
         return out
 
     def load_snapshot(self, snapshot: Dict[str, List[int]]) -> None:

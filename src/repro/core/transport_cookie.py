@@ -36,12 +36,14 @@ __all__ = [
     "DecodedTransportCookie",
     "COOKIE_BYTE_START",
     "COOKIE_BYTE_END",
+    "COOKIE_BLOCK_START",
     "APP_ID_BYTE_INDEX",
 ]
 
 APP_ID_BYTE_INDEX = 1
 COOKIE_BYTE_START = 1   # app-ID byte (kept across connections)
-_BLOCK_START = 2
+COOKIE_BLOCK_START = 2  # first encrypted byte (columnar decode slices here)
+_BLOCK_START = COOKIE_BLOCK_START
 _BLOCK_END = 18
 COOKIE_BYTE_END = _BLOCK_END  # end of the preserved region
 
@@ -162,6 +164,28 @@ class TransportCookieCodec:
             and bytes(cid)[APP_ID_BYTE_INDEX] == self.app_id
         )
 
+    @property
+    def aes(self) -> AES:
+        """The scheduled AES-128 cipher (the columnar data plane
+        decrypts many cookie blocks through it in one batched pass)."""
+        return self._aes
+
+    def values_from_block(self, block: bytes) -> Dict[str, Any]:
+        """Parse an already-decrypted cookie block into feature values
+        (the post-AES half of :meth:`decode`; raises on malformed
+        bitmaps or out-of-range wire values)."""
+        reader = _BitReader(block)
+        present = [
+            reader.read(1) == 1 for _ in self.schema.features
+        ]
+        values: Dict[str, Any] = {}
+        for feature, is_present in zip(self.schema.features, present):
+            if is_present:
+                values[feature.name] = feature.decode_value(
+                    reader.read(feature.bits)
+                )
+        return values
+
     def decode(self, cid: ConnectionID) -> DecodedTransportCookie:
         if len(cid) != MAX_CONNECTION_ID_BYTES:
             raise ValueError(
@@ -174,16 +198,7 @@ class TransportCookieCodec:
                 % (raw[APP_ID_BYTE_INDEX], self.app_id)
             )
         block = self._aes.decrypt_block(raw[_BLOCK_START:_BLOCK_END])
-        reader = _BitReader(block)
-        present = [
-            reader.read(1) == 1 for _ in self.schema.features
-        ]
-        values: Dict[str, Any] = {}
-        for feature, is_present in zip(self.schema.features, present):
-            if is_present:
-                values[feature.name] = feature.decode_value(
-                    reader.read(feature.bits)
-                )
+        values = self.values_from_block(block)
         return DecodedTransportCookie(app_id=self.app_id, values=values)
 
     def try_decode(

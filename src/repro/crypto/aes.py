@@ -18,7 +18,7 @@ network delay in this repository.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = [
     "AES",
@@ -30,6 +30,9 @@ __all__ = [
     "decrypt_ctr",
     "pkcs7_pad",
     "pkcs7_unpad",
+    "encrypt_blocks_many",
+    "decrypt_blocks_many",
+    "decrypt_cbc_many",
     "BLOCK_SIZE",
 ]
 
@@ -336,3 +339,193 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     if len(a) != len(b):
         raise ValueError("xor_bytes operands must have equal length")
     return bytes(x ^ y for x, y in zip(a, b))
+
+
+# -- columnar (batched) block kernels -------------------------------------
+#
+# The columnar data plane decrypts whole batches of cookie blocks at
+# once: the AES state becomes an (n, 16) uint8 matrix (one row per
+# block, FIPS column-major order within the row) and every round
+# primitive turns into a table gather / XOR / permutation across all
+# rows simultaneously.  Outputs are bit-identical to the scalar
+# per-block methods; when numpy is unavailable the *_many entry points
+# loop over the scalar implementation.
+
+_NP_TABLES = None
+
+
+def _np_tables():
+    """Lazily-built numpy copies of the S-boxes and GF tables."""
+    global _NP_TABLES
+    from repro.switch.columns import get_numpy
+
+    np = get_numpy()
+    if np is None:
+        return None
+    if _NP_TABLES is None:
+        # Gather indexes for ShiftRows: flat position r + 4c takes its
+        # byte from position r + 4*((c + r) % 4) (and the inverse for
+        # decryption), exactly the scalar _shift_rows loops.
+        shift = list(range(16))
+        inv_shift = list(range(16))
+        for r in range(1, 4):
+            for c in range(4):
+                shift[r + 4 * c] = r + 4 * ((c + r) % 4)
+                inv_shift[r + 4 * c] = r + 4 * ((c - r) % 4)
+        _NP_TABLES = {
+            "sbox": np.frombuffer(SBOX, dtype=np.uint8),
+            "inv_sbox": np.frombuffer(INV_SBOX, dtype=np.uint8),
+            "shift": np.array(shift, dtype=np.intp),
+            "inv_shift": np.array(inv_shift, dtype=np.intp),
+            "mul": {
+                2: np.frombuffer(_MUL2, dtype=np.uint8),
+                3: np.frombuffer(_MUL3, dtype=np.uint8),
+                9: np.frombuffer(_MUL9, dtype=np.uint8),
+                11: np.frombuffer(_MUL11, dtype=np.uint8),
+                13: np.frombuffer(_MUL13, dtype=np.uint8),
+                14: np.frombuffer(_MUL14, dtype=np.uint8),
+            },
+        }
+    return _NP_TABLES
+
+
+def _mix_columns_many(np, tables, state, coeffs):
+    """MixColumns over all rows: ``state`` is (n, 16); each 4-byte
+    column is combined with the GF coefficient ring ``coeffs`` (the
+    (2,3,1,1) forward or (14,11,13,9) inverse cycle)."""
+    mul = tables["mul"]
+
+    def term(coeff, column):
+        return column if coeff == 1 else mul[coeff][column]
+
+    v = state.reshape(state.shape[0], 4, 4)  # [row, column, byte]
+    a = [v[:, :, i] for i in range(4)]
+    out = np.empty_like(v)
+    c0, c1, c2, c3 = coeffs
+    for i in range(4):
+        out[:, :, i] = (
+            term(c0, a[i % 4])
+            ^ term(c1, a[(i + 1) % 4])
+            ^ term(c2, a[(i + 2) % 4])
+            ^ term(c3, a[(i + 3) % 4])
+        )
+    return out.reshape(state.shape[0], 16)
+
+
+def _blocks_matrix(np, blocks) -> "object":
+    data = b"".join(blocks)
+    if len(data) != 16 * len(blocks):
+        raise ValueError("every block must be 16 bytes")
+    return np.frombuffer(data, dtype=np.uint8).reshape(len(blocks), 16).copy()
+
+
+def encrypt_blocks_many(cipher: "AES", blocks) -> List[bytes]:
+    """Encrypt many independent 16-byte blocks (ECB-style) at once."""
+    cipher = _as_cipher(cipher)
+    tables = _np_tables()
+    if tables is None or len(blocks) <= 1:
+        return [cipher.encrypt_block(b) for b in blocks]
+    from repro.switch.columns import get_numpy
+
+    np = get_numpy()
+    rks = [np.frombuffer(rk, dtype=np.uint8) for rk in cipher._round_keys]
+    state = _blocks_matrix(np, blocks)
+    state ^= rks[0]
+    for rnd in range(1, cipher.rounds):
+        state = tables["sbox"][state]
+        state = state[:, tables["shift"]]
+        state = _mix_columns_many(np, tables, state, (2, 3, 1, 1))
+        state ^= rks[rnd]
+    state = tables["sbox"][state]
+    state = state[:, tables["shift"]]
+    state ^= rks[cipher.rounds]
+    flat = state.tobytes()
+    return [flat[i * 16:(i + 1) * 16] for i in range(len(blocks))]
+
+
+def decrypt_blocks_many(cipher: "AES", blocks) -> List[bytes]:
+    """Decrypt many independent 16-byte blocks at once."""
+    cipher = _as_cipher(cipher)
+    tables = _np_tables()
+    if tables is None or len(blocks) <= 1:
+        return [cipher.decrypt_block(b) for b in blocks]
+    from repro.switch.columns import get_numpy
+
+    np = get_numpy()
+    rks = [np.frombuffer(rk, dtype=np.uint8) for rk in cipher._round_keys]
+    state = _blocks_matrix(np, blocks)
+    state ^= rks[cipher.rounds]
+    for rnd in range(cipher.rounds - 1, 0, -1):
+        state = state[:, tables["inv_shift"]]
+        state = tables["inv_sbox"][state]
+        state ^= rks[rnd]
+        state = _mix_columns_many(np, tables, state, (14, 11, 13, 9))
+    state = state[:, tables["inv_shift"]]
+    state = tables["inv_sbox"][state]
+    state ^= rks[0]
+    flat = state.tobytes()
+    return [flat[i * 16:(i + 1) * 16] for i in range(len(blocks))]
+
+
+def decrypt_cbc_many(key, ivs, ciphertexts) -> List[Optional[bytes]]:
+    """CBC-decrypt many (iv, ciphertext) pairs with one batched AES
+    pass over every block of every payload.
+
+    Per-element semantics mirror :func:`decrypt_cbc` exactly, except
+    that a malformed element yields ``None`` instead of raising (the
+    batch must keep going; callers map ``None`` to their scalar-path
+    error handling).
+    """
+    cipher = _as_cipher(key)
+    tables = _np_tables()
+    if tables is None:
+        out = []
+        for iv, ct in zip(ivs, ciphertexts):
+            try:
+                out.append(decrypt_cbc(cipher, iv, ct))
+            except ValueError:
+                out.append(None)
+        return out
+    from repro.switch.columns import get_numpy
+
+    np = get_numpy()
+    n = len(ciphertexts)
+    valid = [
+        i for i in range(n)
+        if len(ivs[i]) == BLOCK_SIZE
+        and ciphertexts[i]
+        and len(ciphertexts[i]) % BLOCK_SIZE == 0
+    ]
+    out: List = [None] * n
+    if not valid:
+        return out
+    cipher_cat = b"".join(ciphertexts[i] for i in valid)
+    prev_cat = b"".join(
+        ivs[i] + ciphertexts[i][:-BLOCK_SIZE] for i in valid
+    )
+    total_blocks = len(cipher_cat) // BLOCK_SIZE
+    state = np.frombuffer(cipher_cat, dtype=np.uint8).reshape(
+        total_blocks, 16
+    ).copy()
+    rks = [np.frombuffer(rk, dtype=np.uint8) for rk in cipher._round_keys]
+    state ^= rks[cipher.rounds]
+    for rnd in range(cipher.rounds - 1, 0, -1):
+        state = state[:, tables["inv_shift"]]
+        state = tables["inv_sbox"][state]
+        state ^= rks[rnd]
+        state = _mix_columns_many(np, tables, state, (14, 11, 13, 9))
+    state = state[:, tables["inv_shift"]]
+    state = tables["inv_sbox"][state]
+    state ^= rks[0]
+    prev = np.frombuffer(prev_cat, dtype=np.uint8).reshape(total_blocks, 16)
+    plain = (state ^ prev).tobytes()
+    offset = 0
+    for i in valid:
+        size = len(ciphertexts[i])
+        padded = plain[offset:offset + size]
+        offset += size
+        try:
+            out[i] = pkcs7_unpad(padded)
+        except ValueError:
+            out[i] = None
+    return out

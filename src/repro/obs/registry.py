@@ -133,6 +133,20 @@ class Histogram:
         self.count += 1
         self.total += value
 
+    def observe_many(self, value, times: int) -> None:
+        """Record ``times`` identical observations with one bucket
+        update — the columnar data plane observes whole batches of
+        same-latency packets at once.  Equivalent to calling
+        :meth:`observe` ``times`` times."""
+        if times < 0:
+            raise ValueError("histogram %r times must be >= 0" % self.name)
+        if times == 0:
+            return
+        value = int(round(value))
+        self.counts[bisect.bisect_left(self.edges, value)] += times
+        self.count += times
+        self.total += value * times
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -7,7 +7,21 @@ scarce register SRAM, clones, and control-plane digests.
 """
 
 from repro.switch.bloom import BloomFilter, bloom_parameters, optimal_num_hashes
-from repro.switch.hashing import HashUnit, crc16, crc32, fold_hash
+from repro.switch.columns import (
+    HAVE_NUMPY,
+    PacketColumns,
+    force_numpy,
+    group_rows,
+    numpy_enabled,
+)
+from repro.switch.hashing import (
+    HashUnit,
+    crc16,
+    crc16_many,
+    crc32,
+    crc32_many,
+    fold_hash,
+)
 from repro.switch.pipeline import (
     AES_PASS_LATENCY_MS,
     Digest,
@@ -86,12 +100,19 @@ __all__ = [
     "TableEntry",
     "TableFullError",
     "UnsupportedOperationError",
+    "HAVE_NUMPY",
+    "PacketColumns",
     "bloom_parameters",
     "crc16",
+    "crc16_many",
     "build_snatch_packet",
     "dimensions_for",
+    "force_numpy",
+    "group_rows",
+    "numpy_enabled",
     "snatch_parser",
     "crc32",
+    "crc32_many",
     "fold_hash",
     "optimal_num_hashes",
 ]

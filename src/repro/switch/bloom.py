@@ -11,8 +11,9 @@ period boundary.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.switch.columns import PacketColumns
 from repro.switch.hashing import HashUnit
 from repro.switch.registers import RegisterArray
 
@@ -101,6 +102,33 @@ class BloomFilter:
         if not already:
             self.items_added += 1
         return already
+
+    def add_many(self, keys: Sequence[bytes]) -> List[bool]:
+        """Insert a batch of keys in order; element ``i`` of the result
+        equals ``add(keys[i])`` called sequentially.
+
+        The k hash rows for the whole batch are computed in one
+        vectorized pass (the expensive part); the test-and-set walk
+        stays sequential because within a batch each membership answer
+        depends on the bits set by every earlier key.
+        """
+        if not keys:
+            return []
+        columns = PacketColumns(keys)
+        index_rows = [h.hash_many(columns) for h in self._hashes]
+        bits = self._bits
+        out: List[bool] = []
+        for i in range(len(keys)):
+            already = True
+            for row in index_rows:
+                idx = int(row[i])
+                if bits.read(idx) == 0:
+                    already = False
+                    bits.write(idx, 1)
+            if not already:
+                self.items_added += 1
+            out.append(already)
+        return out
 
     def contains(self, key: bytes) -> bool:
         return all(self._bits.read(idx) for idx in self._indexes(key))

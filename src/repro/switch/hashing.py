@@ -9,9 +9,18 @@ indexing.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
-__all__ = ["crc16", "crc32", "fold_hash", "HashUnit"]
+from repro.switch.columns import PacketColumns, get_numpy
+
+__all__ = [
+    "crc16",
+    "crc32",
+    "crc16_many",
+    "crc32_many",
+    "fold_hash",
+    "HashUnit",
+]
 
 
 def _make_crc32_table() -> List[int]:
@@ -62,6 +71,78 @@ def crc16(data: bytes) -> int:
     return crc
 
 
+def _as_columns(rows) -> PacketColumns:
+    return rows if isinstance(rows, PacketColumns) else PacketColumns(rows)
+
+
+def crc32_many(rows) -> "Sequence[int]":
+    """CRC-32 of every row of a batch (columnar kernel).
+
+    ``rows`` is a :class:`PacketColumns` or a sequence of byte strings.
+    The vectorized path walks byte *positions* (bounded by the longest
+    row) and gathers the CRC table across all still-active rows at
+    once; rows past their length stop updating, so variable lengths
+    come out identical to :func:`crc32` per row.  Returns an int64
+    array when numpy is on, else a plain list.
+    """
+    columns = _as_columns(rows)
+    np = get_numpy()
+    if np is None or not columns.vectorized:
+        return [crc32(row) for row in columns.raw]
+    table = _crc32_table_np()
+    crc = np.full(columns.n, 0xFFFFFFFF, dtype=np.int64)
+    lengths = columns.lengths
+    data = columns.data
+    for j in range(columns.max_len):
+        active = lengths > j
+        if not active.any():
+            break
+        lane = crc[active]
+        crc[active] = (lane >> 8) ^ table[(lane ^ data[active, j]) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc16_many(rows) -> "Sequence[int]":
+    """CRC-16/CCITT-FALSE of every row of a batch (columnar kernel)."""
+    columns = _as_columns(rows)
+    np = get_numpy()
+    if np is None or not columns.vectorized:
+        return [crc16(row) for row in columns.raw]
+    table = _crc16_table_np()
+    crc = np.full(columns.n, 0xFFFF, dtype=np.int64)
+    lengths = columns.lengths
+    data = columns.data
+    for j in range(columns.max_len):
+        active = lengths > j
+        if not active.any():
+            break
+        lane = crc[active]
+        crc[active] = ((lane << 8) & 0xFFFF) ^ table[
+            ((lane >> 8) ^ data[active, j]) & 0xFF
+        ]
+    return crc
+
+
+_CRC32_TABLE_NP = None
+_CRC16_TABLE_NP = None
+
+
+def _crc32_table_np():
+    global _CRC32_TABLE_NP
+    np = get_numpy()
+    if _CRC32_TABLE_NP is None:
+        _CRC32_TABLE_NP = np.array(_CRC32_TABLE, dtype=np.int64)
+    return _CRC32_TABLE_NP
+
+
+def _crc16_table_np():
+    global _CRC16_TABLE_NP
+    np = get_numpy()
+    if _CRC16_TABLE_NP is None:
+        _CRC16_TABLE_NP = np.array(_CRC16_TABLE, dtype=np.int64)
+    return _CRC16_TABLE_NP
+
+
 def fold_hash(value: int, width: int) -> int:
     """Fold an integer down to ``width`` bits by XOR-ing chunks; the
     cheap identity-style hash a switch uses for direct indexing."""
@@ -100,6 +181,31 @@ class HashUnit:
         # per unit; we emulate that with a nonlinear per-seed finalizer
         # (odd-multiplier mix, as in splitmix/murmur finalizers).
         raw = crc32(data) if self.kind == "crc32" else crc16(data)
+        return self._mix(raw)
+
+    def hash_int(self, value: int) -> int:
+        length = max(1, (value.bit_length() + 7) // 8)
+        return self.hash(value.to_bytes(length, "big"))
+
+    def mix_many(self, raw_crcs) -> "Sequence[int]":
+        """Vectorized finalizer: map raw CRC values (one per row, from
+        :func:`crc32_many` / :func:`crc16_many`) to output indexes,
+        bit-identical to :meth:`hash` per element."""
+        np = get_numpy()
+        if np is None or not hasattr(raw_crcs, "dtype"):
+            return [self._mix(int(raw)) for raw in raw_crcs]
+        # uint64 lanes so the 32x33-bit odd-multiplier products wrap
+        # mod 2^64; masking to 32 bits afterwards matches Python's
+        # arbitrary-precision result exactly (2^32 divides 2^64).
+        mask32 = np.uint64(0xFFFFFFFF)
+        mixed = (raw_crcs.astype(np.uint64) ^ np.uint64(self.seed)) & mask32
+        mixed = (mixed * np.uint64(2 * self.seed + 0x9E3779B1)) & mask32
+        mixed ^= mixed >> np.uint64(15)
+        mixed = (mixed * np.uint64(0x85EBCA77)) & mask32
+        mixed ^= mixed >> np.uint64(13)
+        return (mixed % np.uint64(self.output_range)).astype(np.int64)
+
+    def _mix(self, raw: int) -> int:
         mixed = (raw ^ self.seed) & 0xFFFFFFFF
         mixed = (mixed * (2 * self.seed + 0x9E3779B1)) & 0xFFFFFFFF
         mixed ^= mixed >> 15
@@ -107,6 +213,8 @@ class HashUnit:
         mixed ^= mixed >> 13
         return mixed % self.output_range
 
-    def hash_int(self, value: int) -> int:
-        length = max(1, (value.bit_length() + 7) // 8)
-        return self.hash(value.to_bytes(length, "big"))
+    def hash_many(self, rows) -> "Sequence[int]":
+        """Hash every row of a batch; the columnar counterpart of
+        :meth:`hash` (one multi-row CRC pass + vectorized finalizer)."""
+        raw = crc32_many(rows) if self.kind == "crc32" else crc16_many(rows)
+        return self.mix_many(raw)

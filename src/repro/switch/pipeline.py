@@ -25,7 +25,9 @@ The model:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
 
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.primitives import SwitchALU, UnsupportedOperationError
@@ -70,6 +72,8 @@ class PipelineCompileError(RuntimeError):
 class PHV:
     """Packet header vector: named integer/bytes fields plus metadata."""
 
+    __slots__ = ("fields", "metadata", "drop", "egress_port")
+
     def __init__(self, fields: Optional[Dict[str, Any]] = None):
         self.fields: Dict[str, Any] = dict(fields or {})
         self.metadata: Dict[str, Any] = {}
@@ -96,7 +100,7 @@ class PHV:
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class Digest:
     """A message punted to the switch control plane (P4 PSA digest)."""
 
@@ -120,7 +124,7 @@ class Stage:
         self.tables.append(table)
 
 
-@dataclass
+@dataclass(slots=True)
 class PipelineResult:
     """Outcome of processing one packet."""
 
@@ -282,21 +286,36 @@ class SwitchPipeline:
         return compiled
 
     def process_batch(
-        self, batch: Sequence[Dict[str, Any]]
+        self,
+        batch: Iterable[Dict[str, Any]],
+        sink: Optional[Callable[[PipelineResult], None]] = None,
     ) -> List[PipelineResult]:
         """Run a batch of packets through the compiled fast path.
 
         Results (PHVs, clones, digests, latencies, register state,
         counters) are bit-identical to calling :meth:`process` once per
         element in order; only dispatch overhead is amortized.
+
+        ``batch`` may be a lazy iterable (even one yielding the same
+        mutated dict — :class:`PHV` copies its fields), so callers can
+        stream header dicts without materializing one per packet; the
+        packet counters settle after the loop.
+
+        When ``sink`` is given, each :class:`PipelineResult` is handed
+        to it as soon as the packet finishes and the return value is an
+        empty list.  Callers that only keep a condensed per-packet
+        summary use this so the PHV graph dies young instead of aging
+        through the cyclic-GC generations while the batch accumulates
+        (holding every PHV alive is what made large batches slower
+        than the scalar loop).
         """
         compiled = self.compile_batch()
         stage_plans = compiled.stage_plans
         results: List[PipelineResult] = []
         total_latency_us = 0.0
-        self.packets_processed += len(batch)
-        self._m_packets.inc(len(batch))
+        count = 0
         for fields in batch:
+            count += 1
             phv = PHV(fields)
             self._clone_requests = []
             self._digest_queue = []
@@ -314,15 +333,21 @@ class SwitchPipeline:
             latency_ms = LINE_RATE_LATENCY_MS + self._extra_latency_ms
             self._m_latency_us.observe(latency_ms * 1000.0)
             total_latency_us += latency_ms * 1000.0
-            results.append(PipelineResult(
+            result = PipelineResult(
                 phv=phv,
                 forwarded=not phv.drop,
                 clones=list(self._clone_requests),
                 digests=list(self._digest_queue),
                 latency_ms=latency_ms,
-            ))
+            )
+            if sink is None:
+                results.append(result)
+            else:
+                sink(result)
+        self.packets_processed += count
+        self._m_packets.inc(count)
         self._m_batches.inc()
-        self._m_batch_size.observe(len(batch))
+        self._m_batch_size.observe(count)
         self._m_batch_latency_us.observe(total_latency_us)
         return results
 
@@ -419,15 +444,33 @@ class CompiledPipeline:
                 table.default_params,
             )
 
+            # Key-tuple builders specialized by arity: the generic
+            # tuple(generator) spins up a generator object per packet,
+            # which is both the slowest and the most allocation-heavy
+            # way to build a 1- or 2-element key.
+            if len(key_names) == 1:
+                _k0 = key_names[0]
+
+                def build_key(fields: Dict[str, Any], _k0=_k0):
+                    return (fields.get(_k0, 0),)
+            elif len(key_names) == 2:
+                _k0, _k1 = key_names
+
+                def build_key(fields: Dict[str, Any], _k0=_k0, _k1=_k1):
+                    return (fields.get(_k0, 0), fields.get(_k1, 0))
+            else:
+
+                def build_key(fields: Dict[str, Any], _keys=key_names):
+                    return tuple([fields.get(name, 0) for name in _keys])
+
             def apply_exact(
                 pipe: SwitchPipeline, phv: PHV,
-                _table=table, _index=index, _keys=key_names,
+                _table=table, _index=index, _build_key=build_key,
                 _default=default, _hit=hit_meter, _miss=miss_meter,
             ) -> None:
                 _table.lookups += 1
-                values = tuple(phv.fields.get(name, 0) for name in _keys)
                 try:
-                    found = _index.get(values)
+                    found = _index.get(_build_key(phv.fields))
                 except TypeError:
                     # Unhashable packet value can never equal a hashable
                     # installed exact spec: scalar lookup would miss too.

@@ -67,6 +67,58 @@ class RegisterArray:
         self._cells[index] = max(current, value & self.mask)
         return self._cells[index]
 
+    # -- columnar scatter ops ------------------------------------------
+    #
+    # The vectorized data plane folds whole batches into a register
+    # array at once.  Each bulk op takes a full-length vector (numpy
+    # array or list) and is bit-identical to a sequence of scalar RMWs:
+    # additions are associative modulo the power-of-two width mask, and
+    # min/max are idempotent, so fold order cannot be observed.
+
+    def add_vector(self, deltas) -> None:
+        """Cell-wise ``add``: ``deltas`` has one entry per cell (zero
+        entries are no-ops)."""
+        if len(deltas) != self.size:
+            raise ValueError(
+                "register %s add_vector needs %d entries, got %d"
+                % (self.name, self.size, len(deltas))
+            )
+        cells = self._cells
+        mask = self.mask
+        for index, delta in enumerate(deltas):
+            if delta:
+                cells[index] = (cells[index] + int(delta)) & mask
+
+    def min_vector(self, values) -> None:
+        """Cell-wise ``update_min``; entries equal to the register's
+        all-ones mask are identity elements (no-ops)."""
+        if len(values) != self.size:
+            raise ValueError(
+                "register %s min_vector needs %d entries, got %d"
+                % (self.name, self.size, len(values))
+            )
+        cells = self._cells
+        mask = self.mask
+        for index, value in enumerate(values):
+            value = int(value) & mask
+            if value < cells[index]:
+                cells[index] = value
+
+    def max_vector(self, values) -> None:
+        """Cell-wise ``update_max``; zero entries are identity
+        elements (no-ops)."""
+        if len(values) != self.size:
+            raise ValueError(
+                "register %s max_vector needs %d entries, got %d"
+                % (self.name, self.size, len(values))
+            )
+        cells = self._cells
+        mask = self.mask
+        for index, value in enumerate(values):
+            value = int(value) & mask
+            if value > cells[index]:
+                cells[index] = value
+
     def fill(self, value: int) -> None:
         """Control-plane bulk reset (e.g. at period boundaries)."""
         value &= self.mask

@@ -1,0 +1,354 @@
+"""Multiprocess shard executor for the columnar data plane.
+
+A multi-pipe switch processes independent traffic shards in parallel
+hardware; this module models that at testbed scale by fanning
+hash-partitioned packet streams to a pool of worker *processes*, each
+running its own seeded switch replica, and folding the resulting
+register snapshots with the same associative merge the AggSwitch bank
+read-out uses (:func:`repro.core.stats.merge_snapshots`).
+
+Correctness argument (the differential suite checks it end to end):
+
+* partitioning is deterministic — AggSwitch streams split on
+  ``crc32(payload) % shards`` (the exact in-switch bank partition),
+  LarkSwitch streams on the preserved cookie region ``raw[1:18]`` so
+  every packet of one user lands on one shard and per-shard relative
+  order is the arrival order;
+* per-kind register folds (add / min / max) are associative and
+  commutative, so merging per-shard snapshots equals interleaved
+  single-switch execution, cell for cell;
+* workers are spawn-safe: the :class:`ShardSpec` recipe (schema, key,
+  stat specs, seed) is pickled, never a live switch, and each worker
+  builds a private metrics registry so instrument names cannot
+  collide with the parent's.
+
+When a pool cannot be created (restricted sandbox, missing semaphore
+support) or ``processes`` is 0/1, the same worker function runs
+sequentially in-process — identical results, no parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.schema import CookieSchema
+from repro.core.stats import StatSpec, merge_snapshots
+from repro.switch.hashing import crc32
+
+__all__ = [
+    "ShardSpec",
+    "ShardExecutor",
+    "ShardRunResult",
+    "AdaptiveBackend",
+]
+
+_COOKIE_REGION = slice(1, 18)  # preserved cookie bytes (lark partition key)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable recipe for one switch replica.
+
+    Workers rebuild the switch from this — live switches hold
+    scheduled AES ciphers, RNGs and metric instruments that must not
+    cross the process boundary.
+    """
+
+    kind: str  # "lark" or "agg"
+    app_id: int
+    schema: CookieSchema
+    key: bytes
+    specs: Tuple[StatSpec, ...]
+    seed: int = 0
+    # lark-only knobs
+    mode: str = ForwardingMode.PERIODICAL
+    period_ms: float = 1000.0
+    dedup: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("lark", "agg"):
+            raise ValueError("kind must be 'lark' or 'agg'")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+
+def _build_switch(spec: ShardSpec, shard_index: int):
+    """Construct a fresh, deterministically seeded switch replica."""
+    from repro.obs.registry import MetricsRegistry
+
+    rng = random.Random(spec.seed * 1000003 + shard_index)
+    registry = MetricsRegistry()
+    if spec.kind == "lark":
+        from repro.core.larkswitch import LarkSwitch
+
+        switch = LarkSwitch(
+            "lark-shard%d" % shard_index, rng, registry=registry
+        )
+        switch.register_application(
+            spec.app_id,
+            spec.schema,
+            spec.key,
+            list(spec.specs),
+            mode=spec.mode,
+            period_ms=spec.period_ms,
+            dedup=spec.dedup,
+        )
+    else:
+        from repro.core.aggswitch import AggSwitch
+
+        switch = AggSwitch(
+            "agg-shard%d" % shard_index, rng, registry=registry, shards=1
+        )
+        switch.register_application(
+            spec.app_id, spec.schema, spec.key, list(spec.specs)
+        )
+    return switch
+
+
+def _run_shard(
+    args: Tuple[ShardSpec, int, List[bytes], str, int],
+) -> Tuple[int, Dict[str, List[int]], Dict[str, int]]:
+    """Pool worker: build a replica, stream one shard's packets
+    through the chosen backend in chunks, return the raw snapshot.
+
+    Top-level so the spawn start method can pickle it.
+    """
+    spec, shard_index, packets, backend, chunk_size = args
+    switch = _build_switch(spec, shard_index)
+    if spec.kind == "lark":
+        from repro.quic.connection_id import ConnectionID
+
+        items: List[Any] = [ConnectionID(p) for p in packets]
+        process = {
+            "scalar": lambda chunk: [
+                switch.process_quic_packet(c) for c in chunk
+            ],
+            "batch": switch.process_quic_batch,
+            "columnar": switch.process_quic_columnar,
+        }[backend]
+    else:
+        items = list(packets)
+        process = {
+            "scalar": lambda chunk: [switch.process_packet(p) for p in chunk],
+            "batch": switch.process_batch,
+            "columnar": switch.process_columnar,
+        }[backend]
+    merged = 0
+    for start in range(0, len(items), chunk_size):
+        for result in process(items[start:start + chunk_size]):
+            if getattr(result, "merged", False) or (
+                getattr(result, "decoded_values", None) is not None
+            ):
+                merged += 1
+    if spec.kind == "lark":
+        snapshot = switch._apps[spec.app_id].stats.snapshot()
+    else:
+        snapshot = switch.merge(spec.app_id)
+    counters = {"packets": len(items), "folded": merged}
+    return shard_index, snapshot, counters
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of a sharded run."""
+
+    snapshot: Dict[str, List[int]]
+    report: Dict[str, Any]
+    shard_packets: List[int]
+    shard_folded: List[int]
+    used_pool: bool
+    shards: int
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self.shard_packets)
+
+
+class ShardExecutor:
+    """Fan a packet stream across switch-replica shards and merge.
+
+    ``processes`` — pool size (``None`` = one per shard); 0 or 1
+    forces the sequential in-process path.  ``backend`` selects the
+    per-shard execution path (``scalar`` / ``batch`` / ``columnar``).
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        shards: int = 2,
+        processes: Optional[int] = None,
+        backend: str = "columnar",
+        chunk_size: int = 4096,
+        pool_timeout_s: float = 120.0,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if backend not in ("scalar", "batch", "columnar"):
+            raise ValueError("unknown backend %r" % backend)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.spec = spec
+        self.shards = shards
+        self.processes = shards if processes is None else processes
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.pool_timeout_s = pool_timeout_s
+        self.last_error: Optional[str] = None
+
+    # -- partitioning ------------------------------------------------------
+
+    def partition(self, packets: Sequence[bytes]) -> List[List[bytes]]:
+        """Deterministic hash partition, preserving per-shard arrival
+        order.  Lark streams split on the preserved cookie region so a
+        user's packets (and their dedup state) stay on one shard; agg
+        streams split on payload CRC-32 exactly like the in-switch
+        bank partition."""
+        parts: List[List[bytes]] = [[] for _ in range(self.shards)]
+        if self.shards == 1:
+            parts[0] = [bytes(p) for p in packets]
+            return parts
+        if self.spec.kind == "lark":
+            for packet in packets:
+                raw = bytes(packet)
+                parts[crc32(raw[_COOKIE_REGION]) % self.shards].append(raw)
+        else:
+            for packet in packets:
+                raw = bytes(packet)
+                parts[crc32(raw) % self.shards].append(raw)
+        return parts
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, packets: Sequence[bytes]) -> ShardRunResult:
+        """Process ``packets`` across all shards and fold the results."""
+        parts = self.partition(packets)
+        jobs = [
+            (self.spec, shard, part, self.backend, self.chunk_size)
+            for shard, part in enumerate(parts)
+        ]
+        outputs, used_pool = self._execute(jobs)
+        outputs.sort(key=lambda item: item[0])
+        snapshot: Optional[Dict[str, List[int]]] = None
+        specs = list(self.spec.specs)
+        for _, shard_snapshot, _ in outputs:
+            snapshot = (
+                {name: list(cells) for name, cells in shard_snapshot.items()}
+                if snapshot is None
+                else merge_snapshots(specs, snapshot, shard_snapshot)
+            )
+        render = _build_switch(self.spec, shard_index=self.shards + 1)
+        if self.spec.kind == "lark":
+            stats = render._apps[self.spec.app_id].stats
+        else:
+            stats = render._apps[self.spec.app_id].banks[0]
+        return ShardRunResult(
+            snapshot=snapshot or {},
+            report=stats.report_from_snapshot(snapshot or stats.snapshot()),
+            shard_packets=[c["packets"] for _, _, c in outputs],
+            shard_folded=[c["folded"] for _, _, c in outputs],
+            used_pool=used_pool,
+            shards=self.shards,
+        )
+
+    def _execute(self, jobs) -> Tuple[List[Any], bool]:
+        if self.processes > 1 and len(jobs) > 1:
+            try:
+                import multiprocessing as mp
+
+                ctx = mp.get_context("spawn")
+                pool = ctx.Pool(min(self.processes, len(jobs)))
+                try:
+                    # map_async + timeout: a spawn child that cannot
+                    # re-import __main__ (stdin scripts, exotic
+                    # sandboxes) crashes in its bootstrap and a plain
+                    # map() would wait on it forever.  Workers are
+                    # stateless, so on any failure the sequential path
+                    # simply reprocesses from scratch.
+                    return (
+                        pool.map_async(_run_shard, jobs).get(
+                            timeout=self.pool_timeout_s
+                        ),
+                        True,
+                    )
+                finally:
+                    pool.terminate()
+                    pool.join()
+            except Exception as exc:  # no semaphores / sandboxed spawn
+                self.last_error = "%s: %s" % (type(exc).__name__, exc)
+        return [_run_shard(job) for job in jobs], False
+
+
+class AdaptiveBackend:
+    """Per-device backend selector with a measured "auto" mode.
+
+    Fixed modes (``scalar`` / ``batch`` / ``columnar``) dispatch every
+    batch straight to the matching callable.  In ``auto`` mode the
+    first flushes are used as calibration probes: batches alternate
+    between the batch fast path and the scalar loop, each timed.  All
+    three paths are bit-identical (the differential suite proves it),
+    so calibration packets are processed exactly once and produce the
+    same results either way — only the wall-clock differs.  After
+    ``calibration_rounds`` timed samples per candidate the faster
+    per-packet path wins permanently; ties go to ``batch``.
+
+    This is the testbed's guard against the batch path ever regressing
+    below scalar on a given host: rather than trusting a recorded
+    benchmark, it re-measures on live traffic and falls back.
+    """
+
+    _MODES = ("scalar", "batch", "columnar", "auto")
+
+    def __init__(
+        self,
+        scalar_fn: Callable[[Sequence[Any]], List[Any]],
+        batch_fn: Callable[[Sequence[Any]], List[Any]],
+        columnar_fn: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
+        mode: str = "batch",
+        calibration_rounds: int = 2,
+    ):
+        if mode not in self._MODES:
+            raise ValueError(
+                "unknown backend %r (expected one of %s)"
+                % (mode, "/".join(self._MODES))
+            )
+        self._fns: Dict[str, Callable[[Sequence[Any]], List[Any]]] = {
+            "scalar": scalar_fn,
+            "batch": batch_fn,
+            "columnar": columnar_fn if columnar_fn is not None else batch_fn,
+        }
+        self.mode = mode
+        self.calibration_rounds = max(1, calibration_rounds)
+        # chosen is the final dispatch target; None while calibrating.
+        self.chosen: Optional[str] = None if mode == "auto" else mode
+        self._samples: Dict[str, List[float]] = {"batch": [], "scalar": []}
+
+    def run(self, items: Sequence[Any]) -> List[Any]:
+        """Process one flush worth of ``items``; returns the results."""
+        if self.chosen is not None:
+            return self._fns[self.chosen](items)
+        if not items:
+            return []
+        # Alternate candidates, batch first, until each has enough
+        # timed samples; per-packet time (not per-flush) so unequal
+        # flush sizes cannot bias the comparison.
+        batch_times = self._samples["batch"]
+        scalar_times = self._samples["scalar"]
+        candidate = (
+            "batch" if len(batch_times) <= len(scalar_times) else "scalar"
+        )
+        started = time.perf_counter()
+        results = self._fns[candidate](items)
+        elapsed = time.perf_counter() - started
+        self._samples[candidate].append(elapsed / len(items))
+        if (
+            len(batch_times) >= self.calibration_rounds
+            and len(scalar_times) >= self.calibration_rounds
+        ):
+            # min-of-N: robust to one-off GC pauses during calibration.
+            self.chosen = (
+                "batch" if min(batch_times) <= min(scalar_times) else "scalar"
+            )
+        return results

@@ -14,6 +14,7 @@ Used by ``python -m repro.cli bench`` and ``benchmarks/test_fastpath.py``.
 
 from __future__ import annotations
 
+import gc
 import random
 import time
 from typing import Any, Dict, List
@@ -26,9 +27,18 @@ from repro.obs.registry import MetricsRegistry
 from repro.quic.connection_id import ConnectionID
 from repro.workloads.adcampaign import AdCampaignWorkload, iter_batches
 
-__all__ = ["FastpathFixture", "run_fastpath_bench", "BENCH_APP_ID"]
+__all__ = [
+    "FastpathFixture",
+    "run_fastpath_bench",
+    "run_backend_bench",
+    "BENCH_APP_ID",
+    "BACKENDS",
+]
 
 BENCH_APP_ID = 0x5C
+
+#: Execution backends, slowest to fastest (on hosts with numpy).
+BACKENDS = ("scalar", "batch", "columnar")
 
 
 class FastpathFixture:
@@ -104,6 +114,44 @@ def _throughput(seconds: float, packets: int) -> Dict[str, float]:
     }
 
 
+def _time_lark(switch, cids, backend: str, batch_size: int) -> float:
+    """Run all ``cids`` through one lark backend; returns seconds."""
+    gc.collect()  # same GC starting state for every timed run
+    if backend == "scalar":
+        process_one = switch.process_quic_packet
+        t0 = time.perf_counter()
+        for cid in cids:
+            process_one(cid)
+        return time.perf_counter() - t0
+    process = (
+        switch.process_quic_batch if backend == "batch"
+        else switch.process_quic_columnar
+    )
+    t0 = time.perf_counter()
+    for chunk in iter_batches(cids, batch_size):
+        process(chunk)
+    return time.perf_counter() - t0
+
+
+def _time_agg(switch, payloads, backend: str, batch_size: int) -> float:
+    """Run all ``payloads`` through one agg backend; returns seconds."""
+    gc.collect()  # same GC starting state for every timed run
+    if backend == "scalar":
+        process_one = switch.process_packet
+        t0 = time.perf_counter()
+        for payload in payloads:
+            process_one(payload)
+        return time.perf_counter() - t0
+    process = (
+        switch.process_batch if backend == "batch"
+        else switch.process_columnar
+    )
+    t0 = time.perf_counter()
+    for chunk in iter_batches(payloads, batch_size):
+        process(chunk)
+    return time.perf_counter() - t0
+
+
 def run_fastpath_bench(
     packets: int = 100_000,
     num_users: int = 2000,
@@ -112,29 +160,31 @@ def run_fastpath_bench(
     shards: int = 1,
     agg_packets: int = 5000,
     seed: int = 42,
+    backend: str = "batch",
 ) -> Dict[str, Any]:
-    """Measure scalar vs batch throughput on one seeded CID stream.
+    """Measure scalar vs fast-path throughput on one seeded CID stream.
 
+    ``backend`` selects the fast path under test (``batch`` or
+    ``columnar``; ``scalar`` measures the baseline against itself).
     Returns a JSON-ready dict with a LarkSwitch section (the headline
-    scalar-vs-batch comparison) and an AggSwitch section (per-packet
-    merge throughput, scalar vs batch, at the requested shard count).
+    scalar-vs-fast-path comparison) and an AggSwitch section
+    (per-packet merge throughput at the requested shard count).  The
+    fast path's numbers live under the ``"batch"`` key regardless of
+    backend, for JSON-shape compatibility; the ``"backend"`` field
+    names what was measured.
     """
+    if backend not in BACKENDS:
+        raise ValueError("unknown backend %r" % backend)
     fixture = FastpathFixture(
         mode=mode, num_users=num_users, seed=seed, shards=shards
     )
     cids = fixture.make_cids(packets)
 
     scalar_lark = fixture.new_lark()
-    t0 = time.perf_counter()
-    for cid in cids:
-        scalar_lark.process_quic_packet(cid)
-    scalar_s = time.perf_counter() - t0
+    scalar_s = _time_lark(scalar_lark, cids, "scalar", batch_size)
 
     batch_lark = fixture.new_lark()
-    t0 = time.perf_counter()
-    for chunk in iter_batches(cids, batch_size):
-        batch_lark.process_quic_batch(chunk)
-    batch_s = time.perf_counter() - t0
+    batch_s = _time_lark(batch_lark, cids, backend, batch_size)
 
     reports_match = (
         scalar_lark.stats_report(BENCH_APP_ID)
@@ -156,16 +206,10 @@ def run_fastpath_bench(
     ]
 
     scalar_agg = fixture.new_agg(shards=shards)
-    t0 = time.perf_counter()
-    for payload in payloads:
-        scalar_agg.process_packet(payload)
-    agg_scalar_s = time.perf_counter() - t0
+    agg_scalar_s = _time_agg(scalar_agg, payloads, "scalar", batch_size)
 
     batch_agg = fixture.new_agg(shards=shards)
-    t0 = time.perf_counter()
-    for chunk in iter_batches(payloads, batch_size):
-        batch_agg.process_batch(chunk)
-    agg_batch_s = time.perf_counter() - t0
+    agg_batch_s = _time_agg(batch_agg, payloads, backend, batch_size)
 
     agg_match = (
         scalar_agg.report(BENCH_APP_ID) == batch_agg.report(BENCH_APP_ID)
@@ -177,6 +221,7 @@ def run_fastpath_bench(
         "mode": mode,
         "batch_size": batch_size,
         "seed": seed,
+        "backend": backend,
         "lark": {
             "scalar": _throughput(scalar_s, packets),
             "batch": _throughput(batch_s, packets),
@@ -190,5 +235,96 @@ def run_fastpath_bench(
             "batch": _throughput(agg_batch_s, len(payloads)),
             "speedup": agg_scalar_s / agg_batch_s if agg_batch_s > 0 else 0.0,
             "reports_match": agg_match,
+        },
+    }
+
+
+def run_backend_bench(
+    packets: int = 100_000,
+    num_users: int = 2000,
+    mode: str = ForwardingMode.PERIODICAL,
+    batch_size: int = 1024,
+    shards: int = 1,
+    agg_packets: int = 5000,
+    seed: int = 42,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Three-way scalar / batch / columnar comparison on one stream.
+
+    Timings are interleaved best-of-``repeats`` — each round builds a
+    fresh switch per backend and runs them back to back, so a GC pause
+    or a noisy neighbour penalizes at most one (backend, round) sample
+    instead of biasing a whole backend.  Reports from the final round
+    are compared for equality across all three backends.
+
+    Result layout (JSON-ready)::
+
+        {"lark": {"scalar": {...}, "batch": {...}, "columnar": {...},
+                  "speedup_vs_scalar": {...}, "columnar_vs_batch": 3.1,
+                  "reports_match": true},
+         "agg": {... same keys, plus "shards" ...}}
+    """
+    fixture = FastpathFixture(
+        mode=mode, num_users=num_users, seed=seed, shards=shards
+    )
+    cids = fixture.make_cids(packets)
+
+    agg_n = min(agg_packets, packets)
+    payload_fixture = FastpathFixture(
+        mode=ForwardingMode.PER_PACKET, num_users=num_users, seed=seed
+    )
+    payloads = [
+        result.aggregation_payload
+        for result in payload_fixture.new_lark().process_quic_batch(
+            payload_fixture.make_cids(agg_n)
+        )
+        if result.aggregation_payload is not None
+    ]
+
+    best_lark = {backend: float("inf") for backend in BACKENDS}
+    best_agg = {backend: float("inf") for backend in BACKENDS}
+    lark_reports: Dict[str, Any] = {}
+    agg_reports: Dict[str, Any] = {}
+    for _ in range(max(1, repeats)):
+        for backend in BACKENDS:
+            lark = fixture.new_lark()
+            elapsed = _time_lark(lark, cids, backend, batch_size)
+            best_lark[backend] = min(best_lark[backend], elapsed)
+            lark_reports[backend] = lark.stats_report(BENCH_APP_ID)
+
+            agg = fixture.new_agg(shards=shards)
+            elapsed = _time_agg(agg, payloads, backend, batch_size)
+            best_agg[backend] = min(best_agg[backend], elapsed)
+            agg_reports[backend] = agg.report(BENCH_APP_ID)
+
+    def _section(best: Dict[str, float], n: int, reports) -> Dict[str, Any]:
+        scalar_s = best["scalar"]
+        return {
+            **{backend: _throughput(best[backend], n) for backend in BACKENDS},
+            "speedup_vs_scalar": {
+                backend: scalar_s / best[backend] if best[backend] > 0 else 0.0
+                for backend in BACKENDS
+            },
+            "columnar_vs_batch": (
+                best["batch"] / best["columnar"]
+                if best["columnar"] > 0 else 0.0
+            ),
+            "reports_match": all(
+                reports[backend] == reports["scalar"] for backend in BACKENDS
+            ),
+        }
+
+    return {
+        "packets": packets,
+        "unique_users": num_users,
+        "mode": mode,
+        "batch_size": batch_size,
+        "seed": seed,
+        "repeats": repeats,
+        "lark": _section(best_lark, packets, lark_reports),
+        "agg": {
+            "shards": shards,
+            "packets": len(payloads),
+            **_section(best_agg, len(payloads), agg_reports),
         },
     }

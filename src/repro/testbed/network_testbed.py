@@ -39,6 +39,7 @@ from repro.net.packet import NetPacket
 from repro.net.topology import Network
 from repro.quic.connection_id import ConnectionID
 from repro.testbed.config import TestbedConfig
+from repro.testbed.executor import AdaptiveBackend
 from repro.workloads.adcampaign import AdCampaignWorkload
 
 __all__ = ["NetworkTestbed", "NetworkRunResult"]
@@ -86,6 +87,7 @@ class NetworkTestbed:
         batch_window_ms: float = 0.0,
         batch_max: int = 256,
         agg_shards: int = 1,
+        backend: str = "batch",
     ):
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be non-negative")
@@ -118,12 +120,43 @@ class NetworkTestbed:
             "agg-dev", random.Random(2), shards=agg_shards
         )
         self.agg_device.register_application(_APP_ID, schema, self._key, specs)
+        # Backend choice only matters for buffered flushes
+        # (batch_window_ms > 0); the window-0 path stays per-packet.
+        # "auto" times the first flushes through the batch path and
+        # the scalar loop (bit-identical, so packets are processed
+        # exactly once either way) and sticks with the faster one.
+        self._lark_backend = AdaptiveBackend(
+            scalar_fn=lambda cids: [
+                self.lark_device.process_quic_packet(c) for c in cids
+            ],
+            batch_fn=self.lark_device.process_quic_batch,
+            columnar_fn=self.lark_device.process_quic_columnar,
+            mode=backend,
+        )
+        self._agg_backend = AdaptiveBackend(
+            scalar_fn=lambda payloads: [
+                self.agg_device.process_packet(p) for p in payloads
+            ],
+            batch_fn=self.agg_device.process_batch,
+            columnar_fn=self.agg_device.process_columnar,
+            mode=backend,
+        )
+        self.backend = backend
         self.codec = TransportCookieCodec(
             _APP_ID, schema, self._key, random.Random(3)
         )
         self.agg_loss_rate = agg_loss_rate
         self.net = Network()
         self._build_topology()
+
+    @property
+    def chosen_backends(self) -> Dict[str, Optional[str]]:
+        """Dispatch target per device: the configured backend, or the
+        measured winner in ``auto`` mode (``None`` while calibrating)."""
+        return {
+            "lark": self._lark_backend.chosen,
+            "agg": self._agg_backend.chosen,
+        }
 
     # -- topology -----------------------------------------------------------
 
@@ -169,7 +202,7 @@ class NetworkTestbed:
                 pending, self._pending = self._pending, []
                 if not pending:
                     return
-                results = testbed.lark_device.process_quic_batch(
+                results = testbed._lark_backend.run(
                     [ConnectionID(p.headers["dcid"]) for p in pending]
                 )
                 for queued, result in zip(pending, results):
@@ -221,7 +254,7 @@ class NetworkTestbed:
                 pending, self._pending = self._pending, []
                 if not pending:
                     return
-                results = testbed.agg_device.process_batch(
+                results = testbed._agg_backend.run(
                     [p.payload for p in pending]
                 )
                 for queued, result in zip(pending, results):

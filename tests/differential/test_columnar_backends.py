@@ -1,0 +1,318 @@
+"""Differential proof that all three execution backends are bit-identical.
+
+Extends ``test_scalar_vs_batch`` with the columnar axis: every workload
+shape runs through the scalar loop, the compiled batch path AND the
+vectorized columnar kernels, at five seeds, and every observable —
+per-packet results, digests, decoded values, raw register contents,
+statistics reports — must match byte for byte.  The same streams are
+then replayed with numpy force-disabled (:func:`force_numpy`), proving
+the pure-Python fallback is the semantic reference, and through the
+multiprocess :class:`ShardExecutor`, proving the partition/fold algebra
+reconstructs single-switch state exactly.
+"""
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.switch.columns import force_numpy, numpy_enabled
+from repro.testbed.executor import AdaptiveBackend, ShardExecutor, ShardSpec
+from repro.workloads.adcampaign import iter_batches
+
+from tests.differential.workloads import (
+    APP_ID,
+    SHAPES,
+    DifferentialWorkload,
+    register_state,
+)
+
+SEEDS = (11, 23, 37, 41, 59)
+BATCH_SIZES = {11: 1, 23: 7, 37: 64, 41: 113, 59: 4096}
+PACKETS = 240
+FAST_BACKENDS = ("batch", "columnar")
+
+
+@pytest.fixture
+def no_numpy():
+    """Force the pure-Python kernels for the duration of a test."""
+    force_numpy(False)
+    try:
+        yield
+    finally:
+        force_numpy(None)
+
+
+def _run_lark(switch, cids, backend, batch_size):
+    if backend == "scalar":
+        return [switch.process_quic_packet(cid) for cid in cids]
+    process = (
+        switch.process_quic_batch if backend == "batch"
+        else switch.process_quic_columnar
+    )
+    results = []
+    for chunk in iter_batches(cids, batch_size):
+        results.extend(process(chunk))
+    return results
+
+
+def _run_agg(switch, payloads, backend, batch_size):
+    if backend == "scalar":
+        return [switch.process_packet(p) for p in payloads]
+    process = (
+        switch.process_batch if backend == "batch"
+        else switch.process_columnar
+    )
+    results = []
+    for chunk in iter_batches(payloads, batch_size):
+        results.extend(process(chunk))
+    return results
+
+
+def _assert_lark_identical(wl, shape, seed, mode):
+    cids = wl.cids(shape, PACKETS)
+    scalar = wl.new_lark(mode=mode)
+    scalar_results = _run_lark(scalar, cids, "scalar", 0)
+    for backend in FAST_BACKENDS:
+        fast = wl.new_lark(mode=mode)
+        fast_results = _run_lark(fast, cids, backend, BATCH_SIZES[seed])
+        assert len(fast_results) == len(scalar_results)
+        for i, (s, f) in enumerate(zip(scalar_results, fast_results)):
+            assert f == s, "packet %d diverged (%s, seed %d, %s)" % (
+                i, shape, seed, backend
+            )
+        assert register_state(fast) == register_state(scalar), backend
+        assert fast.stats_report(APP_ID) == scalar.stats_report(APP_ID)
+
+
+def _assert_agg_identical(wl, shape, seed, shards=1):
+    payloads = wl.payloads(shape, PACKETS)
+    assert payloads, "workload produced no aggregation payloads"
+    scalar = wl.new_agg(shards=shards)
+    scalar_results = _run_agg(scalar, payloads, "scalar", 0)
+    for backend in FAST_BACKENDS:
+        fast = wl.new_agg(shards=shards)
+        fast_results = _run_agg(fast, payloads, backend, BATCH_SIZES[seed])
+        assert fast_results == scalar_results, backend
+        assert register_state(fast) == register_state(scalar), backend
+        assert fast.merge(APP_ID) == scalar.merge(APP_ID)
+        assert fast.report(APP_ID) == scalar.report(APP_ID)
+
+
+# -- three-way backend identity ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_lark_backends_bit_identical(shape, seed):
+    """Periodical lark: scalar == batch == columnar on every shape."""
+    _assert_lark_identical(
+        DifferentialWorkload(seed), shape, seed, ForwardingMode.PERIODICAL
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("shape", SHAPES)
+def test_lark_backends_per_packet_mode(shape, seed):
+    """Per-packet mode encodes a payload per match (fresh IV from the
+    app RNG); all backends must consume the RNG in global packet order."""
+    _assert_lark_identical(
+        DifferentialWorkload(seed), shape, seed, ForwardingMode.PER_PACKET
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_agg_backends_bit_identical(shape, seed):
+    """AggSwitch: scalar == batch == columnar, single bank."""
+    _assert_agg_identical(DifferentialWorkload(seed), shape, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_agg_backends_bit_identical_sharded(seed):
+    """Same, with hash-partitioned register banks."""
+    _assert_agg_identical(
+        DifferentialWorkload(seed), "zipfian", seed, shards=3
+    )
+
+
+# -- numpy-disabled fallback -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize("shape", SHAPES)
+def test_backends_identical_without_numpy(no_numpy, shape, seed):
+    """With the numpy gate closed the columnar entry points fall back
+    to the batch path — identity must hold on the pure-Python kernels."""
+    assert not numpy_enabled()
+    wl = DifferentialWorkload(seed)
+    _assert_lark_identical(wl, shape, seed, ForwardingMode.PERIODICAL)
+    _assert_agg_identical(wl, shape, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_numpy_and_fallback_agree(seed):
+    """The vectorized and pure-Python kernels produce identical state
+    on the same stream (only meaningful when numpy is importable)."""
+    if not numpy_enabled():
+        pytest.skip("numpy unavailable")
+    wl = DifferentialWorkload(seed)
+    cids = wl.cids("adversarial", PACKETS)
+    vec = wl.new_lark()
+    _run_lark(vec, cids, "columnar", 64)
+    force_numpy(False)
+    try:
+        plain = wl.new_lark()
+        _run_lark(plain, cids, "columnar", 64)
+    finally:
+        force_numpy(None)
+    assert register_state(vec) == register_state(plain)
+    assert vec.stats_report(APP_ID) == plain.stats_report(APP_ID)
+
+
+# -- multiprocess shard executor --------------------------------------------
+
+
+def _agg_spec(wl):
+    return ShardSpec(
+        kind="agg",
+        app_id=APP_ID,
+        schema=wl.schema,
+        key=wl.key,
+        specs=tuple(wl.specs),
+        seed=wl.seed,
+    )
+
+
+def _lark_spec(wl):
+    return ShardSpec(
+        kind="lark",
+        app_id=APP_ID,
+        schema=wl.schema,
+        key=wl.key,
+        specs=tuple(wl.specs),
+        seed=wl.seed,
+        mode=ForwardingMode.PERIODICAL,
+        period_ms=1000.0,
+        dedup=False,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+@pytest.mark.parametrize("backend", ("scalar", "batch", "columnar"))
+def test_shard_executor_agg_matches_single_switch(seed, backend):
+    """Sequential sharded execution folds back to the single-switch
+    snapshot and report, whatever the per-shard backend."""
+    wl = DifferentialWorkload(seed)
+    payloads = wl.payloads("zipfian", PACKETS)
+    single = wl.new_agg(shards=1)
+    for p in payloads:
+        single.process_packet(p)
+    executor = ShardExecutor(
+        _agg_spec(wl), shards=3, processes=1, backend=backend
+    )
+    result = executor.run(payloads)
+    assert not result.used_pool
+    assert result.total_packets == len(payloads)
+    assert result.snapshot == single.merge(APP_ID)
+    assert result.report == single.report(APP_ID)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_shard_executor_lark_matches_single_switch(seed):
+    """Lark partition keeps each user's packets on one shard; the
+    merged snapshot equals the single-switch register state."""
+    wl = DifferentialWorkload(seed)
+    cids = [bytes(c) for c in wl.cids("zipfian", PACKETS)]
+    single = wl.new_lark()
+    for cid in wl.cids("zipfian", PACKETS):
+        single.process_quic_packet(cid)
+    executor = ShardExecutor(
+        _lark_spec(wl), shards=4, processes=1, backend="columnar"
+    )
+    result = executor.run(cids)
+    stats = single._apps[APP_ID].stats
+    assert result.snapshot == stats.snapshot()
+    assert result.report == single.stats_report(APP_ID)
+
+
+def test_shard_executor_pool_matches_sequential():
+    """A real spawn pool produces exactly the sequential result; when
+    the pool cannot be created the executor falls back transparently."""
+    wl = DifferentialWorkload(23)
+    payloads = wl.payloads("uniform", PACKETS)
+    spec = _agg_spec(wl)
+    sequential = ShardExecutor(spec, shards=2, processes=1).run(payloads)
+    pooled = ShardExecutor(
+        spec, shards=2, processes=2, pool_timeout_s=120.0
+    ).run(payloads)
+    if pooled.used_pool:
+        assert pooled.snapshot == sequential.snapshot
+        assert pooled.report == sequential.report
+        assert pooled.shard_packets == sequential.shard_packets
+    else:
+        # Pool unavailable in this environment: the fallback must have
+        # recorded why and still produced the sequential result.
+        assert pooled.snapshot == sequential.snapshot
+
+
+def test_shard_executor_falls_back_when_pool_creation_fails(monkeypatch):
+    """Any pool-creation failure degrades to in-process execution."""
+    import multiprocessing
+
+    def boom(method):
+        raise OSError("no process spawning here")
+
+    monkeypatch.setattr(multiprocessing, "get_context", boom)
+    wl = DifferentialWorkload(37)
+    payloads = wl.payloads("uniform", 120)
+    spec = _agg_spec(wl)
+    executor = ShardExecutor(spec, shards=2, processes=2)
+    result = executor.run(payloads)
+    assert not result.used_pool
+    assert executor.last_error is not None
+    reference = ShardExecutor(spec, shards=2, processes=1).run(payloads)
+    assert result.snapshot == reference.snapshot
+
+
+# -- testbed adaptive backend ------------------------------------------------
+
+
+def test_adaptive_backend_auto_picks_and_sticks():
+    """Auto mode times batch and scalar probes, then locks the winner;
+    every item is processed exactly once through a bit-identical path."""
+    calls = {"scalar": 0, "batch": 0}
+
+    def scalar_fn(items):
+        calls["scalar"] += 1
+        return list(items)
+
+    def slow_batch(items):
+        calls["batch"] += 1
+        for _ in range(20000):
+            pass
+        return list(items)
+
+    chooser = AdaptiveBackend(scalar_fn, slow_batch, mode="auto")
+    out = []
+    for _ in range(8):
+        out.extend(chooser.run([1, 2, 3]))
+    # 4 calibration probes (2 per candidate), then the faster scalar
+    # path takes every remaining flush.
+    assert chooser.chosen == "scalar"
+    assert calls["batch"] == 2
+    assert len(out) == 8 * 3
+    with pytest.raises(ValueError):
+        AdaptiveBackend(scalar_fn, slow_batch, mode="gpu")
+
+
+def test_adaptive_backend_fixed_modes_dispatch_directly():
+    tagged = {
+        "scalar": lambda items: ["s"] * len(items),
+        "batch": lambda items: ["b"] * len(items),
+        "columnar": lambda items: ["c"] * len(items),
+    }
+    for mode, tag in (("scalar", "s"), ("batch", "b"), ("columnar", "c")):
+        chooser = AdaptiveBackend(
+            tagged["scalar"], tagged["batch"], tagged["columnar"], mode=mode
+        )
+        assert chooser.run([0, 0]) == [tag, tag]
+        assert chooser.chosen == mode
