@@ -8,8 +8,10 @@ Subcommands mirror the evaluation:
 * ``testbed``   — one end-to-end DES run (scheme, INSA, rate, ...);
 * ``measure``   — the synthetic measurement campaign summary;
 * ``bench``     — data-plane throughput: scalar vs one fast path
-  (``--backend batch|columnar``), or the three-way ``--compare`` mode
-  that writes ``BENCH_columnar.json``;
+  (``--backend batch|columnar``), the three-way ``--compare`` mode
+  that writes ``BENCH_columnar.json``, or the whole-run ``--e2e``
+  ingest benchmark that writes ``BENCH_e2e.json`` (add ``--profile
+  PATH`` for a cProfile dump);
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -185,6 +187,70 @@ def _cmd_bench(args, out) -> int:
         ForwardingMode.PERIODICAL if args.mode == "periodical"
         else ForwardingMode.PER_PACKET
     )
+    if args.e2e:
+        from repro.testbed.e2e_bench import (
+            BACKENDS as E2E_BACKENDS,
+            profile_e2e,
+            run_e2e_bench,
+        )
+
+        if args.profile:
+            summary = profile_e2e(
+                args.profile,
+                backend=args.backend,
+                requests_per_second=args.rps,
+                duration_ms=args.duration_ms,
+                num_users=args.users,
+                mode=mode,
+                batch_size=args.batch_size,
+                seed=args.seed,
+            )
+            out.write(
+                "profiled e2e backend=%s: %d events in %.3f s "
+                "(%.0f events/s)\nwrote %s\n"
+                % (summary["backend"], summary["events"],
+                   summary["seconds"], summary["events_per_second"],
+                   summary["profile"])
+            )
+            return 0
+        result = run_e2e_bench(
+            requests_per_second=args.rps,
+            duration_ms=args.duration_ms,
+            num_users=args.users,
+            mode=mode,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        out.write(
+            "e2e ingest: %d events, %d users, mode=%s, batch=%d, "
+            "best of %d\n"
+            % (result["events"], result["unique_users"], args.mode,
+               result["batch_size"], result["repeats"])
+        )
+        _print_rows(
+            ["backend", "events/s", "vs scalar"],
+            [
+                [b, "%.0f" % result[b]["events_per_second"],
+                 "%.2fx" % result["speedup_vs_scalar"][b]]
+                for b in E2E_BACKENDS
+            ],
+            out,
+        )
+        out.write(
+            "reports match: %s   verified vs ground truth: %s\n"
+            % ("yes" if result["reports_match"] else "NO",
+               "yes" if result["verified"] else "NO")
+        )
+        json_path = args.json or "BENCH_e2e.json"
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % json_path)
+        if not (result["reports_match"] and result["verified"]):
+            out.write("FAIL: backends disagree or ground truth mismatch\n")
+            return 1
+        return 0
     if args.compare:
         # Three-way backend comparison; the columnar path must not
         # regress below the batch path on the periodical workload.
@@ -359,7 +425,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "writes BENCH_columnar.json and exits nonzero "
                         "if columnar is slower than batch")
     p.add_argument("--repeats", type=int, default=3,
-                   help="interleaved best-of-N rounds for --compare")
+                   help="interleaved best-of-N rounds for --compare/--e2e")
+    p.add_argument("--e2e", action="store_true",
+                   help="whole-run ingest benchmark (generate, encode, "
+                        "lark, agg, verify) across all backends; writes "
+                        "BENCH_e2e.json and exits nonzero on a report "
+                        "mismatch")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="with --e2e: run one pass of --backend under "
+                        "cProfile and dump stats to PATH")
+    p.add_argument("--rps", type=float, default=20000.0,
+                   help="offered load for --e2e (requests/second)")
+    p.add_argument("--duration-ms", type=float, default=1000.0,
+                   help="run length for --e2e")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the full result JSON to PATH")
     p.set_defaults(func=_cmd_bench)

@@ -34,6 +34,7 @@ from repro.core.app_cookie import (
     format_cookie_header,
     parse_cookie_header,
 )
+from repro.core.cookie_cache import CookieEncodeCache
 from repro.core.controller import (
     ApplicationHandle,
     RpcLog,
@@ -97,6 +98,7 @@ __all__ = [
     "AggResult",
     "AnalyticsServer",
     "CarrierProfile",
+    "CookieEncodeCache",
     "CompileError",
     "CompiledQuery",
     "Query",

@@ -81,6 +81,7 @@ class SnatchController:
         self._agg_switches: List[Any] = []
         self._lark_switches: List[Any] = []
         self._edge_servers: List[Any] = []
+        self._clients: List[Any] = []
         self._apps: Dict[str, ApplicationHandle] = {}
         self._event_filters: Dict[str, Any] = {}
         self._used_app_ids: set = set()
@@ -110,6 +111,14 @@ class SnatchController:
                            delay_ms: Optional[float] = None) -> None:
         self._edge_servers.append(server)
         self._enroll(server, delay_ms)
+
+    def attach_client(self, client: Any) -> None:
+        """Register a cookie-minting client (e.g. a web server's
+        :class:`~repro.core.cookie_cache.CookieEncodeCache`) for
+        application push/revoke notifications, so client-side encode
+        caches never serve a cookie minted under a superseded version
+        or key (section 4.3 consistency extends to the minting edge)."""
+        self._clients.append(client)
 
     # -- internals ------------------------------------------------------------------
 
@@ -165,12 +174,19 @@ class SnatchController:
         """Push parameters in the consistency-preserving order."""
         if self.bus is not None:
             self._install_via_bus(handle, event_filter)
-            return
-        for tier, devices in self._tiers():
-            for device in devices:
-                args, kwargs = self._register_args(tier, handle, event_filter)
-                device.register_application(*args, **kwargs)
-                self._log(device.name, "register", handle.app_id)
+        else:
+            for tier, devices in self._tiers():
+                for device in devices:
+                    args, kwargs = self._register_args(
+                        tier, handle, event_filter
+                    )
+                    device.register_application(*args, **kwargs)
+                    self._log(device.name, "register", handle.app_id)
+        # Clients are co-located with the controller-facing edge (no
+        # RPC): tell minting caches about the new version immediately so
+        # no cookie encoded under the old key is served past this point.
+        for client in self._clients:
+            client.on_application_push(handle)
 
     def _install_via_bus(
         self, handle: ApplicationHandle, event_filter=None
@@ -255,6 +271,8 @@ class SnatchController:
                 else:
                     device.revoke_application(app_id)
                 self._log(device.name, "revoke", app_id)
+        for client in self._clients:
+            client.on_application_revoke(app_id)
 
     # -- developer APIs 2-4: versioned updates ------------------------------------------
 

@@ -127,13 +127,15 @@ class TransportCookieCodec:
         self.schema = schema
         self._aes = AES(key)
         self._rng = rng or random.Random()
+        self._app_byte = bytes([app_id])
 
     # -- encoding ------------------------------------------------------------
 
-    def encode(self, values: Dict[str, Any]) -> ConnectionID:
-        """Build a 20-byte semantic connection ID carrying ``values``
-        (a subset of the schema's features; absent ones clear their
-        bitmap bit)."""
+    def encode_block(self, values: Dict[str, Any]) -> bytes:
+        """The 16-byte *plaintext* cookie block for ``values``: presence
+        bitmap, cookie stack, random bit padding.  Split out of
+        :meth:`encode` so the client-side encode cache can encrypt many
+        unique blocks in one batched AES pass."""
         unknown = set(values) - set(self.schema.feature_names())
         if unknown:
             raise FeatureValueError(
@@ -147,12 +149,77 @@ class TransportCookieCodec:
                 writer.write(
                     feature.encode_value(values[feature.name]), feature.bits
                 )
-        block = writer.to_bytes(16, self._rng)
-        encrypted = self._aes.encrypt_block(block)
-        dcid = bytes([self._rng.getrandbits(8)])
-        dcid_r2 = bytes(self._rng.getrandbits(8) for _ in range(2))
+        return writer.to_bytes(16, self._rng)
+
+    def encode_blocks_many(self, values_list) -> "list[bytes]":
+        """Plaintext cookie blocks for many value dicts at once.
+
+        Semantically equivalent to ``[self.encode_block(v) for v in
+        values_list]`` — identical bitmap and cookie-stack bits, same
+        validation errors, one padding draw per block in list order —
+        but packs each block as a single big integer instead of a
+        per-bit ``_BitWriter`` pass, and draws the random padding with
+        one ``getrandbits(pad_bits)`` call rather than bit by bit.
+        (Padding is random filler that no decoder reads, so the draw
+        granularity is not observable in decoded values; callers that
+        need the scalar path's exact RNG stream should keep calling
+        :meth:`encode_block`.)
+        """
+        features = self.schema.features
+        known = set(self.schema.feature_names())
+        rng = self._rng
+        out = []
+        for values in values_list:
+            unknown = set(values) - known
+            if unknown:
+                raise FeatureValueError(
+                    "values for features outside the schema: %s"
+                    % sorted(unknown)
+                )
+            acc = 0
+            bits = 0
+            for feature in features:
+                acc = (acc << 1) | (1 if feature.name in values else 0)
+            bits = len(features)
+            for feature in features:
+                if feature.name in values:
+                    wire = feature.encode_value(values[feature.name])
+                    if wire < 0 or wire >= (1 << feature.bits):
+                        raise ValueError(
+                            "value %d does not fit %d bits"
+                            % (wire, feature.bits)
+                        )
+                    acc = (acc << feature.bits) | wire
+                    bits += feature.bits
+            pad = 128 - bits
+            if pad:
+                acc = (acc << pad) | rng.getrandbits(pad)
+            out.append(acc.to_bytes(16, "big"))
+        return out
+
+    def assemble(self, encrypted_block: bytes) -> ConnectionID:
+        """Wrap an already-encrypted cookie block into a full 20-byte
+        connection ID, drawing fresh DCID (byte 0) and DCID-R2 (bytes
+        18-19) — the bytes the Snatch client policy regenerates per
+        connection while preserving the cookie region."""
+        if len(encrypted_block) != 16:
+            raise ValueError(
+                "encrypted cookie block must be 16 bytes, got %d"
+                % len(encrypted_block)
+            )
+        rng = self._rng
+        dcid = bytes([rng.getrandbits(8)])
+        dcid_r2 = bytes([rng.getrandbits(8), rng.getrandbits(8)])
         return ConnectionID(
-            dcid + bytes([self.app_id]) + encrypted + dcid_r2
+            dcid + self._app_byte + encrypted_block + dcid_r2
+        )
+
+    def encode(self, values: Dict[str, Any]) -> ConnectionID:
+        """Build a 20-byte semantic connection ID carrying ``values``
+        (a subset of the schema's features; absent ones clear their
+        bitmap bit)."""
+        return self.assemble(
+            self._aes.encrypt_block(self.encode_block(values))
         )
 
     # -- decoding -------------------------------------------------------------
@@ -163,6 +230,12 @@ class TransportCookieCodec:
             len(cid) == MAX_CONNECTION_ID_BYTES
             and bytes(cid)[APP_ID_BYTE_INDEX] == self.app_id
         )
+
+    @property
+    def rng(self) -> random.Random:
+        """The padding/DCID RNG (the encode cache preserves it across
+        rekeys so a rekeyed codec continues the same draw stream)."""
+        return self._rng
 
     @property
     def aes(self) -> AES:

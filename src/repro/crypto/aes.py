@@ -32,6 +32,7 @@ __all__ = [
     "pkcs7_unpad",
     "encrypt_blocks_many",
     "decrypt_blocks_many",
+    "encrypt_cbc_many",
     "decrypt_cbc_many",
     "BLOCK_SIZE",
 ]
@@ -465,6 +466,59 @@ def decrypt_blocks_many(cipher: "AES", blocks) -> List[bytes]:
     state ^= rks[0]
     flat = state.tobytes()
     return [flat[i * 16:(i + 1) * 16] for i in range(len(blocks))]
+
+
+def encrypt_cbc_many(key, ivs, plaintexts) -> List[bytes]:
+    """CBC-encrypt many (iv, plaintext) pairs at once.
+
+    CBC chains sequentially *within* a payload but payloads are
+    independent, so the batch runs one matrix AES pass per chain
+    position: step ``j`` encrypts block ``j`` of every payload long
+    enough to have one.  Per-element output is bit-identical to
+    :func:`encrypt_cbc`.
+    """
+    cipher = _as_cipher(key)
+    if len(ivs) != len(plaintexts):
+        raise ValueError("need one IV per plaintext")
+    for iv in ivs:
+        if len(iv) != BLOCK_SIZE:
+            raise ValueError("IV must be 16 bytes")
+    tables = _np_tables()
+    if tables is None or len(plaintexts) <= 1:
+        return [
+            encrypt_cbc(cipher, iv, pt) for iv, pt in zip(ivs, plaintexts)
+        ]
+    from repro.switch.columns import get_numpy
+
+    np = get_numpy()
+    padded = [pkcs7_pad(pt) for pt in plaintexts]
+    counts = [len(p) // BLOCK_SIZE for p in padded]
+    n = len(padded)
+    rks = [np.frombuffer(rk, dtype=np.uint8) for rk in cipher._round_keys]
+    chunks: List[List[bytes]] = [[] for _ in range(n)]
+    prev = [np.frombuffer(iv, dtype=np.uint8) for iv in ivs]
+    for j in range(max(counts)):
+        active = [i for i in range(n) if counts[i] > j]
+        plain_cat = b"".join(
+            padded[i][j * BLOCK_SIZE:(j + 1) * BLOCK_SIZE] for i in active
+        )
+        state = np.frombuffer(plain_cat, dtype=np.uint8).reshape(
+            len(active), 16
+        ).copy()
+        state ^= np.stack([prev[i] for i in active])
+        state ^= rks[0]
+        for rnd in range(1, cipher.rounds):
+            state = tables["sbox"][state]
+            state = state[:, tables["shift"]]
+            state = _mix_columns_many(np, tables, state, (2, 3, 1, 1))
+            state ^= rks[rnd]
+        state = tables["sbox"][state]
+        state = state[:, tables["shift"]]
+        state ^= rks[cipher.rounds]
+        for row, i in enumerate(active):
+            prev[i] = state[row]
+            chunks[i].append(state[row].tobytes())
+    return [b"".join(parts) for parts in chunks]
 
 
 def decrypt_cbc_many(key, ivs, ciphertexts) -> List[Optional[bytes]]:

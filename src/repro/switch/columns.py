@@ -86,12 +86,13 @@ class PacketColumns:
     consumers fall back to scalar loops.
     """
 
-    __slots__ = ("raw", "data", "lengths", "n", "max_len", "vectorized")
+    __slots__ = ("_raw", "data", "lengths", "n", "max_len", "vectorized")
 
     def __init__(self, rows: Sequence[bytes]):
-        self.raw: List[bytes] = [bytes(r) for r in rows]
-        self.n = len(self.raw)
-        lens = [len(r) for r in self.raw]
+        raw: List[bytes] = [bytes(r) for r in rows]
+        self._raw: Optional[List[bytes]] = raw
+        self.n = len(raw)
+        lens = [len(r) for r in raw]
         self.max_len = max(lens, default=0)
         np = get_numpy()
         self.vectorized = np is not None
@@ -102,11 +103,11 @@ class PacketColumns:
                 # connection IDs): one buffer join + reshape instead
                 # of a frombuffer call per row.
                 data = np.frombuffer(
-                    b"".join(self.raw), dtype=np.uint8
+                    b"".join(raw), dtype=np.uint8
                 ).reshape(self.n, self.max_len).copy()
             else:
                 data = np.zeros((self.n, self.max_len), dtype=np.uint8)
-                for i, row in enumerate(self.raw):
+                for i, row in enumerate(raw):
                     if row:
                         data[i, : len(row)] = np.frombuffer(
                             row, dtype=np.uint8
@@ -116,6 +117,54 @@ class PacketColumns:
         else:
             self.data = None
             self.lengths = lens
+
+    @classmethod
+    def from_matrix(cls, data, lengths=None) -> "PacketColumns":
+        """Wrap an existing ``(n, width)`` uint8 matrix directly.
+
+        The batched packet-assembly path builds the DCID matrix without
+        ever holding per-row ``bytes`` objects; ``raw`` materializes
+        them lazily only if a scalar consumer asks.  Requires the numpy
+        gate open (callers on the scalar path build from rows instead).
+        """
+        np = get_numpy()
+        if np is None:
+            raise RuntimeError(
+                "PacketColumns.from_matrix needs the numpy gate open"
+            )
+        self = cls.__new__(cls)
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.ndim != 2:
+            raise ValueError("expected an (n, width) matrix")
+        self._raw = None
+        self.n = int(data.shape[0])
+        self.max_len = int(data.shape[1]) if self.n else 0
+        self.data = data
+        if lengths is None:
+            self.lengths = np.full(self.n, self.max_len, dtype=np.int64)
+        else:
+            self.lengths = np.asarray(lengths, dtype=np.int64)
+        self.vectorized = True
+        return self
+
+    @property
+    def raw(self) -> List[bytes]:
+        """Per-row ``bytes`` (materialized lazily for matrix-built
+        batches; cached afterwards)."""
+        if self._raw is None:
+            flat = self.data.tobytes()
+            m = self.max_len
+            self._raw = [
+                flat[i * m:i * m + int(self.lengths[i])]
+                for i in range(self.n)
+            ]
+        return self._raw
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(self.raw)
 
     # -- column extraction -------------------------------------------------
 

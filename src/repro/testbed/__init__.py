@@ -8,14 +8,22 @@ from repro.testbed.experiment import (
     TestbedResult,
 )
 from repro.testbed.network_testbed import NetworkRunResult, NetworkTestbed
+from repro.testbed.pipeline import (
+    PipelineResult,
+    ReorderInjector,
+    StreamingPipeline,
+)
 from repro.testbed.spark_model import SparkLatencyModel
 
 __all__ = [
     "NetworkRunResult",
     "NetworkTestbed",
+    "PipelineResult",
+    "ReorderInjector",
     "RequestRecord",
     "Scheme",
     "SparkLatencyModel",
+    "StreamingPipeline",
     "TestbedConfig",
     "TestbedExperiment",
     "TestbedResult",

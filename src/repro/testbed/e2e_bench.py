@@ -1,0 +1,155 @@
+"""End-to-end ingest benchmark: whole-run events/sec per backend.
+
+``repro.testbed.fastpath`` times the switch kernels on a pre-built
+CID stream; this module times the *entire* ingest pipeline — event
+generation, cookie encode, LarkSwitch, AggSwitch, verification — via
+:class:`~repro.testbed.pipeline.StreamingPipeline`, one fresh pipeline
+per (backend, round).  The scalar backend is the pre-optimization
+baseline (uncached per-event encode, per-packet switches), so
+``speedup_vs_scalar`` is the honest whole-run win of the fast path.
+
+Timings are interleaved best-of-``repeats`` like the other benchmark
+drivers: each round runs every backend back to back so a noisy
+neighbour penalizes one (backend, round) sample, not a whole backend.
+
+Used by ``python -m repro.cli bench --e2e`` and
+``benchmarks/test_e2e.py``; both write ``BENCH_e2e.json``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import time
+from typing import Any, Dict, Optional
+
+from repro.core.aggregation import ForwardingMode
+from repro.testbed.pipeline import BACKENDS, StreamingPipeline
+from repro.workloads.adcampaign import AdCampaignWorkload
+
+__all__ = ["run_e2e_bench", "profile_e2e", "BACKENDS"]
+
+
+def _throughput(seconds: float, events: int) -> Dict[str, float]:
+    return {
+        "seconds": seconds,
+        "events_per_second": events / seconds if seconds > 0 else 0.0,
+    }
+
+
+def _new_pipeline(
+    backend: str,
+    num_users: int,
+    seed: int,
+    mode: str,
+    period_ms: float,
+    batch_size: int,
+) -> StreamingPipeline:
+    workload = AdCampaignWorkload(num_users=num_users, seed=seed)
+    return StreamingPipeline(
+        workload,
+        seed=seed,
+        mode=mode,
+        period_ms=period_ms,
+        backend=backend,
+        batch_size=batch_size,
+    )
+
+
+def run_e2e_bench(
+    requests_per_second: float = 20_000.0,
+    duration_ms: float = 1000.0,
+    num_users: int = 2000,
+    mode: str = ForwardingMode.PERIODICAL,
+    period_ms: float = 250.0,
+    batch_size: int = 1024,
+    seed: int = 42,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Whole-run events/sec for scalar / batch / columnar ingest.
+
+    Returns a JSON-ready dict following the ``BENCH_columnar.json``
+    conventions (seed, repeats, per-backend ``_throughput`` sections,
+    ``speedup_vs_scalar``), plus ``reports_match`` (all backends
+    produced the identical aggregation report) and ``verified`` (that
+    report matches the workload's independently accumulated ground
+    truth).
+    """
+    best = {backend: float("inf") for backend in BACKENDS}
+    reports: Dict[str, Any] = {}
+    verified: Dict[str, bool] = {}
+    events = 0
+    cache_stats: Dict[str, Any] = {}
+    for _ in range(max(1, repeats)):
+        for backend in BACKENDS:
+            pipe = _new_pipeline(
+                backend, num_users, seed, mode, period_ms, batch_size
+            )
+            gc.collect()  # same GC starting state for every timed run
+            t0 = time.perf_counter()
+            result = pipe.run(requests_per_second, duration_ms)
+            elapsed = time.perf_counter() - t0
+            best[backend] = min(best[backend], elapsed)
+            reports[backend] = result.report
+            verified[backend] = result.counts_match_reference()
+            events = result.events
+            if backend != "scalar":
+                cache_stats[backend] = result.cache_stats
+    scalar_s = best["scalar"]
+    return {
+        "events": events,
+        "requests_per_second": requests_per_second,
+        "duration_ms": duration_ms,
+        "unique_users": num_users,
+        "mode": mode,
+        "period_ms": period_ms,
+        "batch_size": batch_size,
+        "seed": seed,
+        "repeats": repeats,
+        **{backend: _throughput(best[backend], events)
+           for backend in BACKENDS},
+        "speedup_vs_scalar": {
+            backend: scalar_s / best[backend] if best[backend] > 0 else 0.0
+            for backend in BACKENDS
+        },
+        "reports_match": all(
+            reports[backend] == reports["scalar"] for backend in BACKENDS
+        ),
+        "verified": all(verified.values()),
+        "cache": cache_stats,
+    }
+
+
+def profile_e2e(
+    path: str,
+    backend: str = "batch",
+    requests_per_second: float = 20_000.0,
+    duration_ms: float = 1000.0,
+    num_users: int = 2000,
+    mode: str = ForwardingMode.PERIODICAL,
+    period_ms: float = 250.0,
+    batch_size: int = 1024,
+    seed: int = 42,
+) -> Dict[str, Any]:
+    """Run one e2e pass under cProfile and dump stats to ``path``
+    (inspect with ``python -m pstats`` or snakeviz).  Returns a small
+    summary dict (events, seconds, where the dump went)."""
+    pipe = _new_pipeline(
+        backend, num_users, seed, mode, period_ms, batch_size
+    )
+    profiler = cProfile.Profile()
+    gc.collect()
+    t0 = time.perf_counter()
+    profiler.enable()
+    result = pipe.run(requests_per_second, duration_ms)
+    profiler.disable()
+    elapsed = time.perf_counter() - t0
+    profiler.dump_stats(path)
+    return {
+        "backend": backend,
+        "events": result.events,
+        "seconds": elapsed,
+        "events_per_second": result.events / elapsed if elapsed else 0.0,
+        "profile": path,
+        "verified": result.counts_match_reference(),
+    }

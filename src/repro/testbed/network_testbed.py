@@ -28,9 +28,11 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, List, Optional
 
 from repro.core.aggswitch import AggSwitch
+from repro.core.cookie_cache import CookieEncodeCache
 from repro.core.larkswitch import LarkSwitch
 from repro.core.transport_cookie import TransportCookieCodec
 from repro.model.params import ScenarioParams, percentile_scenario
@@ -88,11 +90,15 @@ class NetworkTestbed:
         batch_max: int = 256,
         agg_shards: int = 1,
         backend: str = "batch",
+        ingest_batch: int = 256,
+        streaming_ingest: bool = True,
     ):
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be non-negative")
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if ingest_batch < 1:
+            raise ValueError("ingest_batch must be >= 1")
         # batch_window_ms > 0 switches the in-path switch nodes to the
         # compiled batch fast path: packets arriving within a window
         # are buffered and processed together (capped at batch_max),
@@ -142,12 +148,31 @@ class NetworkTestbed:
             mode=backend,
         )
         self.backend = backend
+        self._schema = schema
         self.codec = TransportCookieCodec(
             _APP_ID, schema, self._key, random.Random(3)
         )
+        # Client-side ingest: generation streams micro-batches of
+        # ``ingest_batch`` events and cookies come out of the encode
+        # cache (one batched AES pass per batch of misses).
+        # ``streaming_ingest=False`` keeps the pre-optimization
+        # materialize-everything loop as the reference/baseline.
+        self.ingest_batch = ingest_batch
+        self.streaming_ingest = streaming_ingest
+        self.cookie_cache = CookieEncodeCache(self.codec)
         self.agg_loss_rate = agg_loss_rate
         self.net = Network()
         self._build_topology()
+
+    def rekey(self, new_key: bytes) -> None:
+        """Mid-run key replacement on every tier *and* the client-side
+        encode cache — the cache invalidates atomically, so no cookie
+        encrypted under the old key is minted afterwards."""
+        self._key = new_key
+        self.agg_device.rekey_application(_APP_ID, new_key)
+        self.lark_device.rekey_application(_APP_ID, new_key)
+        self.cookie_cache.rekey(new_key)
+        self.codec = self.cookie_cache.codec
 
     @property
     def chosen_backends(self) -> Dict[str, Optional[str]]:
@@ -301,10 +326,33 @@ class NetworkTestbed:
 
     # -- run --------------------------------------------------------------------
 
-    def run(self) -> NetworkRunResult:
-        events = self.workload.generate_events(
-            self.config.requests_per_second, self.config.duration_ms
+    def _send_request(self, request_id: int, t0: float, dcid: bytes) -> None:
+        packet = NetPacket(
+            src="client",
+            dst="web",
+            protocol="quic",
+            size_bytes=1200,
+            headers={"dcid": dcid, "request_id": request_id},
+            created_at_ms=t0,
         )
+        self.net.nodes["client"].send(packet)
+
+    def _result(
+        self,
+        latencies: Dict[int, float],
+        reference: Dict[str, Dict[Any, int]],
+    ) -> NetworkRunResult:
+        lark_agg = self.net.link("lark", "agg")
+        return NetworkRunResult(
+            latencies_ms=[latencies[i] for i in sorted(latencies)],
+            aggregation_packets=lark_agg.packets_sent,
+            aggregation_bytes=lark_agg.bytes_sent,
+            report=self.agg_device.report(_APP_ID),
+            reference=reference,
+            lost_packets=lark_agg.packets_lost,
+        )
+
+    def run(self) -> NetworkRunResult:
         latencies: Dict[int, float] = {}
         t0s: Dict[int, float] = {}
 
@@ -314,33 +362,72 @@ class NetworkTestbed:
                 latencies[request_id] = now_ms - t0s[request_id]
 
         self.analytics.on_receive = on_analytics
+        if not self.streaming_ingest:
+            return self._run_materialized(latencies, t0s)
+        return self._run_streaming(latencies, t0s)
 
+    def _run_materialized(
+        self, latencies: Dict[int, float], t0s: Dict[int, float]
+    ) -> NetworkRunResult:
+        """Pre-optimization reference ingest: materialize every event,
+        encode every cookie from scratch, schedule one closure each."""
+        events = self.workload.generate_events(
+            self.config.requests_per_second, self.config.duration_ms
+        )
         for request_id, event in enumerate(events):
             cid = self.codec.encode(
                 event.user.semantic_values(event.campaign, event.event_type)
             )
             t0s[request_id] = event.time_ms
-
-            def send(event=event, cid=cid, request_id=request_id) -> None:
-                packet = NetPacket(
-                    src="client",
-                    dst="web",
-                    protocol="quic",
-                    size_bytes=1200,
-                    headers={"dcid": bytes(cid), "request_id": request_id},
-                    created_at_ms=event.time_ms,
-                )
-                self.net.nodes["client"].send(packet)
-
-            self.net.sim.schedule_at(event.time_ms, send)
-
+            self.net.sim.schedule_at(
+                event.time_ms,
+                partial(
+                    self._send_request, request_id, event.time_ms, bytes(cid)
+                ),
+            )
         self.net.sim.run()
-        lark_agg = self.net.link("lark", "agg")
-        return NetworkRunResult(
-            latencies_ms=[latencies[i] for i in sorted(latencies)],
-            aggregation_packets=lark_agg.packets_sent,
-            aggregation_bytes=lark_agg.bytes_sent,
-            report=self.agg_device.report(_APP_ID),
-            reference=self.workload.reference_counts(events),
-            lost_packets=lark_agg.packets_lost,
+        return self._result(
+            latencies, self.workload.reference_counts(events)
         )
+
+    def _run_streaming(
+        self, latencies: Dict[int, float], t0s: Dict[int, float]
+    ) -> NetworkRunResult:
+        """Pull-based ingest: the pump generates one micro-batch of
+        events (struct-of-arrays, no event objects), encodes its
+        cookies through the cache, schedules the sends, and re-arms
+        itself at the batch's last event time — so generation streams
+        alongside the simulation instead of front-loading the run.
+        The reference accumulates incrementally batch by batch."""
+        stream = self.workload.stream(
+            self.config.requests_per_second, self.config.duration_ms
+        )
+        reference = self.workload.new_reference()
+        workload = self.workload
+        cache = self.cookie_cache
+        sim = self.net.sim
+        send = self._send_request
+        next_id = [0]
+
+        def pump() -> None:
+            cols = stream.generate_batch(self.ingest_batch)
+            n = len(cols)
+            if not n:
+                return
+            workload.accumulate_reference(cols, reference)
+            keys = workload.cookie_keys(cols)
+            cids = cache.encode_batch(
+                keys, lambda i: workload.cookie_values_at(cols, i)
+            )
+            base = next_id[0]
+            next_id[0] = base + n
+            times = cols.time_ms
+            for i in range(n):
+                t0 = times[i]
+                t0s[base + i] = t0
+                sim.schedule_at(t0, partial(send, base + i, t0, bytes(cids[i])))
+            sim.schedule_at(times[-1], pump)
+
+        pump()
+        sim.run()
+        return self._result(latencies, reference)

@@ -1,0 +1,363 @@
+"""Network-free streaming ingest pipeline (the e2e fast path).
+
+:mod:`repro.testbed.network_testbed` runs the Figure-2 topology packet
+by packet on the discrete-event simulator — the right tool for latency
+questions, the wrong one for throughput: the simulator heap dominates
+the profile long before the switch kernels saturate.  This module wires
+the same devices into a pull-based *stage* pipeline with no simulator
+in between::
+
+    generate -> encode -> lark -> (reorder?) -> agg -> verify
+
+Micro-batches of events stream through all stages without ever
+materializing the full event list: the workload's
+:class:`~repro.workloads.columns.EventStream` produces struct-of-arrays
+batches, the :class:`~repro.core.cookie_cache.CookieEncodeCache` turns
+them into wire cookies (one batched AES pass over the cache misses),
+the LarkSwitch consumes them through the configured backend, and
+aggregation payloads flow — optionally through a fault-injected
+reordering stage — into the AggSwitch.
+
+Determinism contract (the differential suite holds us to it): for a
+fixed backend, the final aggregation report, the merged register
+arrays, and the per-payload AggResults are **identical for every
+micro-batch size**, including with reordering fault injection enabled.
+Period boundaries in periodical forwarding depend only on event
+timestamps, and the tail is flushed exactly once at end-of-run; the
+:class:`ReorderInjector` advances on arrival *count*, not batch shape.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.aggswitch import AggSwitch
+from repro.core.cookie_cache import CookieEncodeCache
+from repro.core.larkswitch import LarkSwitch
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.switch.columns import PacketColumns, get_numpy
+
+__all__ = ["ReorderInjector", "StreamingPipeline", "PipelineResult"]
+
+BACKENDS = ("scalar", "batch", "columnar")
+
+
+class ReorderInjector:
+    """Deterministic packet-reordering fault injection.
+
+    Each arriving item draws a delay in *arrival counts*: with
+    probability ``probability`` it is held back ``randint(1,
+    max_delay)`` arrivals, otherwise zero.  Held items sit in a heap
+    keyed ``(release_arrival, arrival)``; after arrival ``i`` every
+    item with release position ``<= i`` is emitted.  Because both the
+    draws and the release rule see only the arrival index, the emitted
+    permutation is a function of the item sequence alone — feeding the
+    same stream in different chunk sizes yields the same output order.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float,
+        max_delay: int = 8,
+    ):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self._rng = rng
+        self.probability = probability
+        self.max_delay = max_delay
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._arrivals = 0
+        self.delayed = 0
+
+    def push(self, item: Any) -> List[Any]:
+        """Feed one item; returns the items released by this arrival."""
+        i = self._arrivals
+        self._arrivals += 1
+        delay = 0
+        if self._rng.random() < self.probability:
+            delay = self._rng.randint(1, self.max_delay)
+            self.delayed += 1
+        heapq.heappush(self._heap, (i + delay, i, item))
+        out: List[Any] = []
+        while self._heap and self._heap[0][0] <= i:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def flush(self) -> List[Any]:
+        """End of stream: release everything still held, in key order."""
+        out = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+        self._arrivals = 0
+        return out
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one streaming run."""
+
+    events: int
+    batches: int
+    payloads: int
+    merged: int
+    periods: int
+    backend: str
+    report: Dict[str, Any]
+    reference: Dict[str, Dict[Any, int]]
+    register_state: Dict[str, List[int]]
+    cache_stats: Dict[str, int]
+    agg_results: List[Any] = field(default_factory=list)
+
+    def counts_match_reference(self) -> bool:
+        for stat, expected in self.reference.items():
+            got = self.report.get(stat, {})
+            for key, count in expected.items():
+                if got.get(key, 0) != count:
+                    return False
+        return True
+
+
+def _slice_columns(columns: PacketColumns, lo: int, hi: int) -> PacketColumns:
+    if columns.vectorized and get_numpy() is not None:
+        return PacketColumns.from_matrix(
+            columns.data[lo:hi], columns.lengths[lo:hi]
+        )
+    return PacketColumns(columns.raw[lo:hi])
+
+
+class StreamingPipeline:
+    """generate -> encode -> lark -> agg, streamed in micro-batches.
+
+    ``backend`` selects the whole-path flavor:
+
+    * ``scalar`` — the semantic reference and the pre-optimization
+      baseline: per-event value dicts, a fresh (uncached) cookie
+      encode per request, per-packet LarkSwitch and per-payload
+      AggSwitch calls.
+    * ``batch`` — batched generation, the cookie encode cache, and
+      the switches' compiled batch fast paths.
+    * ``columnar`` — same, but cookies flow as a
+      :class:`PacketColumns` matrix straight into the vectorized
+      switch kernels (falls back to the batch path when the numpy
+      gate is closed).
+
+    ``on_batch(pipeline, columns)`` runs before each micro-batch is
+    encoded — the hook the rekey regression test uses to push a
+    controller update mid-run.
+    """
+
+    def __init__(
+        self,
+        workload: Any,
+        app_id: int = 0x5C,
+        seed: int = 42,
+        mode: str = ForwardingMode.PERIODICAL,
+        period_ms: float = 1000.0,
+        backend: str = "batch",
+        batch_size: int = 512,
+        cache_capacity: int = 4096,
+        reorder_probability: float = 0.0,
+        reorder_max_delay: int = 8,
+        on_batch: Optional[Callable[["StreamingPipeline", Any], None]] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError("backend must be one of %s" % (BACKENDS,))
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.workload = workload
+        self.app_id = app_id
+        self.mode = mode
+        self.period_ms = period_ms
+        self.backend = backend
+        self.batch_size = batch_size
+        self.on_batch = on_batch
+        key_rng = random.Random(seed + 9)
+        self._key = bytes(key_rng.getrandbits(8) for _ in range(16))
+        schema = workload.schema()
+        specs = workload.specs()
+        self.lark = LarkSwitch("lark-pipe", random.Random(1))
+        self.lark.register_application(
+            app_id, schema, self._key, specs, mode=mode, period_ms=period_ms
+        )
+        self.agg = AggSwitch("agg-pipe", random.Random(2))
+        self.agg.register_application(app_id, schema, self._key, specs)
+        self.codec = TransportCookieCodec(
+            app_id, schema, self._key, random.Random(3)
+        )
+        self.cache = CookieEncodeCache(self.codec, capacity=cache_capacity)
+        self.injector: Optional[ReorderInjector] = None
+        if reorder_probability > 0.0:
+            self.injector = ReorderInjector(
+                random.Random(seed + 31),
+                reorder_probability,
+                reorder_max_delay,
+            )
+        self._next_boundary = period_ms
+        self.periods = 0
+
+    # -- mid-run control ---------------------------------------------------
+
+    def rekey(self, new_key: bytes) -> None:
+        """Swap the AES key on every tier *and* the encode cache (the
+        cache invalidates, so no stale cookie is ever minted)."""
+        self._key = new_key
+        self.agg.rekey_application(self.app_id, new_key)
+        self.lark.rekey_application(self.app_id, new_key)
+        self.cache.rekey(new_key)
+        self.codec = self.cache.codec
+
+    # -- stages ------------------------------------------------------------
+
+    def _segments(self, times: List[float]):
+        """Split a batch's index range at period boundaries.
+
+        Yields ``(lo, hi, flush_after)``; boundary state lives on the
+        pipeline, so the segmentation depends only on event times —
+        never on how the stream was chunked into batches.
+        """
+        n = len(times)
+        if self.mode != ForwardingMode.PERIODICAL:
+            yield 0, n, False
+            return
+        lo = 0
+        for i in range(n):
+            while times[i] >= self._next_boundary:
+                yield lo, i, True
+                lo = i
+                self._next_boundary += self.period_ms
+        yield lo, n, False
+
+    def _flush_period(self, payloads: List[bytes]) -> None:
+        self.periods += 1
+        payload = self.lark.end_period(self.app_id)
+        if payload is not None:
+            payloads.append(payload)
+
+    def _lark_segment(self, cids: Any, lo: int, hi: int) -> List[Any]:
+        if hi <= lo:
+            return []
+        if self.backend == "columnar":
+            return self.lark.process_quic_columnar(
+                _slice_columns(cids, lo, hi)
+            )
+        if self.backend == "batch":
+            return self.lark.process_quic_batch(cids[lo:hi])
+        return [
+            self.lark.process_quic_packet(cid) for cid in cids[lo:hi]
+        ]
+
+    def _dispatch(self, payloads: List[bytes], out: List[Any]) -> int:
+        """Route payloads (through the reorder stage when present) into
+        the AggSwitch via the backend-matched entry point."""
+        if self.injector is not None:
+            emitted: List[bytes] = []
+            for payload in payloads:
+                emitted.extend(self.injector.push(payload))
+            payloads = emitted
+        if not payloads:
+            return 0
+        if self.backend == "columnar":
+            out.extend(self.agg.process_columnar(payloads))
+        elif self.backend == "batch":
+            out.extend(self.agg.process_batch(payloads))
+        else:
+            out.extend(
+                self.agg.process_packet(payload) for payload in payloads
+            )
+        return len(payloads)
+
+    # -- run ---------------------------------------------------------------
+
+    def run(
+        self,
+        requests_per_second: float,
+        duration_ms: float,
+        collect_results: bool = False,
+    ) -> PipelineResult:
+        stream = self.workload.stream(requests_per_second, duration_ms)
+        new_reference = getattr(self.workload, "new_reference", None)
+        accumulate = getattr(self.workload, "accumulate_reference", None)
+        reference: Dict[str, Dict[Any, int]] = (
+            new_reference() if new_reference is not None else {}
+        )
+        self._next_boundary = self.period_ms
+        self.periods = 0
+        agg_results: List[Any] = []
+        events = 0
+        batches = 0
+        payload_count = 0
+        scalar = self.backend == "scalar"
+        columnar = self.backend == "columnar"
+        workload = self.workload
+        while True:
+            cols = stream.generate_batch(self.batch_size)
+            if not len(cols):
+                break
+            batches += 1
+            events += len(cols)
+            if self.on_batch is not None:
+                self.on_batch(self, cols)
+            if accumulate is not None:
+                accumulate(cols, reference)
+            keys = workload.cookie_keys(cols)
+
+            def values_at(i: int, _cols=cols) -> Dict[str, Any]:
+                return workload.cookie_values_at(_cols, i)
+
+            if scalar:
+                # Pre-optimization reference: every request builds its
+                # value dict and runs the full AES encode, no cache.
+                cids = [
+                    self.codec.encode(values_at(i))
+                    for i in range(len(cols))
+                ]
+            elif columnar:
+                cids = self.cache.encode_columns(keys, values_at)
+            else:
+                cids = self.cache.encode_batch(keys, values_at)
+            payloads: List[bytes] = []
+            for lo, hi, flush in self._segments(cols.time_ms):
+                for result in self._lark_segment(cids, lo, hi):
+                    if result.aggregation_payload is not None:
+                        payloads.append(result.aggregation_payload)
+                if flush:
+                    self._flush_period(payloads)
+            payload_count += len(payloads)
+            self._dispatch(payloads, agg_results)
+        # Tail flush: exactly one end-of-run period close (partial
+        # period), then drain anything the reorder stage still holds.
+        tail: List[bytes] = []
+        if self.mode == ForwardingMode.PERIODICAL:
+            self._flush_period(tail)
+        payload_count += len(tail)
+        self._dispatch(tail, agg_results)
+        if self.injector is not None:
+            held = self.injector.flush()  # counted at lark emission
+            if held:
+                if columnar:
+                    agg_results.extend(self.agg.process_columnar(held))
+                elif self.backend == "batch":
+                    agg_results.extend(self.agg.process_batch(held))
+                else:
+                    agg_results.extend(
+                        self.agg.process_packet(p) for p in held
+                    )
+        merged = sum(1 for r in agg_results if getattr(r, "merged", False))
+        return PipelineResult(
+            events=events,
+            batches=batches,
+            payloads=payload_count,
+            merged=merged,
+            periods=self.periods,
+            backend=self.backend,
+            report=self.agg.report(self.app_id),
+            reference=reference,
+            register_state=self.agg.merge(self.app_id),
+            cache_stats=self.cache.stats(),
+            agg_results=agg_results if collect_results else [],
+        )

@@ -1,26 +1,37 @@
 """Workloads from the paper's three motivating applications:
 ad-campaign analytics, real-time crowd analytics, and resource-demand
-scaling (section 2.3)."""
+scaling (section 2.3) — plus the struct-of-arrays event-stream
+substrate (:mod:`repro.workloads.columns`) their batched generators
+share."""
 
 from repro.workloads.adcampaign import (
     AGE_BRACKETS,
     AdCampaignWorkload,
     AdEvent,
+    AdEventStream,
     EVENT_TYPES,
     GENDERS,
     GEOS,
     UserProfile,
 )
+from repro.workloads.columns import EventColumns, EventStream
 from repro.workloads.crowd import (
+    CrowdEventStream,
     CrowdMember,
     CrowdWorkload,
     INTERESTS,
     REGIONS,
 )
-from repro.workloads.ysb import YsbEvent, YsbPipeline, YsbWorkload
+from repro.workloads.ysb import (
+    YsbEvent,
+    YsbEventStream,
+    YsbPipeline,
+    YsbWorkload,
+)
 from repro.workloads.resource import (
     Autoscaler,
     ResourceDemandWorkload,
+    ResourceEventStream,
     Tenant,
 )
 
@@ -28,18 +39,24 @@ __all__ = [
     "AGE_BRACKETS",
     "AdCampaignWorkload",
     "AdEvent",
+    "AdEventStream",
     "Autoscaler",
+    "CrowdEventStream",
     "CrowdMember",
     "CrowdWorkload",
     "EVENT_TYPES",
+    "EventColumns",
+    "EventStream",
     "GENDERS",
     "GEOS",
     "INTERESTS",
     "REGIONS",
     "ResourceDemandWorkload",
+    "ResourceEventStream",
     "Tenant",
     "UserProfile",
     "YsbEvent",
+    "YsbEventStream",
     "YsbPipeline",
     "YsbWorkload",
 ]

@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.schema import CookieSchema, Feature
 from repro.core.stats import StatKind, StatSpec
+from repro.workloads.columns import EventColumns, EventStream
 
 __all__ = [
     "GENDERS",
@@ -26,6 +27,7 @@ __all__ = [
     "EVENT_TYPES",
     "UserProfile",
     "AdEvent",
+    "AdEventStream",
     "AdCampaignWorkload",
     "iter_batches",
 ]
@@ -134,30 +136,26 @@ class AdCampaignWorkload:
 
     # -- event stream -----------------------------------------------------------
 
+    def stream(
+        self,
+        requests_per_second: float,
+        duration_ms: float,
+    ) -> "AdEventStream":
+        """An incremental event stream sharing this workload's RNG.
+
+        Consumes the RNG exactly like :meth:`generate_events`; the
+        batched :meth:`~repro.workloads.columns.EventStream.generate_batch`
+        API feeds the end-to-end ingest fast path.
+        """
+        return AdEventStream(self, requests_per_second, duration_ms)
+
     def generate_events(
         self,
         requests_per_second: float,
         duration_ms: float,
     ) -> List[AdEvent]:
         """A deterministic Poisson-like stream of ad interactions."""
-        if requests_per_second <= 0 or duration_ms <= 0:
-            raise ValueError("rate and duration must be positive")
-        events: List[AdEvent] = []
-        mean_gap_ms = 1000.0 / requests_per_second
-        t = self._rng.expovariate(1.0) * mean_gap_ms
-        while t < duration_ms:
-            events.append(
-                AdEvent(
-                    time_ms=t,
-                    user=self._rng.choice(self.users),
-                    campaign=self._rng.choice(self.campaigns),
-                    event_type="click"
-                    if self._rng.random() < self.click_fraction
-                    else "view",
-                )
-            )
-            t += self._rng.expovariate(1.0) * mean_gap_ms
-        return events
+        return self.stream(requests_per_second, duration_ms).drain()
 
     def encode_events(self, events: List[AdEvent], codec) -> List:
         """Pre-encode an event stream into connection IDs with a
@@ -171,23 +169,122 @@ class AdCampaignWorkload:
             for event in events
         ]
 
+    # -- batched cookie assembly hooks -------------------------------------------
+
+    def cookie_keys(self, columns: EventColumns) -> List[Tuple[int, int, int]]:
+        """Cache keys for one column batch: the encoded cookie of an ad
+        interaction is fully determined by (user, campaign, click), so
+        a cheap int triple keys the client-side encode cache without
+        materializing a values dict per event."""
+        cols = columns.columns
+        return list(zip(cols["user"], cols["campaign"], cols["click"]))
+
+    def cookie_values_at(
+        self, columns: EventColumns, index: int
+    ) -> Dict[str, object]:
+        """Semantic-cookie values for event ``index`` of a batch (only
+        called on encode-cache misses)."""
+        cols = columns.columns
+        user = self.users[cols["user"][index]]
+        return user.semantic_values(
+            self.campaigns[cols["campaign"][index]],
+            "click" if cols["click"][index] else "view",
+        )
+
     # -- reference analytics ---------------------------------------------------------
+
+    def new_reference(self) -> Dict[str, Dict[Tuple[str, str], int]]:
+        """An empty ground-truth accumulator matching :meth:`specs`."""
+        return {
+            "gender_by_campaign": {},
+            "age_by_campaign": {},
+            "geo_by_campaign": {},
+        }
+
+    @staticmethod
+    def accumulate_event(
+        event: AdEvent, out: Dict[str, Dict[Tuple[str, str], int]]
+    ) -> None:
+        """Fold one event into a :meth:`new_reference` accumulator."""
+        for stat, attr in (
+            ("gender_by_campaign", event.user.gender),
+            ("age_by_campaign", event.user.age),
+            ("geo_by_campaign", event.user.geo),
+        ):
+            key = (event.campaign, attr)
+            out[stat][key] = out[stat].get(key, 0) + 1
+
+    def accumulate_reference(
+        self,
+        columns: EventColumns,
+        out: Dict[str, Dict[Tuple[str, str], int]],
+    ) -> None:
+        """Fold one column batch into a :meth:`new_reference`
+        accumulator — the streaming pipeline's incremental ground
+        truth, identical to :meth:`reference_counts` over the same
+        events."""
+        users = self.users
+        campaigns = self.campaigns
+        gender = out["gender_by_campaign"]
+        age = out["age_by_campaign"]
+        geo = out["geo_by_campaign"]
+        cols = columns.columns
+        for user_index, campaign_index in zip(cols["user"], cols["campaign"]):
+            user = users[user_index]
+            campaign = campaigns[campaign_index]
+            key = (campaign, user.gender)
+            gender[key] = gender.get(key, 0) + 1
+            key = (campaign, user.age)
+            age[key] = age.get(key, 0) + 1
+            key = (campaign, user.geo)
+            geo[key] = geo.get(key, 0) + 1
 
     def reference_counts(
         self, events: List[AdEvent]
     ) -> Dict[str, Dict[Tuple[str, str], int]]:
         """Ground-truth aggregation matching :meth:`specs` layout."""
-        out: Dict[str, Dict[Tuple[str, str], int]] = {
-            "gender_by_campaign": {},
-            "age_by_campaign": {},
-            "geo_by_campaign": {},
-        }
+        out = self.new_reference()
         for event in events:
-            for stat, attr in (
-                ("gender_by_campaign", event.user.gender),
-                ("age_by_campaign", event.user.age),
-                ("geo_by_campaign", event.user.geo),
-            ):
-                key = (event.campaign, attr)
-                out[stat][key] = out[stat].get(key, 0) + 1
+            self.accumulate_event(event, out)
         return out
+
+
+class AdEventStream(EventStream):
+    """Incremental ad-interaction stream (see :class:`EventStream`).
+
+    Row draw order matches the legacy ``generate_events`` loop bit for
+    bit: user choice, campaign choice, click test — ``randrange(n)``
+    consumes the same RNG bits as ``choice`` over an ``n``-sequence.
+    """
+
+    column_names = ("user", "campaign", "click")
+
+    def __init__(
+        self,
+        workload: AdCampaignWorkload,
+        requests_per_second: float,
+        duration_ms: float,
+    ):
+        super().__init__(workload._rng, requests_per_second, duration_ms)
+        self.workload = workload
+        self._num_users = len(workload.users)
+        self._num_campaigns = len(workload.campaigns)
+        self._click_fraction = workload.click_fraction
+
+    def _draw_row(self) -> Tuple[int, int, int]:
+        rng = self._rng
+        return (
+            rng.randrange(self._num_users),
+            rng.randrange(self._num_campaigns),
+            1 if rng.random() < self._click_fraction else 0,
+        )
+
+    def _wrap(self, time_ms: float, row: Tuple[int, int, int]) -> AdEvent:
+        workload = self.workload
+        user_index, campaign_index, click = row
+        return AdEvent(
+            time_ms=time_ms,
+            user=workload.users[user_index],
+            campaign=workload.campaigns[campaign_index],
+            event_type="click" if click else "view",
+        )

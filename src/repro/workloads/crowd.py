@@ -16,8 +16,15 @@ from typing import Dict, List, Tuple
 
 from repro.core.schema import CookieSchema, Feature
 from repro.core.stats import StatKind, StatSpec
+from repro.workloads.columns import EventColumns, EventStream
 
-__all__ = ["REGIONS", "INTERESTS", "CrowdMember", "CrowdWorkload"]
+__all__ = [
+    "REGIONS",
+    "INTERESTS",
+    "CrowdMember",
+    "CrowdEventStream",
+    "CrowdWorkload",
+]
 
 REGIONS = tuple("region-%d" % i for i in range(12))
 INTERESTS = ("sports", "music", "food", "travel", "tech", "fashion")
@@ -74,19 +81,29 @@ class CrowdWorkload:
             StatSpec("dwell_max", StatKind.MAX, "dwell", group_by="region"),
         ]
 
+    def stream(
+        self, rate_per_second: float, duration_ms: float
+    ) -> "CrowdEventStream":
+        """Incremental check-in stream (RNG-identical to
+        :meth:`arrivals`); its batched API feeds the ingest fast path —
+        crowd cookies are constant per member, the best case for the
+        client-side encode cache."""
+        return CrowdEventStream(self, rate_per_second, duration_ms)
+
     def arrivals(
         self, rate_per_second: float, duration_ms: float
     ) -> List[Tuple[float, CrowdMember]]:
         """Timed check-in events from crowd members."""
-        if rate_per_second <= 0 or duration_ms <= 0:
-            raise ValueError("rate and duration must be positive")
-        events: List[Tuple[float, CrowdMember]] = []
-        gap = 1000.0 / rate_per_second
-        t = self._rng.expovariate(1.0) * gap
-        while t < duration_ms:
-            events.append((t, self._rng.choice(self.members)))
-            t += self._rng.expovariate(1.0) * gap
-        return events
+        return self.stream(rate_per_second, duration_ms).drain()
+
+    def cookie_keys(self, columns: EventColumns) -> List[int]:
+        """Encode-cache keys: the member index alone (constant cookie)."""
+        return list(columns.columns["member"])
+
+    def cookie_values_at(
+        self, columns: EventColumns, index: int
+    ) -> Dict[str, object]:
+        return self.members[columns.columns["member"][index]].semantic_values()
 
     def reference_interest_counts(
         self, arrivals: List[Tuple[float, CrowdMember]]
@@ -96,3 +113,27 @@ class CrowdWorkload:
             key = (member.region, member.interest)
             out[key] = out.get(key, 0) + 1
         return out
+
+
+class CrowdEventStream(EventStream):
+    """Incremental crowd check-in stream; one member-index column."""
+
+    column_names = ("member",)
+
+    def __init__(
+        self,
+        workload: CrowdWorkload,
+        rate_per_second: float,
+        duration_ms: float,
+    ):
+        super().__init__(workload._rng, rate_per_second, duration_ms)
+        self.workload = workload
+        self._num_members = len(workload.members)
+
+    def _draw_row(self) -> Tuple[int]:
+        return (self._rng.randrange(self._num_members),)
+
+    def _wrap(
+        self, time_ms: float, row: Tuple[int]
+    ) -> Tuple[float, CrowdMember]:
+        return (time_ms, self.workload.members[row[0]])

@@ -16,8 +16,14 @@ from typing import Dict, List, Tuple
 
 from repro.core.schema import CookieSchema, Feature
 from repro.core.stats import StatKind, StatSpec
+from repro.workloads.columns import EventColumns, EventStream
 
-__all__ = ["Tenant", "ResourceDemandWorkload", "Autoscaler"]
+__all__ = [
+    "Tenant",
+    "ResourceDemandWorkload",
+    "ResourceEventStream",
+    "Autoscaler",
+]
 
 SERVICE_TIERS = ("free", "standard", "premium")
 MAX_DEMAND_UNITS = 500
@@ -67,18 +73,26 @@ class ResourceDemandWorkload:
             StatSpec("sessions", StatKind.COUNT_BY_CLASS, "tier"),
         ]
 
+    def stream(
+        self, rate_per_second: float, duration_ms: float
+    ) -> "ResourceEventStream":
+        """Incremental session stream (RNG-identical to
+        :meth:`sessions`); tenant cookies are constant, so the encode
+        cache keys on the tenant index alone."""
+        return ResourceEventStream(self, rate_per_second, duration_ms)
+
     def sessions(
         self, rate_per_second: float, duration_ms: float
     ) -> List[Tuple[float, Tenant]]:
-        if rate_per_second <= 0 or duration_ms <= 0:
-            raise ValueError("rate and duration must be positive")
-        out: List[Tuple[float, Tenant]] = []
-        gap = 1000.0 / rate_per_second
-        t = self._rng.expovariate(1.0) * gap
-        while t < duration_ms:
-            out.append((t, self._rng.choice(self.tenants)))
-            t += self._rng.expovariate(1.0) * gap
-        return out
+        return self.stream(rate_per_second, duration_ms).drain()
+
+    def cookie_keys(self, columns: EventColumns) -> List[int]:
+        return list(columns.columns["tenant"])
+
+    def cookie_values_at(
+        self, columns: EventColumns, index: int
+    ) -> Dict[str, object]:
+        return self.tenants[columns.columns["tenant"][index]].semantic_values()
 
     def reference_demand_sum(
         self, sessions: List[Tuple[float, Tenant]]
@@ -87,6 +101,28 @@ class ResourceDemandWorkload:
         for _t, tenant in sessions:
             out[tenant.tier] += tenant.demand_units
         return out
+
+
+class ResourceEventStream(EventStream):
+    """Incremental session stream; one tenant-index column."""
+
+    column_names = ("tenant",)
+
+    def __init__(
+        self,
+        workload: ResourceDemandWorkload,
+        rate_per_second: float,
+        duration_ms: float,
+    ):
+        super().__init__(workload._rng, rate_per_second, duration_ms)
+        self.workload = workload
+        self._num_tenants = len(workload.tenants)
+
+    def _draw_row(self) -> Tuple[int]:
+        return (self._rng.randrange(self._num_tenants),)
+
+    def _wrap(self, time_ms: float, row: Tuple[int]) -> Tuple[float, Tenant]:
+        return (time_ms, self.workload.tenants[row[0]])
 
 
 class Autoscaler:

@@ -25,8 +25,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.streaming.context import StreamingContext
 from repro.streaming.rdd import RDD
+from repro.workloads.columns import EventStream
 
-__all__ = ["YsbEvent", "YsbWorkload", "YsbPipeline"]
+__all__ = ["YsbEvent", "YsbEventStream", "YsbWorkload", "YsbPipeline"]
 
 EVENT_TYPES = ("view", "click", "purchase")
 
@@ -63,26 +64,18 @@ class YsbWorkload:
                 self.ad_to_campaign[ad_id] = campaign
         self._ads = list(self.ad_to_campaign)
 
+    def stream(
+        self, rate_per_second: float, duration_ms: float
+    ) -> "YsbEventStream":
+        """Incremental benchmark stream, RNG-identical to
+        :meth:`generate_events`; the batched API emits index columns
+        (user, page, ad, event-type) without per-event objects."""
+        return YsbEventStream(self, rate_per_second, duration_ms)
+
     def generate_events(
         self, rate_per_second: float, duration_ms: float
     ) -> List[YsbEvent]:
-        if rate_per_second <= 0 or duration_ms <= 0:
-            raise ValueError("rate and duration must be positive")
-        events: List[YsbEvent] = []
-        gap = 1000.0 / rate_per_second
-        t = self._rng.expovariate(1.0) * gap
-        while t < duration_ms:
-            events.append(
-                YsbEvent(
-                    user_id="user-%d" % self._rng.randrange(10_000),
-                    page_id="page-%d" % self._rng.randrange(1_000),
-                    ad_id=self._rng.choice(self._ads),
-                    event_type=self._rng.choice(EVENT_TYPES),
-                    event_time_ms=t,
-                )
-            )
-            t += self._rng.expovariate(1.0) * gap
-        return events
+        return self.stream(rate_per_second, duration_ms).drain()
 
     def reference_window_counts(
         self, events: List[YsbEvent], window_ms: float
@@ -96,6 +89,46 @@ class YsbWorkload:
             campaign = self.ad_to_campaign[event.ad_id]
             out[(window, campaign)] = out.get((window, campaign), 0) + 1
         return out
+
+
+class YsbEventStream(EventStream):
+    """Incremental YSB event stream.
+
+    Draw order per event matches the legacy loop: user id, page id, ad
+    choice, event-type choice (the two ``choice`` calls consume the
+    same RNG bits as ``randrange`` over the sequence length).
+    """
+
+    column_names = ("user", "page", "ad", "etype")
+
+    def __init__(
+        self,
+        workload: YsbWorkload,
+        rate_per_second: float,
+        duration_ms: float,
+    ):
+        super().__init__(workload._rng, rate_per_second, duration_ms)
+        self.workload = workload
+        self._num_ads = len(workload._ads)
+
+    def _draw_row(self) -> Tuple[int, int, int, int]:
+        rng = self._rng
+        return (
+            rng.randrange(10_000),
+            rng.randrange(1_000),
+            rng.randrange(self._num_ads),
+            rng.randrange(len(EVENT_TYPES)),
+        )
+
+    def _wrap(self, time_ms: float, row: Tuple[int, int, int, int]) -> YsbEvent:
+        user, page, ad, etype = row
+        return YsbEvent(
+            user_id="user-%d" % user,
+            page_id="page-%d" % page,
+            ad_id=self.workload._ads[ad],
+            event_type=EVENT_TYPES[etype],
+            event_time_ms=time_ms,
+        )
 
 
 class YsbPipeline:

@@ -1,0 +1,202 @@
+"""Properties of the client-side cookie encode cache.
+
+The cache is only admissible because the Snatch CID policy preserves
+bytes [1, 18) across connections — so a cached encrypted block must be
+indistinguishable (to every decoder) from a freshly encoded one, and a
+controller rekey or version push must atomically drop every block
+minted under the superseded parameters.
+"""
+
+import random
+
+import pytest
+
+from repro.core.controller import SnatchController
+from repro.core.cookie_cache import CookieEncodeCache
+from repro.core.schema import Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.switch.columns import force_numpy
+
+APP_ID = 0x5C
+KEY = bytes(range(16))
+
+REGIONS = ("north", "south", "east", "west")
+INTERESTS = ("music", "sport", "food")
+
+
+def _schema():
+    from repro.core.schema import CookieSchema
+
+    return CookieSchema(
+        "crowd",
+        (
+            Feature.categorical("region", REGIONS),
+            Feature.categorical("interest", INTERESTS),
+            Feature.number("dwell", 0, 240),
+        ),
+    )
+
+
+def _values(i):
+    return {
+        "region": REGIONS[i % len(REGIONS)],
+        "interest": INTERESTS[i % len(INTERESTS)],
+        "dwell": (i * 37) % 241,
+    }
+
+
+def _cache(capacity=4096, seed=3):
+    codec = TransportCookieCodec(APP_ID, _schema(), KEY, random.Random(seed))
+    return CookieEncodeCache(codec, capacity=capacity)
+
+
+@pytest.fixture
+def no_numpy():
+    force_numpy(False)
+    try:
+        yield
+    finally:
+        force_numpy(None)
+
+
+class TestDecodeIdentity:
+    def test_cached_and_fresh_cookies_decode_identically(self):
+        cache = _cache()
+        decoder = TransportCookieCodec(
+            APP_ID, _schema(), KEY, random.Random(99)
+        )
+        miss = cache.encode(7, lambda: _values(7))
+        hit = cache.encode(7, lambda: _values(7))
+        fresh = decoder.encode(_values(7))
+        assert cache.hits == 1 and cache.misses == 1
+        # The semantic region is byte-identical between hit and miss...
+        assert bytes(miss)[1:18] == bytes(hit)[1:18]
+        # ...and all three decode to the same feature vector.
+        for cid in (miss, hit, fresh):
+            assert decoder.decode(cid).values == _values(7)
+
+    def test_batch_decodes_to_expected_values(self):
+        cache = _cache()
+        decoder = TransportCookieCodec(
+            APP_ID, _schema(), KEY, random.Random(98)
+        )
+        keys = [i % 9 for i in range(120)]
+        cids = cache.encode_batch(keys, lambda i: _values(keys[i]))
+        for key, cid in zip(keys, cids):
+            assert decoder.decode(cid).values == _values(key)
+        assert cache.misses == 9
+        assert cache.hits == 120 - 9
+
+
+class TestEntryPointEquivalence:
+    def _assert_batch_equals_columns(self):
+        keys = [i % 17 for i in range(150)]
+        cache_a = _cache(seed=7)
+        cache_b = _cache(seed=7)
+        cids = cache_a.encode_batch(keys, lambda i: _values(keys[i]))
+        cols = cache_b.encode_columns(keys, lambda i: _values(keys[i]))
+        assert [bytes(c) for c in cids] == list(cols.raw)
+        assert cache_a.stats() == cache_b.stats()
+
+    def test_batch_equals_columns_bytes(self):
+        self._assert_batch_equals_columns()
+
+    def test_batch_equals_columns_bytes_no_numpy(self, no_numpy):
+        self._assert_batch_equals_columns()
+
+    def test_warm_batch_equals_sequential_encode(self):
+        cache = _cache(seed=11)
+        keys = [i % 6 for i in range(6)]
+        cache.encode_batch(keys, lambda i: _values(keys[i]))  # warm
+        state = cache.codec.rng.getstate()
+        batched = cache.encode_batch(keys, lambda i: _values(keys[i]))
+        cache.codec.rng.setstate(state)
+        sequential = [
+            cache.encode(k, lambda k=k: _values(k)) for k in keys
+        ]
+        assert [bytes(a) for a in batched] == [bytes(b) for b in sequential]
+
+
+class TestBoundsAndInvalidation:
+    def test_lru_bound_and_evictions(self):
+        cache = _cache(capacity=8)
+        keys = list(range(50))
+        cache.encode_batch(keys, lambda i: _values(keys[i]))
+        assert len(cache) <= 8
+        assert cache.evictions == 50 - 8
+        # The most recently stored keys survived.
+        cache.encode(49, lambda: _values(49))
+        assert cache.hits == 1
+
+    def test_rekey_drops_every_block_and_reencodes(self):
+        cache = _cache()
+        cache.encode_batch(list(range(10)), lambda i: _values(i))
+        assert len(cache) == 10 and cache.misses == 10
+        new_key = bytes(reversed(range(16)))
+        cache.rekey(new_key)
+        assert len(cache) == 0
+        assert cache.epoch == 1 and cache.invalidations == 1
+        # Same user key after the rekey: a miss (no stale serve), and
+        # the fresh cookie decodes under the *new* key.
+        cid = cache.encode(3, lambda: _values(3))
+        assert cache.misses == 11
+        decoder = TransportCookieCodec(
+            APP_ID, _schema(), new_key, random.Random(1)
+        )
+        assert decoder.decode(cid).values == _values(3)
+
+    def test_rekey_preserves_rng_stream(self):
+        cache = _cache(seed=13)
+        before = cache.codec.rng
+        cache.rekey(bytes(16))
+        assert cache.codec.rng is before
+
+
+class TestControllerClientHooks:
+    def _controller_and_cache(self):
+        controller = SnatchController(seed=5)
+        handle = controller.add_application(
+            "crowd",
+            list(_schema().features),
+            [StatSpec("interest_by_region", StatKind.COUNT_BY_CLASS,
+                      "interest", group_by="region")],
+        )
+        codec = TransportCookieCodec(
+            handle.app_id, handle.transport_schema, handle.key,
+            random.Random(3),
+        )
+        cache = CookieEncodeCache(codec)
+        controller.attach_client(cache)
+        return controller, cache, handle
+
+    def test_version_push_invalidates_and_adopts_parameters(self):
+        controller, cache, handle = self._controller_and_cache()
+        cache.encode_batch(list(range(12)), lambda i: _values(i))
+        assert len(cache) == 12
+        new_handle = controller.update_application("crowd")
+        assert cache.epoch == 1 and len(cache) == 0
+        assert cache.app_id == new_handle.app_id
+        # Cookies minted after the push decode under the new version.
+        cid = cache.encode(0, lambda: _values(0))
+        decoder = TransportCookieCodec(
+            new_handle.app_id, new_handle.transport_schema,
+            new_handle.key, random.Random(1),
+        )
+        assert decoder.decode(cid).values == _values(0)
+
+    def test_revoke_invalidates(self):
+        controller, cache, handle = self._controller_and_cache()
+        cache.encode(0, lambda: _values(0))
+        controller.remove_application("crowd")
+        assert cache.epoch == 1 and len(cache) == 0
+
+    def test_unrelated_push_is_ignored(self):
+        controller, cache, handle = self._controller_and_cache()
+        cache.encode(0, lambda: _values(0))
+        controller.add_application(
+            "other",
+            [Feature.categorical("tier", ("a", "b"))],
+            [StatSpec("sessions", StatKind.COUNT_BY_CLASS, "tier")],
+        )
+        assert cache.epoch == 0 and len(cache) == 1

@@ -70,6 +70,56 @@ class TestLossBehaviour:
         assert expected - counted <= 1
 
 
+class TestStreamingIngest:
+    def test_streaming_pump_matches_materialized_run(self):
+        """The pull-based ingest pump (micro-batched generation plus
+        the cookie encode cache) must be observably identical to the
+        legacy materialize-everything loop."""
+        streamed = NetworkTestbed(_config(), streaming_ingest=True).run()
+        legacy = NetworkTestbed(_config(), streaming_ingest=False).run()
+        assert streamed.latencies_ms == legacy.latencies_ms
+        assert streamed.report == legacy.report
+        assert streamed.reference == legacy.reference
+        assert streamed.aggregation_packets == legacy.aggregation_packets
+        assert streamed.aggregation_bytes == legacy.aggregation_bytes
+
+    def test_ingest_batch_size_is_unobservable(self):
+        small = NetworkTestbed(_config(), ingest_batch=7).run()
+        large = NetworkTestbed(_config(), ingest_batch=1024).run()
+        assert small.latencies_ms == large.latencies_ms
+        assert small.report == large.report
+
+    def test_cache_serves_repeat_visitors(self):
+        # 5 users x 8 campaigns x 2 event types = 80 distinct cookies,
+        # far fewer than the ~500 requests: repeat hits are guaranteed.
+        testbed = NetworkTestbed(
+            _config(requests_per_second=200, num_users=5)
+        )
+        result = testbed.run()
+        stats = testbed.cookie_cache.stats()
+        assert stats["misses"] > 0
+        assert stats["hits"] > 0
+        assert stats["hits"] + stats["misses"] == len(result.latencies_ms)
+
+    def test_rekey_with_warm_cache_never_serves_stale_cookies(self):
+        """Regression: a rekey must invalidate the encode cache along
+        with the switch tiers — a warm cache serving old-key blocks
+        would fail every decode and zero the analytics."""
+        testbed = NetworkTestbed(_config())
+        cols = testbed.workload.stream(1000.0, 100.0).generate_batch(64)
+        testbed.cookie_cache.encode_batch(
+            testbed.workload.cookie_keys(cols),
+            lambda i: testbed.workload.cookie_values_at(cols, i),
+        )
+        assert len(testbed.cookie_cache) > 0
+        testbed.rekey(bytes(range(16)))
+        assert testbed.cookie_cache.epoch == 1
+        assert len(testbed.cookie_cache) == 0
+        result = testbed.run()
+        assert result.counts_match_reference()
+        assert result.lost_packets == 0
+
+
 class TestWebServerOutage:
     def test_transport_path_survives_web_failure(self):
         """The transport-layer pathway forks at the LarkSwitch, before
