@@ -18,6 +18,7 @@ failures *producible* and the recovery *automatic*:
 from repro.chaos.harness import ChaosHarness, ChaosResult
 from repro.chaos.lifecycle import DeviceLifecycle, LifecycleEvent
 from repro.chaos.scenario import ChaosEvent, ChaosScenario, standard_outage
+from repro.chaos.shard_faults import ShardCrash, ShardFaultPlan, ShardKill
 
 __all__ = [
     "ChaosEvent",
@@ -26,5 +27,8 @@ __all__ = [
     "ChaosScenario",
     "DeviceLifecycle",
     "LifecycleEvent",
+    "ShardCrash",
+    "ShardFaultPlan",
+    "ShardKill",
     "standard_outage",
 ]

@@ -9,9 +9,11 @@ Subcommands mirror the evaluation:
 * ``measure``   — the synthetic measurement campaign summary;
 * ``bench``     — data-plane throughput: scalar vs one fast path
   (``--backend batch|columnar``), the three-way ``--compare`` mode
-  that writes ``BENCH_columnar.json``, or the whole-run ``--e2e``
+  that writes ``BENCH_columnar.json``, the whole-run ``--e2e``
   ingest benchmark that writes ``BENCH_e2e.json`` (add ``--profile
-  PATH`` for a cProfile dump);
+  PATH`` for a cProfile dump), or the ``--chaos`` crash-recovery
+  benchmark on the supervised shard runtime that writes
+  ``BENCH_chaos.json``;
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -251,6 +253,55 @@ def _cmd_bench(args, out) -> int:
             out.write("FAIL: backends disagree or ground truth mismatch\n")
             return 1
         return 0
+    if args.chaos:
+        # Crash-recovery benchmark on the supervised shard runtime:
+        # every (seed, backend) cell must survive a scripted shard
+        # crash plus a mid-run degradation with byte-identical output,
+        # replaying no more than one epoch from the last checkpoint.
+        from repro.testbed.chaos_bench import run_chaos_bench
+
+        result = run_chaos_bench(
+            packets=args.packets,
+            num_users=args.users,
+            shards=max(2, args.shards),
+            chunk_size=min(args.batch_size, 64),
+            seeds=(args.seed, args.seed + 12, args.seed + 24),
+        )
+        out.write(
+            "chaos recovery: %d packets, %d shards, epoch=%d packets "
+            "(checkpoint every %d chunks of %d)\n"
+            % (result["packets"], result["shards"], result["epoch_size"],
+               result["checkpoint_batches"], result["chunk_size"])
+        )
+        rows = []
+        for seed, per_backend in sorted(result["seeds"].items()):
+            for backend, cell in per_backend.items():
+                rows.append([
+                    seed, backend,
+                    cell["crashes"], cell["retries"],
+                    cell["recovered_packets"],
+                    "%.1f%%" % cell["recovered_pct"],
+                    cell["degraded_to"] or "-",
+                    "yes" if cell["identical"] else "NO",
+                    "yes" if cell["tail_only"] else "NO",
+                ])
+        _print_rows(
+            ["seed", "backend", "crashes", "retries", "replayed",
+             "replayed %", "degraded to", "identical", "tail only"],
+            rows, out,
+        )
+        json_path = args.json or "BENCH_chaos.json"
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("\nwrote %s\n" % json_path)
+        if not result["all_identical"]:
+            out.write("FAIL: recovered run diverged from fault-free run\n")
+            return 1
+        if not result["all_tail_only"]:
+            out.write("FAIL: recovery replayed more than the epoch tail\n")
+            return 1
+        return 0
     if args.compare:
         # Three-way backend comparison; the columnar path must not
         # regress below the batch path on the periodical workload.
@@ -426,6 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "if columnar is slower than batch")
     p.add_argument("--repeats", type=int, default=3,
                    help="interleaved best-of-N rounds for --compare/--e2e")
+    p.add_argument("--chaos", action="store_true",
+                   help="supervised-shard crash-recovery benchmark "
+                        "(3 seeds x all backends); writes "
+                        "BENCH_chaos.json and exits nonzero if a "
+                        "recovered run diverges or replays more than "
+                        "one checkpoint epoch")
     p.add_argument("--e2e", action="store_true",
                    help="whole-run ingest benchmark (generate, encode, "
                         "lark, agg, verify) across all backends; writes "

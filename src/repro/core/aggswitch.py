@@ -260,7 +260,12 @@ class AggSwitch:
                 if index >= len(app.schema.features):
                     return None
                 feature = app.schema.features[index]
-                values[feature.name] = feature.decode_value(wire)
+                try:
+                    values[feature.name] = feature.decode_value(wire)
+                except ValueError:
+                    # Corrupted wire value: reject before any register
+                    # is touched, so the payload is a clean dead letter.
+                    return None
             # The merged view is kept in lockstep via the mirror, so
             # the per-packet forward report below is a cache read
             # instead of a full K-bank re-merge.
@@ -269,13 +274,22 @@ class AggSwitch:
             self._m_per_packet_merges.inc()
         else:
             # Items are a flattened statistics snapshot from one source.
+            # A corrupted payload can pass the AES decode yet carry a
+            # garbage item stack; both helpers below are pure, so
+            # failing here leaves the bank untouched and the caller
+            # books a decode failure instead of an exception — crucial
+            # in a batch, where a raise after earlier packets folded
+            # would force the caller to replay (and double-count) them.
             mins = min_array_names(app.specs)
-            incoming = unflatten_snapshot(
-                packet.items, bank.snapshot(), mins
-            )
-            merged = merge_snapshots(
-                app.specs, bank.snapshot(), incoming
-            )
+            try:
+                incoming = unflatten_snapshot(
+                    packet.items, bank.snapshot(), mins
+                )
+                merged = merge_snapshots(
+                    app.specs, bank.snapshot(), incoming
+                )
+            except (ValueError, KeyError, IndexError):
+                return None
             self._write_snapshot(bank, merged)
             # load_snapshot masks cells on write, which the mirror
             # arithmetic cannot reproduce — rebuild lazily instead.
@@ -624,3 +638,25 @@ class AggSwitch:
 
     def packets_merged(self, app_id: int) -> int:
         return self._apps[app_id].packets_merged
+
+    # -- checkpointing (supervised shard runtime) ------------------------------
+
+    def checkpoint(self, app_id: int) -> Dict[str, List[int]]:
+        """The merged register snapshot as a checkpoint unit.  Same
+        data as :meth:`merge`; named separately so checkpoint call
+        sites read as what they are."""
+        return self.merge(app_id)
+
+    def restore(self, app_id: int, snapshot: Dict[str, List[int]]) -> None:
+        """Inverse of :meth:`checkpoint` for crash recovery: bank 0 is
+        overwritten with the saved merged snapshot and the other banks
+        are cleared.  :meth:`merge` folds banks associatively, so
+        collapsing the saved state into one bank cannot be observed
+        through any read-out."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        for bank in app.banks[1:]:
+            bank.reset()
+        app.stats.load_snapshot(snapshot)
+        app.merged_cache = None

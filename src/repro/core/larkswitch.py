@@ -753,6 +753,27 @@ class LarkSwitch:
     def stats_report(self, app_id: int) -> Dict[str, Any]:
         return self._apps[app_id].stats.report()
 
+    # -- checkpointing (supervised shard runtime) ------------------------------
+
+    def checkpoint(self, app_id: int) -> Dict[str, List[int]]:
+        """Raw register snapshot of an application's statistics — the
+        unit the supervised shard runtime persists at epoch flushes.
+        The per-kind folds are associative, so a crashed replica
+        restored from this and replayed from the matching stream
+        position reproduces the uninterrupted registers cell for cell."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        return app.stats.snapshot()
+
+    def restore(self, app_id: int, snapshot: Dict[str, List[int]]) -> None:
+        """Inverse of :meth:`checkpoint`: overwrite the registers with a
+        saved snapshot (crash recovery before replaying the tail)."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        app.stats.load_snapshot(snapshot)
+
 
 _MIN_SENTINEL = (1 << 48) - 1  # matches repro.core.stats
 

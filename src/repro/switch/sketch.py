@@ -134,6 +134,24 @@ class CountMinSketch:
     def snapshot(self) -> List[List[int]]:
         return [row.snapshot() for row in self._rows]
 
+    def load_snapshot(
+        self, rows: List[List[int]], total: Optional[int] = None
+    ) -> None:
+        """Inverse of :meth:`snapshot` (period-boundary checkpoint
+        restore).  Every ``add`` bumps each row by the same count, so
+        when ``total`` is omitted it is recovered as the first row's
+        cell sum (exact as long as counters have not wrapped)."""
+        if len(rows) != self.depth or any(
+            len(row) != self.width for row in rows
+        ):
+            raise ValueError("snapshot shape does not match the sketch")
+        for mine, saved in zip(self._rows, rows):
+            mine.reset()
+            for index, value in enumerate(saved):
+                if value:
+                    mine.add(index, value)
+        self.total = sum(rows[0]) if total is None else total
+
     def reset(self) -> None:
         for row in self._rows:
             row.reset()

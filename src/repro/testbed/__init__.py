@@ -14,6 +14,7 @@ from repro.testbed.pipeline import (
     StreamingPipeline,
 )
 from repro.testbed.spark_model import SparkLatencyModel
+from repro.testbed.supervisor import ShardSupervisor, SupervisedRunResult
 
 __all__ = [
     "NetworkRunResult",
@@ -22,8 +23,10 @@ __all__ = [
     "ReorderInjector",
     "RequestRecord",
     "Scheme",
+    "ShardSupervisor",
     "SparkLatencyModel",
     "StreamingPipeline",
+    "SupervisedRunResult",
     "TestbedConfig",
     "TestbedExperiment",
     "TestbedResult",

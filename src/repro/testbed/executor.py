@@ -29,6 +29,7 @@ sequentially in-process — identical results, no parallelism.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from dataclasses import dataclass, field
@@ -37,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.aggregation import ForwardingMode
 from repro.core.schema import CookieSchema
 from repro.core.stats import StatSpec, merge_snapshots
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.hashing import crc32
 
 __all__ = [
@@ -44,7 +46,11 @@ __all__ = [
     "ShardExecutor",
     "ShardRunResult",
     "AdaptiveBackend",
+    "partition_packets",
+    "render_report",
 ]
+
+_LOG = logging.getLogger(__name__)
 
 _COOKIE_REGION = slice(1, 18)  # preserved cookie bytes (lark partition key)
 
@@ -151,6 +157,42 @@ def _run_shard(
     return shard_index, snapshot, counters
 
 
+def partition_packets(
+    spec: ShardSpec, shards: int, packets: Sequence[bytes]
+) -> List[List[bytes]]:
+    """Deterministic hash partition, preserving per-shard arrival
+    order.  Lark streams split on the preserved cookie region so a
+    user's packets (and their dedup state) stay on one shard; agg
+    streams split on payload CRC-32 exactly like the in-switch bank
+    partition."""
+    parts: List[List[bytes]] = [[] for _ in range(shards)]
+    if shards == 1:
+        parts[0] = [bytes(p) for p in packets]
+        return parts
+    if spec.kind == "lark":
+        for packet in packets:
+            raw = bytes(packet)
+            parts[crc32(raw[_COOKIE_REGION]) % shards].append(raw)
+    else:
+        for packet in packets:
+            raw = bytes(packet)
+            parts[crc32(raw) % shards].append(raw)
+    return parts
+
+
+def render_report(
+    spec: ShardSpec, shards: int, snapshot: Optional[Dict[str, List[int]]]
+) -> Dict[str, Any]:
+    """Render the statistics report a single switch would have produced
+    from a merged shard snapshot, via a throwaway replica."""
+    render = _build_switch(spec, shard_index=shards + 1)
+    if spec.kind == "lark":
+        stats = render._apps[spec.app_id].stats
+    else:
+        stats = render._apps[spec.app_id].banks[0]
+    return stats.report_from_snapshot(snapshot or stats.snapshot())
+
+
 @dataclass
 class ShardRunResult:
     """Merged outcome of a sharded run."""
@@ -161,6 +203,9 @@ class ShardRunResult:
     shard_folded: List[int]
     used_pool: bool
     shards: int
+    # Why the pool path was abandoned ("TypeError: ...") — None when the
+    # pool ran, or when the sequential path was requested outright.
+    fallback_cause: Optional[str] = None
 
     @property
     def total_packets(self) -> int:
@@ -183,6 +228,7 @@ class ShardExecutor:
         backend: str = "columnar",
         chunk_size: int = 4096,
         pool_timeout_s: float = 120.0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -196,29 +242,14 @@ class ShardExecutor:
         self.backend = backend
         self.chunk_size = chunk_size
         self.pool_timeout_s = pool_timeout_s
+        self.registry = registry if registry is not None else get_registry()
         self.last_error: Optional[str] = None
 
     # -- partitioning ------------------------------------------------------
 
     def partition(self, packets: Sequence[bytes]) -> List[List[bytes]]:
-        """Deterministic hash partition, preserving per-shard arrival
-        order.  Lark streams split on the preserved cookie region so a
-        user's packets (and their dedup state) stay on one shard; agg
-        streams split on payload CRC-32 exactly like the in-switch
-        bank partition."""
-        parts: List[List[bytes]] = [[] for _ in range(self.shards)]
-        if self.shards == 1:
-            parts[0] = [bytes(p) for p in packets]
-            return parts
-        if self.spec.kind == "lark":
-            for packet in packets:
-                raw = bytes(packet)
-                parts[crc32(raw[_COOKIE_REGION]) % self.shards].append(raw)
-        else:
-            for packet in packets:
-                raw = bytes(packet)
-                parts[crc32(raw) % self.shards].append(raw)
-        return parts
+        """Deterministic hash partition (see :func:`partition_packets`)."""
+        return partition_packets(self.spec, self.shards, packets)
 
     # -- execution ---------------------------------------------------------
 
@@ -239,18 +270,14 @@ class ShardExecutor:
                 if snapshot is None
                 else merge_snapshots(specs, snapshot, shard_snapshot)
             )
-        render = _build_switch(self.spec, shard_index=self.shards + 1)
-        if self.spec.kind == "lark":
-            stats = render._apps[self.spec.app_id].stats
-        else:
-            stats = render._apps[self.spec.app_id].banks[0]
         return ShardRunResult(
             snapshot=snapshot or {},
-            report=stats.report_from_snapshot(snapshot or stats.snapshot()),
+            report=render_report(self.spec, self.shards, snapshot),
             shard_packets=[c["packets"] for _, _, c in outputs],
             shard_folded=[c["folded"] for _, _, c in outputs],
             used_pool=used_pool,
             shards=self.shards,
+            fallback_cause=self.last_error if not used_pool else None,
         )
 
     def _execute(self, jobs) -> Tuple[List[Any], bool]:
@@ -278,28 +305,60 @@ class ShardExecutor:
                     pool.join()
             except Exception as exc:  # no semaphores / sandboxed spawn
                 self.last_error = "%s: %s" % (type(exc).__name__, exc)
+                self.registry.counter("shard_executor.pool_fallbacks").inc()
+                _LOG.warning(
+                    "shard pool failed, sequential fallback engaged",
+                    extra={
+                        "component": "shard_executor",
+                        "kind": self.spec.kind,
+                        "shards": self.shards,
+                        "cause": self.last_error,
+                    },
+                )
         return [_run_shard(job) for job in jobs], False
 
 
 class AdaptiveBackend:
-    """Per-device backend selector with a measured "auto" mode.
+    """Per-device backend selector and continuous degradation controller.
 
     Fixed modes (``scalar`` / ``batch`` / ``columnar``) dispatch every
-    batch straight to the matching callable.  In ``auto`` mode the
-    first flushes are used as calibration probes: batches alternate
-    between the batch fast path and the scalar loop, each timed.  All
-    three paths are bit-identical (the differential suite proves it),
-    so calibration packets are processed exactly once and produce the
-    same results either way — only the wall-clock differs.  After
-    ``calibration_rounds`` timed samples per candidate the faster
-    per-packet path wins permanently; ties go to ``batch``.
+    batch straight to the matching callable, no measurement.  In
+    ``auto`` mode the first flushes are calibration probes: batches
+    rotate over every available candidate (columnar included when a
+    ``columnar_fn`` is supplied), each timed per item.  All paths are
+    bit-identical (the differential suite proves it), so calibration
+    and probe packets are processed exactly once and produce the same
+    results either way — only the wall-clock differs.  After
+    ``calibration_rounds`` timed samples per candidate the fastest
+    path wins; ties go to the higher tier (columnar > batch > scalar).
 
-    This is the testbed's guard against the batch path ever regressing
-    below scalar on a given host: rather than trusting a recorded
-    benchmark, it re-measures on live traffic and falls back.
+    Unlike the original one-shot pick, the choice stays under
+    supervision afterwards:
+
+    * every steady-state flush feeds a sliding window of per-item
+      times; when the window mean exceeds ``spike_factor`` times the
+      backend's measured baseline, the controller **degrades** one
+      tier down the ladder (columnar -> batch -> scalar);
+    * an exception raised by the chosen path also degrades one tier
+      (after being counted and re-raised — the switch state already
+      consumed the flush, so the packets cannot be silently replayed);
+    * after ``cooldown_flushes`` flushes at the lower tier, one flush
+      probes the tier we degraded from and **re-promotes** if it is
+      again competitive (no thrash: promotion only retraces recorded
+      degradations);
+    * with ``recalibrate_every > 0``, steady state additionally probes
+      the non-chosen candidates round-robin every that-many flushes
+      and re-elects the winner — continuous re-measurement instead of
+      trusting the startup calibration forever.
+
+    Every transition lands in ``history`` and in ``repro.obs``
+    counters/gauges under ``name`` (``<name>.transitions``,
+    ``.degradations``, ``.promotions``, ``.errors``, ``.tier``).
+    ``clock`` is injectable so tests can script latency spikes.
     """
 
     _MODES = ("scalar", "batch", "columnar", "auto")
+    _LADDER = ("scalar", "batch", "columnar")  # ascending tiers
 
     def __init__(
         self,
@@ -308,47 +367,227 @@ class AdaptiveBackend:
         columnar_fn: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
         mode: str = "batch",
         calibration_rounds: int = 2,
+        window: int = 32,
+        min_window: int = 5,
+        spike_factor: float = 4.0,
+        cooldown_flushes: int = 8,
+        recalibrate_every: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "adaptive",
+        clock: Callable[[], float] = time.perf_counter,
     ):
         if mode not in self._MODES:
             raise ValueError(
                 "unknown backend %r (expected one of %s)"
                 % (mode, "/".join(self._MODES))
             )
+        if spike_factor <= 1.0:
+            raise ValueError("spike_factor must be > 1")
         self._fns: Dict[str, Callable[[Sequence[Any]], List[Any]]] = {
             "scalar": scalar_fn,
             "batch": batch_fn,
             "columnar": columnar_fn if columnar_fn is not None else batch_fn,
         }
+        # Probe order: higher tiers first.  Without a real columnar_fn
+        # the "columnar" entry aliases batch_fn, so probing it would
+        # double-charge the batch path — leave it out.
+        self._candidates: Tuple[str, ...] = (
+            ("columnar", "batch", "scalar")
+            if columnar_fn is not None
+            else ("batch", "scalar")
+        )
         self.mode = mode
         self.calibration_rounds = max(1, calibration_rounds)
-        # chosen is the final dispatch target; None while calibrating.
+        self.window = max(2, window)
+        self.min_window = max(2, min_window)
+        self.spike_factor = spike_factor
+        self.cooldown_flushes = max(1, cooldown_flushes)
+        self.recalibrate_every = max(0, recalibrate_every)
+        self.registry = registry if registry is not None else get_registry()
+        self.name = name
+        self._clock = clock
+        # chosen is the current dispatch target; None while calibrating.
         self.chosen: Optional[str] = None if mode == "auto" else mode
-        self._samples: Dict[str, List[float]] = {"batch": [], "scalar": []}
+        self._samples: Dict[str, List[float]] = {
+            c: [] for c in self._candidates
+        }
+        self._baseline: Dict[str, float] = {}
+        self._window: List[float] = []
+        self._flush = 0
+        self._last_transition = 0
+        self._last_probe = 0
+        self._probe_index = 0
+        # Stack of tiers we stepped down from — re-promotion retraces it.
+        self._degraded_from: List[str] = []
+        self.history: List[Dict[str, Any]] = []
+        self.errors = 0
+
+    # -- dispatch ----------------------------------------------------------
 
     def run(self, items: Sequence[Any]) -> List[Any]:
         """Process one flush worth of ``items``; returns the results."""
-        if self.chosen is not None:
-            return self._fns[self.chosen](items)
+        if self.mode != "auto":
+            return self._fns[self.mode](items)
         if not items:
             return []
-        # Alternate candidates, batch first, until each has enough
-        # timed samples; per-packet time (not per-flush) so unequal
-        # flush sizes cannot bias the comparison.
-        batch_times = self._samples["batch"]
-        scalar_times = self._samples["scalar"]
-        candidate = (
-            "batch" if len(batch_times) <= len(scalar_times) else "scalar"
-        )
-        started = time.perf_counter()
-        results = self._fns[candidate](items)
-        elapsed = time.perf_counter() - started
-        self._samples[candidate].append(elapsed / len(items))
+        self._flush += 1
+        if self.chosen is None:
+            return self._calibrate(items)
         if (
-            len(batch_times) >= self.calibration_rounds
-            and len(scalar_times) >= self.calibration_rounds
+            self._degraded_from
+            and self._flush - self._last_transition >= self.cooldown_flushes
+        ):
+            return self._probe_promotion(items)
+        if (
+            self.recalibrate_every
+            and not self._degraded_from
+            and self._flush - self._last_probe >= self.recalibrate_every
+        ):
+            return self._probe_recalibration(items)
+        return self._steady(items)
+
+    # -- measured execution ------------------------------------------------
+
+    def _timed(self, backend: str, items: Sequence[Any]):
+        started = self._clock()
+        try:
+            results = self._fns[backend](items)
+        except Exception:
+            self.errors += 1
+            self.registry.counter(self.name + ".errors").inc()
+            if backend == self.chosen:
+                # The flush already mutated switch state; degrade for
+                # the next one and let the caller see the failure.
+                self._degrade("error")
+            raise
+        elapsed = self._clock() - started
+        return results, elapsed / max(1, len(items))
+
+    def _calibrate(self, items: Sequence[Any]) -> List[Any]:
+        # Rotate candidates (fewest samples first, higher tier on
+        # ties); per-item time so unequal flush sizes cannot bias the
+        # comparison.
+        candidate = min(
+            self._candidates, key=lambda c: len(self._samples[c])
+        )
+        results, per_item = self._timed(candidate, items)
+        self._samples[candidate].append(per_item)
+        if all(
+            len(s) >= self.calibration_rounds
+            for s in self._samples.values()
         ):
             # min-of-N: robust to one-off GC pauses during calibration.
-            self.chosen = (
-                "batch" if min(batch_times) <= min(scalar_times) else "scalar"
-            )
+            for c in self._candidates:
+                self._baseline[c] = min(self._samples[c])
+            winner = min(self._candidates, key=lambda c: self._baseline[c])
+            self._transition(None, winner, "calibration")
         return results
+
+    def _steady(self, items: Sequence[Any]) -> List[Any]:
+        results, per_item = self._timed(self.chosen, items)
+        self._window.append(per_item)
+        if len(self._window) > self.window:
+            self._window.pop(0)
+        base = self._baseline.get(self.chosen)
+        if base is None or per_item < base:
+            # Continuous re-measurement: the baseline tracks the best
+            # the chosen path has ever done here.
+            base = per_item
+            self._baseline[self.chosen] = base
+        if (
+            len(self._window) >= self.min_window
+            and base > 0
+            and sum(self._window) / len(self._window)
+            > self.spike_factor * base
+        ):
+            self.registry.counter(self.name + ".spikes").inc()
+            self._degrade("latency")
+        return results
+
+    def _probe_promotion(self, items: Sequence[Any]) -> List[Any]:
+        target = self._degraded_from[-1]
+        try:
+            results, per_item = self._timed(target, items)
+        except Exception:
+            # A tier that errors on its probe is never probed again.
+            self._degraded_from.pop()
+            raise
+        current = (
+            sum(self._window) / len(self._window)
+            if self._window
+            else self._baseline.get(self.chosen)
+        )
+        if current is not None and per_item <= current:
+            self._degraded_from.pop()
+            self._baseline[target] = min(
+                per_item, self._baseline.get(target, per_item)
+            )
+            self.registry.counter(self.name + ".promotions").inc()
+            self._transition(self.chosen, target, "recovered")
+        else:
+            # Still slow up there: stay put, restart the cooldown.
+            self._last_transition = self._flush
+        return results
+
+    def _probe_recalibration(self, items: Sequence[Any]) -> List[Any]:
+        self._last_probe = self._flush
+        others = [c for c in self._candidates if c != self.chosen]
+        if not others:
+            return self._steady(items)
+        target = others[self._probe_index % len(others)]
+        self._probe_index += 1
+        results, per_item = self._timed(target, items)
+        samples = self._samples[target]
+        samples.append(per_item)
+        if len(samples) > self.calibration_rounds:
+            samples.pop(0)
+        self._baseline[target] = min(samples)
+        if self._baseline[target] < self._baseline.get(
+            self.chosen, float("inf")
+        ):
+            self._transition(self.chosen, target, "recalibration")
+        return results
+
+    # -- transitions -------------------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        if self.chosen is None:
+            return
+        lower = [
+            t
+            for t in self._LADDER[: self._LADDER.index(self.chosen)]
+            if t in self._candidates
+        ]
+        if not lower:
+            return  # already on the floor of the ladder
+        self._degraded_from.append(self.chosen)
+        self.registry.counter(self.name + ".degradations").inc()
+        self._transition(self.chosen, lower[-1], reason)
+
+    def _transition(
+        self, source: Optional[str], target: str, reason: str
+    ) -> None:
+        self.chosen = target
+        self._window = []
+        self._last_transition = self._flush
+        self.history.append(
+            {
+                "flush": self._flush,
+                "from": source,
+                "to": target,
+                "reason": reason,
+            }
+        )
+        self.registry.counter(self.name + ".transitions").inc()
+        self.registry.gauge(self.name + ".tier").set(
+            self._LADDER.index(target)
+        )
+        _LOG.info(
+            "adaptive backend transition",
+            extra={
+                "component": self.name,
+                "from": source,
+                "to": target,
+                "reason": reason,
+            },
+        )

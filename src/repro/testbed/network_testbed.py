@@ -92,6 +92,8 @@ class NetworkTestbed:
         backend: str = "batch",
         ingest_batch: int = 256,
         streaming_ingest: bool = True,
+        adaptive_recalibrate_every: int = 0,
+        registry=None,
     ):
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be non-negative")
@@ -128,9 +130,11 @@ class NetworkTestbed:
         self.agg_device.register_application(_APP_ID, schema, self._key, specs)
         # Backend choice only matters for buffered flushes
         # (batch_window_ms > 0); the window-0 path stays per-packet.
-        # "auto" times the first flushes through the batch path and
-        # the scalar loop (bit-identical, so packets are processed
-        # exactly once either way) and sticks with the faster one.
+        # "auto" calibrates all three paths on the first flushes
+        # (bit-identical, so packets are processed exactly once either
+        # way), picks the fastest, and then stays under the continuous
+        # degradation controller: latency spikes or errors step the
+        # device down the ladder, a cooled-down probe steps it back up.
         self._lark_backend = AdaptiveBackend(
             scalar_fn=lambda cids: [
                 self.lark_device.process_quic_packet(c) for c in cids
@@ -138,6 +142,9 @@ class NetworkTestbed:
             batch_fn=self.lark_device.process_quic_batch,
             columnar_fn=self.lark_device.process_quic_columnar,
             mode=backend,
+            recalibrate_every=adaptive_recalibrate_every,
+            registry=registry,
+            name="adaptive.lark",
         )
         self._agg_backend = AdaptiveBackend(
             scalar_fn=lambda payloads: [
@@ -146,6 +153,9 @@ class NetworkTestbed:
             batch_fn=self.agg_device.process_batch,
             columnar_fn=self.agg_device.process_columnar,
             mode=backend,
+            recalibrate_every=adaptive_recalibrate_every,
+            registry=registry,
+            name="adaptive.agg",
         )
         self.backend = backend
         self._schema = schema
@@ -181,6 +191,15 @@ class NetworkTestbed:
         return {
             "lark": self._lark_backend.chosen,
             "agg": self._agg_backend.chosen,
+        }
+
+    @property
+    def backend_history(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Controller transition log per device (calibration picks,
+        degradations, re-promotions)."""
+        return {
+            "lark": list(self._lark_backend.history),
+            "agg": list(self._agg_backend.history),
         }
 
     # -- topology -----------------------------------------------------------

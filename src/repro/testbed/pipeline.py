@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -39,6 +40,7 @@ from repro.core.aggswitch import AggSwitch
 from repro.core.cookie_cache import CookieEncodeCache
 from repro.core.larkswitch import LarkSwitch
 from repro.core.transport_cookie import TransportCookieCodec
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.columns import PacketColumns, get_numpy
 
 __all__ = ["ReorderInjector", "StreamingPipeline", "PipelineResult"]
@@ -112,6 +114,11 @@ class PipelineResult:
     register_state: Dict[str, List[int]]
     cache_stats: Dict[str, int]
     agg_results: List[Any] = field(default_factory=list)
+    # Aggregation-bound payloads that could not be folded (corrupted /
+    # undecodable) — counted and dropped instead of aborting the run.
+    dead_letters: int = 0
+    # Period-boundary checkpoints taken (checkpoint_every_periods > 0).
+    checkpoints: int = 0
 
     def counts_match_reference(self) -> bool:
         for stat, expected in self.reference.items():
@@ -148,7 +155,21 @@ class StreamingPipeline:
 
     ``on_batch(pipeline, columns)`` runs before each micro-batch is
     encoded — the hook the rekey regression test uses to push a
-    controller update mid-run.
+    controller update mid-run.  Because the hook must stay in lockstep
+    with switch processing (a rekey between encode and process would
+    strand in-flight cookies under the old key), setting it forces
+    ``max_inflight`` down to 1.
+
+    ``max_inflight`` bounds how many encoded micro-batches the
+    generate/encode stage may run ahead of the switch stage — stage
+    order per batch is unchanged, so results are bit-identical for any
+    bound.  ``corrupt_probability`` is a seeded fault stage flipping
+    one byte in that fraction of aggregation payloads; the AggSwitch
+    rejects them at decode and the pipeline counts them as **dead
+    letters** (``pipeline.dead_letters`` counter) instead of aborting.
+    ``checkpoint_every_periods`` snapshots both switches' registers at
+    period flushes (the supervised runtime's checkpoint unit);
+    ``last_checkpoint`` holds the most recent one.
     """
 
     def __init__(
@@ -164,11 +185,21 @@ class StreamingPipeline:
         reorder_probability: float = 0.0,
         reorder_max_delay: int = 8,
         on_batch: Optional[Callable[["StreamingPipeline", Any], None]] = None,
+        max_inflight: int = 2,
+        corrupt_probability: float = 0.0,
+        checkpoint_every_periods: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s" % (BACKENDS,))
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if not 0.0 <= corrupt_probability <= 1.0:
+            raise ValueError("corrupt_probability must be in [0, 1]")
+        if checkpoint_every_periods < 0:
+            raise ValueError("checkpoint_every_periods must be >= 0")
         self.workload = workload
         self.app_id = app_id
         self.mode = mode
@@ -176,6 +207,9 @@ class StreamingPipeline:
         self.backend = backend
         self.batch_size = batch_size
         self.on_batch = on_batch
+        self.max_inflight = 1 if on_batch is not None else max_inflight
+        self.checkpoint_every_periods = checkpoint_every_periods
+        self.registry = registry if registry is not None else get_registry()
         key_rng = random.Random(seed + 9)
         self._key = bytes(key_rng.getrandbits(8) for _ in range(16))
         schema = workload.schema()
@@ -197,8 +231,16 @@ class StreamingPipeline:
                 reorder_probability,
                 reorder_max_delay,
             )
+        # Seeded payload-corruption fault stage: draws per arrival, so
+        # (like the reorder stage) it is invariant to batch shape.
+        self.corrupt_probability = corrupt_probability
+        self._corrupt_rng = random.Random(seed + 47)
         self._next_boundary = period_ms
         self.periods = 0
+        self.dead_letters = 0
+        self.corrupted = 0
+        self.last_checkpoint: Optional[Dict[str, Any]] = None
+        self._checkpoints_taken = 0
 
     # -- mid-run control ---------------------------------------------------
 
@@ -237,6 +279,19 @@ class StreamingPipeline:
         payload = self.lark.end_period(self.app_id)
         if payload is not None:
             payloads.append(payload)
+        if (
+            self.checkpoint_every_periods
+            and self.periods % self.checkpoint_every_periods == 0
+        ):
+            # Epoch-flush checkpoint: the raw register snapshots a
+            # crashed replica would restore before replaying the tail.
+            self.last_checkpoint = {
+                "period": self.periods,
+                "lark": self.lark.checkpoint(self.app_id),
+                "agg": self.agg.checkpoint(self.app_id),
+            }
+            self._checkpoints_taken += 1
+            self.registry.counter("pipeline.checkpoints").inc()
 
     def _lark_segment(self, cids: Any, lo: int, hi: int) -> List[Any]:
         if hi <= lo:
@@ -251,9 +306,47 @@ class StreamingPipeline:
             self.lark.process_quic_packet(cid) for cid in cids[lo:hi]
         ]
 
+    def _corrupt(self, payloads: List[bytes]) -> List[bytes]:
+        """Seeded fault stage: flip one byte in a fraction of payloads
+        (per-arrival draws, batch-shape invariant)."""
+        out: List[bytes] = []
+        for payload in payloads:
+            if self._corrupt_rng.random() < self.corrupt_probability:
+                index = self._corrupt_rng.randrange(len(payload))
+                mutated = bytearray(payload)
+                mutated[index] ^= 0xFF
+                payload = bytes(mutated)
+                self.corrupted += 1
+            out.append(payload)
+        return out
+
+    def _agg_process(self, payloads: List[bytes]) -> List[Any]:
+        """Backend-matched AggSwitch dispatch.  A batch entry point
+        that raises (truly malformed input, not a mere decode failure)
+        is retried payload by payload so one poison packet cannot
+        abort the run — the poison itself becomes a dead letter."""
+        try:
+            if self.backend == "columnar":
+                return self.agg.process_columnar(payloads)
+            if self.backend == "batch":
+                return self.agg.process_batch(payloads)
+            return [self.agg.process_packet(p) for p in payloads]
+        except Exception:
+            if len(payloads) == 1:
+                self.dead_letters += 1
+                self.registry.counter("pipeline.dead_letters").inc()
+                return []
+            results: List[Any] = []
+            for payload in payloads:
+                results.extend(self._agg_process([payload]))
+            return results
+
     def _dispatch(self, payloads: List[bytes], out: List[Any]) -> int:
-        """Route payloads (through the reorder stage when present) into
-        the AggSwitch via the backend-matched entry point."""
+        """Route payloads (through the corruption and reorder fault
+        stages when present) into the AggSwitch via the backend-matched
+        entry point; count unfoldable payloads as dead letters."""
+        if self.corrupt_probability > 0.0:
+            payloads = self._corrupt(payloads)
         if self.injector is not None:
             emitted: List[bytes] = []
             for payload in payloads:
@@ -261,15 +354,18 @@ class StreamingPipeline:
             payloads = emitted
         if not payloads:
             return 0
-        if self.backend == "columnar":
-            out.extend(self.agg.process_columnar(payloads))
-        elif self.backend == "batch":
-            out.extend(self.agg.process_batch(payloads))
-        else:
-            out.extend(
-                self.agg.process_packet(payload) for payload in payloads
-            )
+        self._deliver(payloads, out)
         return len(payloads)
+
+    def _deliver(self, payloads: List[bytes], out: List[Any]) -> None:
+        results = self._agg_process(payloads)
+        dead = sum(1 for r in results if not r.merged)
+        if dead:
+            # Every payload reaching this stage is aggregation-bound,
+            # so an unmerged one is an undecodable dead letter.
+            self.dead_letters += dead
+            self.registry.counter("pipeline.dead_letters").inc(dead)
+        out.extend(results)
 
     # -- run ---------------------------------------------------------------
 
@@ -287,6 +383,10 @@ class StreamingPipeline:
         )
         self._next_boundary = self.period_ms
         self.periods = 0
+        self.dead_letters = 0
+        self.corrupted = 0
+        self.last_checkpoint = None
+        self._checkpoints_taken = 0
         agg_results: List[Any] = []
         events = 0
         batches = 0
@@ -294,32 +394,47 @@ class StreamingPipeline:
         scalar = self.backend == "scalar"
         columnar = self.backend == "columnar"
         workload = self.workload
+        # Bounded in-flight micro-batches: the generate/encode stage
+        # runs up to ``max_inflight`` batches ahead of the switch
+        # stage.  Both stages still see the stream in order, so the
+        # outcome is bit-identical for any bound (the differential
+        # suite pins this); only the stage overlap changes.
+        pending: deque = deque()
+        inflight_peak = 0
+        exhausted = False
         while True:
-            cols = stream.generate_batch(self.batch_size)
-            if not len(cols):
+            while not exhausted and len(pending) < self.max_inflight:
+                cols = stream.generate_batch(self.batch_size)
+                if not len(cols):
+                    exhausted = True
+                    break
+                batches += 1
+                events += len(cols)
+                if self.on_batch is not None:
+                    self.on_batch(self, cols)
+                if accumulate is not None:
+                    accumulate(cols, reference)
+                keys = workload.cookie_keys(cols)
+
+                def values_at(i: int, _cols=cols) -> Dict[str, Any]:
+                    return workload.cookie_values_at(_cols, i)
+
+                if scalar:
+                    # Pre-optimization reference: every request builds
+                    # its value dict and runs the full AES encode.
+                    cids = [
+                        self.codec.encode(values_at(i))
+                        for i in range(len(cols))
+                    ]
+                elif columnar:
+                    cids = self.cache.encode_columns(keys, values_at)
+                else:
+                    cids = self.cache.encode_batch(keys, values_at)
+                pending.append((cols, cids))
+            inflight_peak = max(inflight_peak, len(pending))
+            if not pending:
                 break
-            batches += 1
-            events += len(cols)
-            if self.on_batch is not None:
-                self.on_batch(self, cols)
-            if accumulate is not None:
-                accumulate(cols, reference)
-            keys = workload.cookie_keys(cols)
-
-            def values_at(i: int, _cols=cols) -> Dict[str, Any]:
-                return workload.cookie_values_at(_cols, i)
-
-            if scalar:
-                # Pre-optimization reference: every request builds its
-                # value dict and runs the full AES encode, no cache.
-                cids = [
-                    self.codec.encode(values_at(i))
-                    for i in range(len(cols))
-                ]
-            elif columnar:
-                cids = self.cache.encode_columns(keys, values_at)
-            else:
-                cids = self.cache.encode_batch(keys, values_at)
+            cols, cids = pending.popleft()
             payloads: List[bytes] = []
             for lo, hi, flush in self._segments(cols.time_ms):
                 for result in self._lark_segment(cids, lo, hi):
@@ -329,6 +444,7 @@ class StreamingPipeline:
                     self._flush_period(payloads)
             payload_count += len(payloads)
             self._dispatch(payloads, agg_results)
+        self.registry.gauge("pipeline.inflight_peak").set(inflight_peak)
         # Tail flush: exactly one end-of-run period close (partial
         # period), then drain anything the reorder stage still holds.
         tail: List[bytes] = []
@@ -339,14 +455,7 @@ class StreamingPipeline:
         if self.injector is not None:
             held = self.injector.flush()  # counted at lark emission
             if held:
-                if columnar:
-                    agg_results.extend(self.agg.process_columnar(held))
-                elif self.backend == "batch":
-                    agg_results.extend(self.agg.process_batch(held))
-                else:
-                    agg_results.extend(
-                        self.agg.process_packet(p) for p in held
-                    )
+                self._deliver(held, agg_results)
         merged = sum(1 for r in agg_results if getattr(r, "merged", False))
         return PipelineResult(
             events=events,
@@ -360,4 +469,6 @@ class StreamingPipeline:
             register_state=self.agg.merge(self.app_id),
             cache_stats=self.cache.stats(),
             agg_results=agg_results if collect_results else [],
+            dead_letters=self.dead_letters,
+            checkpoints=self._checkpoints_taken,
         )

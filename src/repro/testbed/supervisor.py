@@ -1,0 +1,491 @@
+"""Supervised shard runtime: per-shard dispatch, crash recovery,
+checkpointed aggregation state.
+
+:class:`~repro.testbed.executor.ShardExecutor` treats the worker pool
+as all-or-nothing — one crashed or hung shard throws away *every*
+shard's work and the whole stream is reprocessed sequentially.  This
+module replaces that with a :class:`ShardSupervisor` that dispatches
+**per-shard, per-epoch jobs** under independent timeouts:
+
+* each shard's stream is cut into *epochs* of
+  ``checkpoint_batches x chunk_size`` packets;
+* an epoch job receives the shard's last **checkpoint** (the raw
+  register snapshot the switch exposes via ``checkpoint()``), restores
+  it into a fresh replica, streams one epoch, and returns the new
+  snapshot — the supervisor owns the checkpoint store, so a worker
+  death can never take saved state down with it;
+* a failed or timed-out job is retried with bounded exponential
+  backoff, replaying **only that epoch's tail** from the last
+  checkpoint while other shards keep their completed work;
+* a shard that exhausts its retries is *salvaged*: its remaining
+  epochs run in-process with fault injection disabled, still from the
+  last checkpoint.
+
+Why the recovered state is bit-identical to a fault-free run: register
+folds (add / min / max) are pure functions of per-shard packet order,
+and ``checkpoint()``/``restore()`` round-trip the registers exactly —
+so ``restore(C_e); replay(epoch e+1)`` computes the same cells as the
+uninterrupted stream.  The differential suite and the chaos bench
+assert this byte for byte.
+
+Fault injection is scripted with
+:class:`~repro.chaos.shard_faults.ShardFaultPlan` — deterministic
+kills (``kill_shard(n, at_batch=k)``), seeded crash probabilities, and
+scripted mid-run backend degradations, all picklable so they ride into
+spawn workers unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.shard_faults import ShardCrash, ShardFaultPlan
+from repro.core.stats import merge_snapshots
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.testbed.executor import (
+    ShardSpec,
+    _build_switch,
+    partition_packets,
+    render_report,
+)
+
+__all__ = ["ShardSupervisor", "SupervisedRunResult"]
+
+_LOG = logging.getLogger(__name__)
+
+# Degradation ladder positions (gauge value per backend tier).
+_TIERS = {"scalar": 0, "batch": 1, "columnar": 2}
+
+
+def _run_shard_epoch(
+    args: Tuple[
+        ShardSpec,  # switch recipe
+        int,  # shard index
+        List[bytes],  # this epoch's packets
+        str,  # backend
+        int,  # chunk size
+        Optional[Dict[str, List[int]]],  # checkpoint to restore (or None)
+        Optional[ShardFaultPlan],  # fault recipe (or None)
+        int,  # epoch index
+        int,  # attempt number
+        int,  # chunk offset of this epoch in the shard stream
+    ],
+) -> Tuple[int, int, Dict[str, List[int]], Dict[str, int]]:
+    """Pool worker: restore the checkpoint into a fresh replica, stream
+    one epoch, return the next checkpoint snapshot.
+
+    Top-level so the spawn start method can pickle it.  Stateless by
+    design — all cross-epoch state travels in the checkpoint argument,
+    so rerunning this function with the same arguments is always safe.
+    """
+    (
+        spec, shard, packets, backend, chunk_size,
+        checkpoint, plan, epoch, attempt, chunk_offset,
+    ) = args
+    switch = _build_switch(spec, shard)
+    if checkpoint is not None:
+        switch.restore(spec.app_id, checkpoint)
+    injector = (
+        plan.injector(shard, epoch, attempt, chunk_offset)
+        if plan is not None
+        else None
+    )
+    if spec.kind == "lark":
+        from repro.quic.connection_id import ConnectionID
+
+        items: List[Any] = [ConnectionID(p) for p in packets]
+        process = {
+            "scalar": lambda chunk: [
+                switch.process_quic_packet(c) for c in chunk
+            ],
+            "batch": switch.process_quic_batch,
+            "columnar": switch.process_quic_columnar,
+        }[backend]
+    else:
+        items = list(packets)
+        process = {
+            "scalar": lambda chunk: [switch.process_packet(p) for p in chunk],
+            "batch": switch.process_batch,
+            "columnar": switch.process_columnar,
+        }[backend]
+    folded = 0
+    for batch_index, start in enumerate(range(0, len(items), chunk_size)):
+        if injector is not None:
+            injector.before_batch(batch_index)
+        for result in process(items[start:start + chunk_size]):
+            if getattr(result, "merged", False) or (
+                getattr(result, "decoded_values", None) is not None
+            ):
+                folded += 1
+    counters = {"packets": len(items), "folded": folded}
+    return shard, epoch, switch.checkpoint(spec.app_id), counters
+
+
+class _ShardState:
+    """Supervisor-side bookkeeping for one shard's epoch chain."""
+
+    __slots__ = (
+        "shard", "packets", "epoch_size", "n_epochs", "epoch", "attempt",
+        "checkpoint", "processed", "folded", "salvaged",
+    )
+
+    def __init__(self, shard: int, packets: List[bytes], epoch_size: int):
+        self.shard = shard
+        self.packets = packets
+        self.epoch_size = epoch_size
+        self.n_epochs = (
+            (len(packets) + epoch_size - 1) // epoch_size if packets else 0
+        )
+        self.epoch = 0
+        self.attempt = 0
+        self.checkpoint: Optional[Dict[str, List[int]]] = None
+        self.processed = 0
+        self.folded = 0
+        self.salvaged = False
+
+    @property
+    def done(self) -> bool:
+        return self.epoch >= self.n_epochs
+
+    def epoch_packets(self) -> List[bytes]:
+        lo = self.epoch * self.epoch_size
+        return self.packets[lo:lo + self.epoch_size]
+
+
+@dataclass
+class SupervisedRunResult:
+    """Merged outcome of a supervised sharded run."""
+
+    snapshot: Dict[str, List[int]]
+    report: Dict[str, Any]
+    shard_packets: List[int]
+    shard_folded: List[int]
+    used_pool: bool
+    shards: int
+    # recovery bookkeeping
+    epochs: List[int]  # completed epochs per shard
+    crashes: int  # worker deaths observed (injected or real)
+    timeouts: int  # jobs abandoned on timeout
+    retries: int  # epoch jobs re-dispatched after a failure
+    recovered_packets: int  # packets replayed from checkpoints
+    checkpoints: int  # snapshots taken at epoch flushes
+    salvaged: List[int]  # shards finished by the in-process fallback
+    backends: List[str]  # backend dispatched per epoch index
+    fallback_cause: Optional[str] = None
+
+    @property
+    def total_packets(self) -> int:
+        return sum(self.shard_packets)
+
+
+class ShardSupervisor:
+    """Fan a packet stream across switch-replica shards under
+    supervision: independent per-epoch jobs, bounded-backoff retries,
+    checkpointed recovery, scripted fault injection.
+
+    ``processes`` — pool size (``None`` = one per shard); 0 or 1 runs
+    every job in-process through the *same* worker function, so the
+    retry/checkpoint/salvage machinery is identical with or without a
+    pool.  ``checkpoint_batches`` — chunks per epoch; an epoch flush is
+    the checkpoint boundary, so a crash replays at most
+    ``checkpoint_batches x chunk_size`` packets.  ``fault_plan`` — a
+    :class:`ShardFaultPlan` scripting deterministic crashes and mid-run
+    backend degradations.  ``sleep`` — injectable so tests can retry
+    without real backoff delays.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        shards: int = 2,
+        processes: Optional[int] = None,
+        backend: str = "columnar",
+        chunk_size: int = 4096,
+        checkpoint_batches: int = 4,
+        job_timeout_s: float = 60.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.01,
+        backoff_max_s: float = 1.0,
+        fault_plan: Optional[ShardFaultPlan] = None,
+        registry: Optional[MetricsRegistry] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if backend not in ("scalar", "batch", "columnar"):
+            raise ValueError("unknown backend %r" % backend)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if checkpoint_batches < 1:
+            raise ValueError("checkpoint_batches must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if spec.kind == "lark" and spec.dedup:
+            # The dedup bloom filter lives outside the stats snapshot,
+            # so restore+replay would double-count resent cookies.
+            raise ValueError(
+                "supervised lark shards require dedup=False "
+                "(dedup state is not checkpointed)"
+            )
+        self.spec = spec
+        self.shards = shards
+        self.processes = shards if processes is None else processes
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.checkpoint_batches = checkpoint_batches
+        self.epoch_size = checkpoint_batches * chunk_size
+        self.job_timeout_s = job_timeout_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.fault_plan = fault_plan
+        self.registry = registry if registry is not None else get_registry()
+        self.last_error: Optional[str] = None
+        self._sleep = sleep
+        # run-scoped tallies, reset per run()
+        self._crashes = 0
+        self._timeouts = 0
+        self._retries = 0
+        self._recovered = 0
+        self._checkpoints = 0
+        self._salvaged: List[int] = []
+
+    # -- per-epoch dispatch helpers ----------------------------------------
+
+    def epoch_backend(self, epoch: int) -> str:
+        """The backend dispatched for ``epoch`` — the configured one
+        unless the fault plan scripts a degradation at or before it."""
+        if self.fault_plan is None:
+            return self.backend
+        return self.fault_plan.backend_for_epoch(epoch, self.backend)
+
+    def _job(self, state: _ShardState, fault_free: bool = False):
+        backend = self.epoch_backend(state.epoch)
+        return (
+            self.spec,
+            state.shard,
+            state.epoch_packets(),
+            backend,
+            self.chunk_size,
+            state.checkpoint,
+            None if fault_free else self.fault_plan,
+            state.epoch,
+            state.attempt,
+            state.epoch * self.checkpoint_batches,
+        )
+
+    def _on_success(
+        self,
+        state: _ShardState,
+        snapshot: Dict[str, List[int]],
+        counters: Dict[str, int],
+    ) -> None:
+        state.checkpoint = snapshot
+        state.processed += counters["packets"]
+        state.folded += counters["folded"]
+        state.epoch += 1
+        state.attempt = 0
+        self._checkpoints += 1
+        self.registry.counter("supervisor.checkpoints").inc()
+        self.registry.counter("supervisor.epochs").inc()
+
+    def _on_failure(self, state: _ShardState, kind: str, cause: str) -> None:
+        """Book a failed epoch job and decide retry vs salvage."""
+        self.last_error = cause
+        if kind == "timeout":
+            self._timeouts += 1
+            self.registry.counter("supervisor.timeouts").inc()
+        else:
+            self._crashes += 1
+            self.registry.counter("supervisor.crashes").inc()
+        # The failed attempt's partial work is lost; the replay costs at
+        # most one epoch from the last checkpoint.
+        self._recovered += len(state.epoch_packets())
+        self.registry.counter("supervisor.recovered_packets").inc(
+            len(state.epoch_packets())
+        )
+        _LOG.warning(
+            "shard epoch job failed",
+            extra={
+                "component": "shard_supervisor",
+                "shard": state.shard,
+                "epoch": state.epoch,
+                "attempt": state.attempt,
+                "failure": kind,
+                "cause": cause,
+            },
+        )
+        state.attempt += 1
+        if state.attempt > self.max_retries:
+            self._salvage(state)
+            return
+        self._retries += 1
+        self.registry.counter("supervisor.retries").inc()
+        backoff = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2 ** (state.attempt - 1)),
+        )
+        if backoff > 0:
+            self._sleep(backoff)
+
+    def _salvage(self, state: _ShardState) -> None:
+        """Finish a retry-exhausted shard in-process, fault injection
+        off, still resuming from its last checkpoint."""
+        state.salvaged = True
+        self._salvaged.append(state.shard)
+        self.registry.counter("supervisor.salvages").inc()
+        _LOG.warning(
+            "shard retries exhausted, salvaging in-process",
+            extra={
+                "component": "shard_supervisor",
+                "shard": state.shard,
+                "epoch": state.epoch,
+            },
+        )
+        while not state.done:
+            _, _, snapshot, counters = _run_shard_epoch(
+                self._job(state, fault_free=True)
+            )
+            self._on_success(state, snapshot, counters)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, packets: Sequence[bytes]) -> SupervisedRunResult:
+        """Process ``packets`` across all shards under supervision and
+        fold the final checkpoints into one snapshot + report."""
+        self.last_error = None
+        self._crashes = self._timeouts = self._retries = 0
+        self._recovered = self._checkpoints = 0
+        self._salvaged = []
+        parts = partition_packets(self.spec, self.shards, packets)
+        states = [
+            _ShardState(shard, part, self.epoch_size)
+            for shard, part in enumerate(parts)
+        ]
+        fallback_cause: Optional[str] = None
+        if self.processes > 1 and self.shards > 1:
+            used_pool = self._run_pool(states)
+            if not used_pool:
+                fallback_cause = self.last_error
+                self.registry.counter("supervisor.pool_fallbacks").inc()
+                self._run_inline(states)
+        else:
+            used_pool = False
+            self._run_inline(states)
+        # fold final checkpoints exactly like the bank read-out
+        snapshot: Optional[Dict[str, List[int]]] = None
+        specs = list(self.spec.specs)
+        for state in states:
+            if state.checkpoint is None:
+                continue
+            snapshot = (
+                {n: list(c) for n, c in state.checkpoint.items()}
+                if snapshot is None
+                else merge_snapshots(specs, snapshot, state.checkpoint)
+            )
+        max_epochs = max((s.n_epochs for s in states), default=0)
+        backends = [self.epoch_backend(e) for e in range(max_epochs)]
+        for prev, cur in zip(backends, backends[1:]):
+            if cur != prev:
+                self.registry.counter("supervisor.degradations").inc()
+        if backends:
+            self.registry.gauge("supervisor.backend_tier").set(
+                _TIERS[backends[-1]]
+            )
+        return SupervisedRunResult(
+            snapshot=snapshot or {},
+            report=render_report(self.spec, self.shards, snapshot),
+            shard_packets=[s.processed for s in states],
+            shard_folded=[s.folded for s in states],
+            used_pool=used_pool,
+            shards=self.shards,
+            epochs=[s.epoch for s in states],
+            crashes=self._crashes,
+            timeouts=self._timeouts,
+            retries=self._retries,
+            recovered_packets=self._recovered,
+            checkpoints=self._checkpoints,
+            salvaged=list(self._salvaged),
+            backends=backends,
+            fallback_cause=fallback_cause,
+        )
+
+    def _run_inline(self, states: List[_ShardState]) -> None:
+        """In-process execution: same worker, same retry machinery."""
+        for state in states:
+            while not state.done:
+                try:
+                    _, _, snapshot, counters = _run_shard_epoch(
+                        self._job(state)
+                    )
+                except Exception as exc:
+                    self._on_failure(
+                        state,
+                        "crash",
+                        "%s: %s" % (type(exc).__name__, exc),
+                    )
+                else:
+                    self._on_success(state, snapshot, counters)
+
+    def _run_pool(self, states: List[_ShardState]) -> bool:
+        """Dispatch epoch jobs to a spawn pool, one in-flight job per
+        shard, each collected under its own timeout.  Returns False if
+        the pool could not be created or died irrecoverably (states are
+        left consistent for the inline path to resume)."""
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context("spawn")
+            pool = ctx.Pool(min(self.processes, self.shards))
+        except Exception as exc:
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            return False
+        try:
+            while any(not s.done for s in states):
+                submitted = [
+                    (state, pool.apply_async(_run_shard_epoch,
+                                             (self._job(state),)))
+                    for state in states
+                    if not state.done
+                ]
+                rebuild = False
+                for state, async_result in submitted:
+                    if state.done:  # salvaged while draining this round
+                        continue
+                    try:
+                        _, _, snapshot, counters = async_result.get(
+                            timeout=self.job_timeout_s
+                        )
+                    except mp.TimeoutError:
+                        # The worker may be wedged; replace the whole
+                        # pool after the round so it cannot poison the
+                        # next dispatch.
+                        rebuild = True
+                        self._on_failure(state, "timeout",
+                                         "job timed out after %.1fs"
+                                         % self.job_timeout_s)
+                    except ShardCrash as exc:
+                        self._on_failure(state, "crash",
+                                         "ShardCrash: %s" % exc)
+                    except Exception as exc:
+                        self._on_failure(
+                            state,
+                            "crash",
+                            "%s: %s" % (type(exc).__name__, exc),
+                        )
+                    else:
+                        self._on_success(state, snapshot, counters)
+                if rebuild:
+                    pool.terminate()
+                    pool.join()
+                    pool = ctx.Pool(min(self.processes, self.shards))
+        except Exception as exc:  # pool infrastructure itself failed
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            return False
+        finally:
+            pool.terminate()
+            pool.join()
+        return True

@@ -1,0 +1,145 @@
+"""Fault stages of the streaming pipeline: dead letters, bounded
+in-flight prefetch, and period-boundary checkpoints.
+
+Extends the streaming differential suite with the robustness contract:
+corrupted aggregation payloads become counted **dead letters** instead
+of aborting or silently skewing the fold; the bounded in-flight
+prefetch changes stage overlap but not one observable bit; and the
+period checkpoints the pipeline takes are exactly the snapshots a
+crashed replica would restore.
+"""
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.obs.registry import MetricsRegistry
+from repro.testbed.pipeline import BACKENDS, StreamingPipeline
+from repro.workloads.adcampaign import AdCampaignWorkload
+
+RATE = 3000.0
+DURATION_MS = 400.0
+PERIOD_MS = 100.0
+ONE_SHOT = 1 << 20
+
+
+def _pipe(backend, **kwargs):
+    workload = AdCampaignWorkload(num_users=80, seed=11)
+    defaults = dict(
+        seed=11,
+        mode=ForwardingMode.PERIODICAL,
+        period_ms=PERIOD_MS,
+        backend=backend,
+        batch_size=64,
+        registry=MetricsRegistry(),
+    )
+    defaults.update(kwargs)
+    return StreamingPipeline(workload, **defaults)
+
+
+def _observables(result):
+    return (
+        result.report,
+        result.register_state,
+        result.payloads,
+        result.merged,
+        result.periods,
+    )
+
+
+class TestDeadLetters:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupted_payloads_become_dead_letters(self, backend):
+        pipe = _pipe(backend, corrupt_probability=0.3)
+        result = pipe.run(RATE, DURATION_MS)
+        assert pipe.corrupted > 0  # the fault stage actually fired
+        assert result.dead_letters > 0
+        assert result.dead_letters <= pipe.corrupted
+        assert (
+            pipe.registry.value("pipeline.dead_letters")
+            == result.dead_letters
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_surviving_payloads_still_fold_correctly(self, backend):
+        """Dead letters are dropped, never double-counted: the merged
+        total is exactly (payloads - dead letters)."""
+        result = _pipe(backend, corrupt_probability=0.3).run(RATE, DURATION_MS)
+        assert result.merged == result.payloads - result.dead_letters
+
+    def test_corruption_is_batch_shape_invariant(self):
+        one_shot = _pipe(
+            "batch", corrupt_probability=0.3, batch_size=ONE_SHOT
+        ).run(RATE, DURATION_MS)
+        for batch_size in (5, 64):
+            streamed = _pipe(
+                "batch", corrupt_probability=0.3, batch_size=batch_size
+            ).run(RATE, DURATION_MS)
+            assert _observables(streamed) == _observables(one_shot)
+            assert streamed.dead_letters == one_shot.dead_letters
+
+    def test_no_corruption_no_dead_letters(self):
+        result = _pipe("batch").run(RATE, DURATION_MS)
+        assert result.dead_letters == 0
+        assert result.counts_match_reference()
+
+
+class TestBoundedInflight:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prefetch_depth_never_changes_results(self, backend):
+        reference = _pipe(backend, max_inflight=1).run(RATE, DURATION_MS)
+        for depth in (2, 4, 16):
+            result = _pipe(backend, max_inflight=depth).run(
+                RATE, DURATION_MS
+            )
+            assert _observables(result) == _observables(reference), depth
+
+    def test_inflight_peak_gauge_reflects_bound(self):
+        pipe = _pipe("batch", max_inflight=3, batch_size=16)
+        pipe.run(RATE, DURATION_MS)
+        peak = pipe.registry.value("pipeline.inflight_peak")
+        assert 1 <= peak <= 3
+
+    def test_on_batch_hook_forces_lockstep(self):
+        pipe = _pipe(
+            "batch", max_inflight=8, on_batch=lambda _p, _c: None
+        )
+        assert pipe.max_inflight == 1
+
+    def test_invalid_inflight_rejected(self):
+        with pytest.raises(ValueError):
+            _pipe("batch", max_inflight=0)
+
+
+class TestPeriodCheckpoints:
+    def test_checkpoints_taken_every_n_periods(self):
+        pipe = _pipe("batch", checkpoint_every_periods=2)
+        result = pipe.run(RATE, DURATION_MS)
+        assert result.periods >= 4
+        assert result.checkpoints == result.periods // 2
+        assert (
+            pipe.registry.value("pipeline.checkpoints")
+            == result.checkpoints
+        )
+
+    def test_last_checkpoint_restores_into_fresh_switches(self):
+        """The pipeline's period checkpoint is a real recovery point:
+        restoring it into fresh switches reproduces the registers."""
+        pipe = _pipe("batch", checkpoint_every_periods=1)
+        pipe.run(RATE, DURATION_MS)
+        checkpoint = pipe.last_checkpoint
+        assert checkpoint is not None
+        assert checkpoint["period"] == pipe.periods
+
+        clone = _pipe("batch")
+        clone.lark.restore(clone.app_id, checkpoint["lark"])
+        clone.agg.restore(clone.app_id, checkpoint["agg"])
+        assert (
+            clone.lark.checkpoint(clone.app_id) == checkpoint["lark"]
+        )
+        assert clone.agg.checkpoint(clone.app_id) == checkpoint["agg"]
+
+    def test_zero_means_no_checkpoints(self):
+        pipe = _pipe("batch")
+        result = pipe.run(RATE, DURATION_MS)
+        assert result.checkpoints == 0
+        assert pipe.last_checkpoint is None

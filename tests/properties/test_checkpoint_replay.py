@@ -1,0 +1,206 @@
+"""Checkpoint -> restore -> replay-tail == uninterrupted, for every
+register kind.
+
+The supervised shard runtime's recovery path is exactly this identity:
+a crash restores the last epoch checkpoint into a fresh switch replica
+and replays only the tail.  Here it is proven at every layer that
+holds fold state:
+
+* the switch statistics registers — additive counters
+  (count-by-class, sum, avg) and the non-additive min/max folds —
+  via ``LarkSwitch.checkpoint``/``restore`` and the AggSwitch bank
+  equivalents;
+* the Bloom filter (period dedup) via ``snapshot``/``load_snapshot``;
+* the count-min sketch via ``snapshot``/``load_snapshot``.
+
+Each case runs the same seeded stream uninterrupted and interrupted at
+several cut points, across three seeds, and requires bit-identical end
+state — not approximately equal, identical.
+"""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import ForwardingMode
+from repro.core.larkswitch import LarkSwitch
+from repro.core.schema import CookieSchema, Feature
+from repro.core.stats import StatKind, StatSpec
+from repro.core.transport_cookie import TransportCookieCodec
+from repro.obs.registry import MetricsRegistry
+from repro.switch.bloom import BloomFilter
+from repro.switch.sketch import CountMinSketch
+
+SEEDS = (2, 29, 83)
+APP_ID = 0x44
+
+SCHEMA = CookieSchema(
+    "checkpoint-props",
+    (
+        Feature.categorical("bucket", ("a", "b", "c", "d")),
+        Feature.number("value", 0, 200),
+    ),
+)
+
+# One spec per register fold kind the stats layer implements.
+SPECS = (
+    StatSpec("count_by_bucket", StatKind.COUNT_BY_CLASS, "bucket"),
+    StatSpec("sum_value", StatKind.SUM, "value"),
+    StatSpec("min_value", StatKind.MIN, "value"),
+    StatSpec("max_value", StatKind.MAX, "value"),
+    StatSpec("avg_value", StatKind.AVG, "value", group_by="bucket"),
+)
+
+
+def _key(seed):
+    rng = random.Random(seed * 7919 + 5)
+    return bytes(rng.getrandbits(8) for _ in range(16))
+
+
+def _cids(seed, n=240):
+    codec = TransportCookieCodec(
+        APP_ID, SCHEMA, _key(seed), random.Random(seed + 3)
+    )
+    rng = random.Random(seed + 4)
+    return [
+        codec.encode(
+            {"bucket": rng.choice("abcd"), "value": rng.randrange(201)}
+        )
+        for _ in range(n)
+    ]
+
+
+def _lark(seed):
+    lark = LarkSwitch(
+        "chk-lark",
+        rng=random.Random(seed + 1),
+        registry=MetricsRegistry(),
+    )
+    lark.register_application(
+        APP_ID, SCHEMA, _key(seed), list(SPECS),
+        mode=ForwardingMode.PERIODICAL, period_ms=1000.0,
+    )
+    return lark
+
+
+class TestStatsRegisterReplay:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("cut", [1, 97, 239])
+    def test_restore_and_replay_tail_is_bit_identical(self, seed, cut):
+        cids = _cids(seed)
+
+        uninterrupted = _lark(seed)
+        for cid in cids:
+            uninterrupted.process_quic_packet(cid)
+
+        # prefix on one replica, checkpoint at the cut...
+        first = _lark(seed)
+        for cid in cids[:cut]:
+            first.process_quic_packet(cid)
+        checkpoint = first.checkpoint(APP_ID)
+
+        # ...restore into a *fresh* replica, replay only the tail
+        recovered = _lark(seed)
+        recovered.restore(APP_ID, checkpoint)
+        for cid in cids[cut:]:
+            recovered.process_quic_packet(cid)
+
+        assert (
+            recovered.checkpoint(APP_ID)
+            == uninterrupted.checkpoint(APP_ID)
+        )
+        assert (
+            recovered.stats_report(APP_ID)
+            == uninterrupted.stats_report(APP_ID)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_checkpoint_roundtrip_without_replay(self, seed):
+        lark = _lark(seed)
+        for cid in _cids(seed, n=100):
+            lark.process_quic_packet(cid)
+        checkpoint = lark.checkpoint(APP_ID)
+        clone = _lark(seed)
+        clone.restore(APP_ID, checkpoint)
+        assert clone.checkpoint(APP_ID) == checkpoint
+        assert clone.stats_report(APP_ID) == lark.stats_report(APP_ID)
+
+    def test_checkpoint_of_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            _lark(0).checkpoint(0x99)
+
+
+class TestBloomReplay:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_restore_and_replay_tail_matches(self, seed):
+        rng = random.Random(seed)
+        keys = [
+            rng.getrandbits(64).to_bytes(8, "big") for _ in range(300)
+        ]
+        cut = rng.randrange(1, len(keys))
+
+        uninterrupted = BloomFilter(size_bits=2048, num_hashes=3)
+        answers = [uninterrupted.add(k) for k in keys]
+
+        first = BloomFilter(size_bits=2048, num_hashes=3)
+        for k in keys[:cut]:
+            first.add(k)
+        snapshot = first.snapshot()
+
+        recovered = BloomFilter(size_bits=2048, num_hashes=3)
+        recovered.load_snapshot(snapshot)
+        tail_answers = [recovered.add(k) for k in keys[cut:]]
+
+        assert recovered.snapshot() == uninterrupted.snapshot()
+        assert recovered.items_added == uninterrupted.items_added
+        # membership answers on the tail are also unchanged
+        assert tail_answers == answers[cut:]
+
+    def test_shape_mismatch_rejected(self):
+        small = BloomFilter(size_bits=64, num_hashes=2)
+        big = BloomFilter(size_bits=128, num_hashes=2)
+        with pytest.raises(ValueError):
+            big.load_snapshot(small.snapshot())
+
+
+class TestSketchReplay:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_restore_and_replay_tail_matches(self, seed):
+        rng = random.Random(seed + 100)
+        keys = [
+            rng.getrandbits(32).to_bytes(4, "big") for _ in range(400)
+        ]
+        cut = rng.randrange(1, len(keys))
+
+        uninterrupted = CountMinSketch(width=128, depth=3)
+        for k in keys:
+            uninterrupted.add(k)
+
+        first = CountMinSketch(width=128, depth=3)
+        for k in keys[:cut]:
+            first.add(k)
+        rows = first.snapshot()
+
+        recovered = CountMinSketch(width=128, depth=3)
+        recovered.load_snapshot(rows, total=first.total)
+        for k in keys[cut:]:
+            recovered.add(k)
+
+        assert recovered.snapshot() == uninterrupted.snapshot()
+        assert recovered.total == uninterrupted.total
+        for k in keys[:20]:
+            assert recovered.estimate(k) == uninterrupted.estimate(k)
+
+    def test_total_recovered_from_first_row_when_omitted(self):
+        sketch = CountMinSketch(width=64, depth=2)
+        for i in range(50):
+            sketch.add(b"%d" % i)
+        clone = CountMinSketch(width=64, depth=2)
+        clone.load_snapshot(sketch.snapshot())
+        assert clone.total == sketch.total
+
+    def test_shape_mismatch_rejected(self):
+        sketch = CountMinSketch(width=64, depth=2)
+        other = CountMinSketch(width=32, depth=2)
+        with pytest.raises(ValueError):
+            sketch.load_snapshot(other.snapshot())
