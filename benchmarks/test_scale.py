@@ -1,0 +1,68 @@
+"""Scale benchmark smoke: exact vs sketch per-user state, per-cell RSS.
+
+The full ladder (10k / 100k / 1M users) is a local/CI-artifact run via
+``python -m repro.cli bench --scale``; this smoke drives the same
+harness at small populations so the grid, the subprocess isolation,
+and the exact-vs-sketch agreement stay exercised by the bench suite,
+and records the result into ``BENCH_scale.json``.
+
+Run directly: ``PYTHONPATH=src python -m pytest benchmarks/test_scale.py -s``
+"""
+
+import json
+import os
+
+from conftest import attach, emit_table
+from repro.switch.columns import numpy_enabled
+from repro.testbed.scale_bench import run_scale_bench
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_scale.json")
+
+USER_COUNTS = (2_000, 10_000)
+EVENTS_PER_USER = 1.0
+
+
+def test_scale_grid(benchmark):
+    """Exact and sketch cells agree; sketch RSS stays sublinear."""
+    result = benchmark.pedantic(
+        run_scale_bench,
+        kwargs=dict(
+            user_counts=USER_COUNTS,
+            events_per_user=EVENTS_PER_USER,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    emit_table(
+        "Scale: per-user engagement state, exact vs sketch",
+        ["users", "mode", "events", "pkts/s", "peak RSS KB", "distinct"],
+        [
+            [c["users"], c["mode"], c["events"],
+             "%.0f" % c["packets_per_second"],
+             c["peak_rss_kb"] or "-", c["distinct_users"]]
+            for c in result["cells"]
+        ],
+    )
+
+    payload = dict(result)
+    payload["numpy"] = numpy_enabled()
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    attach(
+        benchmark,
+        cells=len(result["cells"]),
+        sublinear=result["sketch_rss_sublinear"],
+        json_path=_JSON_PATH,
+    )
+
+    assert result["all_verified"], "a cell disagrees with ground truth"
+    assert result["sketch_rss_sublinear"], "sketch RSS grew superlinearly"
+    for entry in result["agreement"]:
+        # Same seed, same stream: both modes must have consumed the
+        # identical event sequence, and the KMV distinct estimate must
+        # land near the exact population.
+        assert entry["events_match"]
+        assert entry["distinct_rel_error"] < 0.15

@@ -11,9 +11,11 @@ Subcommands mirror the evaluation:
   (``--backend batch|columnar``), the three-way ``--compare`` mode
   that writes ``BENCH_columnar.json``, the whole-run ``--e2e``
   ingest benchmark that writes ``BENCH_e2e.json`` (add ``--profile
-  PATH`` for a cProfile dump), or the ``--chaos`` crash-recovery
+  PATH`` for a cProfile dump), the ``--chaos`` crash-recovery
   benchmark on the supervised shard runtime that writes
-  ``BENCH_chaos.json``;
+  ``BENCH_chaos.json``, or the ``--scale`` memory-vs-population
+  benchmark (exact vs sampled-quantile per-user tracking at 10k /
+  100k / 1M users) that writes ``BENCH_scale.json``;
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -253,6 +255,68 @@ def _cmd_bench(args, out) -> int:
             out.write("FAIL: backends disagree or ground truth mismatch\n")
             return 1
         return 0
+    if args.scale:
+        # Memory-vs-population: per-user engagement state at 10k /
+        # 100k / 1M users, exact dict vs bounded sampled-quantile
+        # sketch, one fresh subprocess per cell so peak RSS is
+        # per-cell.  Fails if a cell's demographics disagree with
+        # ground truth or the sketch path's RSS grows superlinearly.
+        from repro.testbed.scale_bench import run_scale_bench
+
+        user_counts = tuple(
+            int(u) for u in args.scale_users.split(",") if u
+        )
+        result = run_scale_bench(
+            user_counts=user_counts,
+            events_per_user=args.scale_events,
+            exact_cap=args.scale_exact_cap,
+            epsilon=args.epsilon,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        )
+        out.write(
+            "scale: users x (exact, sketch), %.1f events/user, "
+            "epsilon=%.3f, backend=%s, exact cap %d\n"
+            % (result["events_per_user"], result["epsilon"],
+               result["backend"], result["exact_cap"])
+        )
+        _print_rows(
+            ["users", "mode", "events", "pkts/s", "peak RSS MB",
+             "distinct", "p50/p90/p99", "ok"],
+            [
+                [c["users"], c["mode"], c["events"],
+                 "%.0f" % c["packets_per_second"],
+                 "%.1f" % (c["peak_rss_kb"] / 1024.0)
+                 if c["peak_rss_kb"] else "-",
+                 c["distinct_users"],
+                 "/".join(str(c["quantiles"][q])
+                          for q in ("p50", "p90", "p99"))
+                 if c["quantiles"] else "-",
+                 "yes" if c["verified"] else "NO"]
+                for c in result["cells"]
+            ],
+            out,
+        )
+        for entry in result["sketch_rss_growth"]:
+            out.write(
+                "sketch RSS %d -> %d users: %.2fx (bound %.2fx, %s)\n"
+                % (entry["from_users"], entry["to_users"],
+                   entry["rss_ratio"], entry["sublinear_bound"],
+                   "sublinear" if entry["sublinear"] else "SUPERLINEAR")
+            )
+        json_path = args.json or "BENCH_scale.json"
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % json_path)
+        if not result["all_verified"]:
+            out.write("FAIL: a cell's report disagrees with ground truth\n")
+            return 1
+        if not result["sketch_rss_sublinear"]:
+            out.write("FAIL: sketch-mode RSS grew superlinearly\n")
+            return 1
+        return 0
     if args.chaos:
         # Crash-recovery benchmark on the supervised shard runtime:
         # every (seed, backend) cell must survive a scripted shard
@@ -488,6 +552,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "lark, agg, verify) across all backends; writes "
                         "BENCH_e2e.json and exits nonzero on a report "
                         "mismatch")
+    p.add_argument("--scale", action="store_true",
+                   help="memory-vs-population benchmark: exact vs "
+                        "sketch per-user engagement state, one "
+                        "subprocess per cell for per-cell peak RSS; "
+                        "writes BENCH_scale.json and exits nonzero if "
+                        "sketch-mode RSS grows superlinearly")
+    p.add_argument("--scale-users", default="10000,100000,1000000",
+                   help="comma-separated population sizes for --scale")
+    p.add_argument("--scale-events", type=float, default=1.0,
+                   help="events per user for --scale cells")
+    p.add_argument("--scale-exact-cap", type=int, default=100_000,
+                   help="skip exact-mode cells above this population")
+    p.add_argument("--epsilon", type=float, default=0.05,
+                   help="quantile-sketch rank-error bound for --scale")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="with --e2e: run one pass of --backend under "
                         "cProfile and dump stats to PATH")

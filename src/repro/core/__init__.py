@@ -88,6 +88,7 @@ from repro.core.transport_cookie import (
     DecodedTransportCookie,
     TransportCookieCodec,
 )
+from repro.core.user_stats import UserEngagementTracker, UserQuantileConfig
 from repro.core.web_server import (
     CookieUpdateFn,
     ServedResponse,
@@ -163,6 +164,8 @@ __all__ = [
     "SwitchStatistics",
     "TRANSPORT_COOKIE_BITS",
     "TransportCookieCodec",
+    "UserEngagementTracker",
+    "UserQuantileConfig",
     "ValueTransform",
     "audit_schema",
     "classify",

@@ -26,6 +26,7 @@ from repro.core.aggregation import (
 )
 from repro.core.larkswitch import unflatten_snapshot
 from repro.core.schema import CookieSchema
+from repro.core.user_stats import UserEngagementTracker, UserQuantileConfig
 from repro.core.stats import (
     StatSpec,
     SwitchStatistics,
@@ -62,6 +63,9 @@ class _AggApp:
     banks: List[SwitchStatistics] = field(default_factory=list)
     destination: str = "analytics"
     packets_merged: int = 0
+    # Cumulative per-user engagement tracker (absorbs LarkSwitch
+    # period drains; not reset by periodical write-backs).
+    users: Optional[UserEngagementTracker] = None
     # Incrementally maintained fold of all shard banks (None =
     # invalid).  Per-packet updates keep it in lockstep through the
     # stats mirror; periodical write-backs and control-plane resets
@@ -154,6 +158,7 @@ class AggSwitch:
         key: bytes,
         specs: List[StatSpec],
         destination: str = "analytics",
+        user_quantiles: Optional[UserQuantileConfig] = None,
     ) -> None:
         if app_id in self._apps:
             raise ValueError("app-ID %d already registered" % app_id)
@@ -172,6 +177,14 @@ class AggSwitch:
             )
             for shard in range(self.shards)
         ]
+        users = None
+        if user_quantiles is not None:
+            users = UserEngagementTracker(
+                user_quantiles,
+                name="%s.users" % base_prefix,
+                registers=self.pipeline.registers
+                if user_quantiles.mode == "sketch" else None,
+            )
         self._apps[app_id] = _AggApp(
             app_id=app_id,
             schema=schema,
@@ -180,6 +193,7 @@ class AggSwitch:
             stats=banks[0],
             banks=banks,
             destination=destination,
+            users=users,
         )
         self._match_table.insert(
             TableEntry((SNATCH_SID, app_id), "snatch_merge", {"app_id": app_id})
@@ -609,11 +623,39 @@ class AggSwitch:
 
     def report(self, app_id: int) -> Dict[str, Any]:
         """The aggregated analytics result for an application (all
-        shard banks merged)."""
+        shard banks merged).  Apps with an engagement tracker get a
+        ``"user_engagement"`` block alongside the per-spec results."""
         if app_id not in self._apps:
             raise KeyError("no application %d registered" % app_id)
         app = self._apps[app_id]
-        return app.stats.report_from_snapshot(self._merged_view(app))
+        report = app.stats.report_from_snapshot(self._merged_view(app))
+        if app.users is not None:
+            report["user_engagement"] = app.users.report()
+        return report
+
+    # -- per-user engagement (bounded-memory scale path) -----------------------
+
+    def absorb_user_stats(
+        self, app_id: int, snapshot: Optional[Dict[str, Any]]
+    ) -> None:
+        """Fold a LarkSwitch :meth:`~repro.core.larkswitch.LarkSwitch.
+        drain_user_stats` payload into the cumulative tracker.  A
+        ``None`` payload (upstream app has no tracker, or an empty
+        drain) is a no-op."""
+        if snapshot is None:
+            return
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        if app.users is None:
+            raise ValueError(
+                "application %d has no user-engagement tracker" % app_id
+            )
+        app.users.absorb(snapshot)
+
+    def user_report(self, app_id: int) -> Optional[Dict[str, Any]]:
+        app = self._apps[app_id]
+        return app.users.report() if app.users is not None else None
 
     def reset(self, app_id: int) -> None:
         """Period-boundary reset after delivering results."""
@@ -641,13 +683,18 @@ class AggSwitch:
 
     # -- checkpointing (supervised shard runtime) ------------------------------
 
-    def checkpoint(self, app_id: int) -> Dict[str, List[int]]:
+    def checkpoint(self, app_id: int) -> Dict[str, Any]:
         """The merged register snapshot as a checkpoint unit.  Same
         data as :meth:`merge`; named separately so checkpoint call
-        sites read as what they are."""
-        return self.merge(app_id)
+        sites read as what they are.  Engagement-tracker state rides
+        along under the reserved ``"user_quantiles"`` key."""
+        snapshot: Dict[str, Any] = self.merge(app_id)
+        app = self._apps[app_id]
+        if app.users is not None:
+            snapshot["user_quantiles"] = app.users.snapshot()
+        return snapshot
 
-    def restore(self, app_id: int, snapshot: Dict[str, List[int]]) -> None:
+    def restore(self, app_id: int, snapshot: Dict[str, Any]) -> None:
         """Inverse of :meth:`checkpoint` for crash recovery: bank 0 is
         overwritten with the saved merged snapshot and the other banks
         are cleared.  :meth:`merge` folds banks associatively, so
@@ -656,7 +703,11 @@ class AggSwitch:
         app = self._apps.get(app_id)
         if app is None:
             raise KeyError("no application %d registered" % app_id)
+        snapshot = dict(snapshot)
+        user_state = snapshot.pop("user_quantiles", None)
         for bank in app.banks[1:]:
             bank.reset()
         app.stats.load_snapshot(snapshot)
         app.merged_cache = None
+        if user_state is not None and app.users is not None:
+            app.users.load_snapshot(user_state)

@@ -37,8 +37,9 @@ invariants:
 from __future__ import annotations
 
 import random
+import zlib
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set
 
 from repro.core.transport_cookie import TransportCookieCodec
 from repro.crypto.aes import encrypt_blocks_many
@@ -47,6 +48,81 @@ from repro.quic.connection_id import ConnectionID
 __all__ = ["CookieEncodeCache"]
 
 _DEFAULT_CAPACITY = 4096
+
+_ADMISSION_POLICIES = ("lru", "tinylfu")
+
+
+class _FrequencySketch:
+    """TinyLFU-lite popularity estimator for admission decisions.
+
+    A doorkeeper set absorbs the long tail of once-seen keys; keys
+    seen again increment a 4-row count-min of 4-bit-saturating
+    counters.  Every ``8 * capacity`` touches the counters are halved
+    and the doorkeeper cleared, so the estimate tracks *recent*
+    popularity rather than all history (the aging trick from the
+    TinyLFU paper).  Fingerprints come from CRC32 of the key's repr,
+    so decisions are stable across processes.
+    """
+
+    _ROWS = 4
+    _MAX_COUNT = 15
+
+    def __init__(self, capacity: int):
+        width = 64
+        while width < 4 * capacity:
+            width <<= 1
+        self._mask = width - 1
+        self._rows: List[List[int]] = [
+            [0] * width for _ in range(self._ROWS)
+        ]
+        self._doorkeeper: Set[int] = set()
+        self._touches = 0
+        self._sample_limit = 8 * capacity
+
+    @staticmethod
+    def _fingerprint(key: Hashable) -> int:
+        return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+
+    def _indexes(self, fp: int) -> List[int]:
+        step = (fp >> 16) | 1  # odd => full-period double hashing
+        return [(fp + row * step) & self._mask for row in range(self._ROWS)]
+
+    def touch(self, key: Hashable) -> None:
+        """Record one access to ``key``."""
+        fp = self._fingerprint(key)
+        if fp not in self._doorkeeper:
+            self._doorkeeper.add(fp)
+        else:
+            for row, idx in zip(self._rows, self._indexes(fp)):
+                if row[idx] < self._MAX_COUNT:
+                    row[idx] += 1
+        self._touches += 1
+        if self._touches >= self._sample_limit:
+            self._age()
+
+    def estimate(self, key: Hashable) -> int:
+        fp = self._fingerprint(key)
+        freq = min(
+            row[idx] for row, idx in zip(self._rows, self._indexes(fp))
+        )
+        if fp in self._doorkeeper:
+            freq += 1
+        return freq
+
+    def _age(self) -> None:
+        for row in self._rows:
+            for i, count in enumerate(row):
+                if count:
+                    row[i] = count >> 1
+        self._doorkeeper.clear()
+        self._touches = 0
+
+    def reset(self) -> None:
+        for row in self._rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self._doorkeeper.clear()
+        self._touches = 0
 
 
 class CookieEncodeCache:
@@ -62,17 +138,38 @@ class CookieEncodeCache:
         self,
         codec: TransportCookieCodec,
         capacity: int = _DEFAULT_CAPACITY,
+        admission: str = "lru",
     ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if admission not in _ADMISSION_POLICIES:
+            raise ValueError(
+                "admission must be one of %r" % (_ADMISSION_POLICIES,)
+            )
         self._codec = codec
         self._capacity = capacity
+        self.admission = admission
+        # Plain LRU admits every miss, which on a zipfian population
+        # churns the whole cache through the one-hit tail (~15% hit
+        # rate at capacity 4096).  The tinylfu policy only lets a miss
+        # displace the LRU victim when it has been seen at least as
+        # often recently — the tail then bounces off the doorkeeper
+        # while the head stays resident.
+        self._freq: Optional[_FrequencySketch] = (
+            _FrequencySketch(capacity) if admission == "tinylfu" else None
+        )
         self._blocks: "OrderedDict[Hashable, bytes]" = OrderedDict()
         self.epoch = 0
         self.hits = 0
+        # Repeats of a miss already queued in the same batch: they are
+        # served without an extra AES pass, but the block was not in
+        # the cache when the batch arrived — counting them as hits
+        # made warm-cache hit rates look far better than they were.
+        self.queued_hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.admission_rejections = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -93,9 +190,11 @@ class CookieEncodeCache:
             "capacity": self._capacity,
             "epoch": self.epoch,
             "hits": self.hits,
+            "queued_hits": self.queued_hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "admission_rejections": self.admission_rejections,
         }
 
     # -- invalidation ------------------------------------------------------
@@ -103,6 +202,8 @@ class CookieEncodeCache:
     def invalidate(self) -> None:
         """Drop every cached block and start a new epoch."""
         self._blocks.clear()
+        if self._freq is not None:
+            self._freq.reset()
         self.epoch += 1
         self.invalidations += 1
 
@@ -150,6 +251,8 @@ class CookieEncodeCache:
     # -- encoding ----------------------------------------------------------
 
     def _lookup(self, key: Hashable) -> Optional[bytes]:
+        if self._freq is not None:
+            self._freq.touch(key)
         block = self._blocks.get(key)
         if block is not None:
             self._blocks.move_to_end(key)
@@ -157,6 +260,21 @@ class CookieEncodeCache:
         return block
 
     def _store(self, key: Hashable, block: bytes) -> None:
+        if (
+            self._freq is not None
+            and len(self._blocks) >= self._capacity
+            and key not in self._blocks
+        ):
+            # Admission duel: the miss only displaces the LRU victim
+            # when it has been *strictly* more popular recently (ties
+            # keep the resident — the standard TinyLFU rule, which is
+            # what stops the one-hit tail from churning the cache).
+            # The caller still gets the freshly encrypted block either
+            # way — rejection only skips caching it.
+            victim = next(iter(self._blocks))
+            if self._freq.estimate(key) <= self._freq.estimate(victim):
+                self.admission_rejections += 1
+                return
         self._blocks[key] = block
         self._blocks.move_to_end(key)
         if len(self._blocks) > self._capacity:
@@ -181,10 +299,12 @@ class CookieEncodeCache:
         for i, key in enumerate(keys):
             pending = miss_backrefs.get(key)
             if pending is not None:
-                # Repeat of a miss already queued in this batch: a hit
-                # once the batch AES pass lands.
+                # Repeat of a miss already queued in this batch: served
+                # from the pending AES pass, but not a true cache hit.
                 pending.append(i)
-                self.hits += 1
+                self.queued_hits += 1
+                if self._freq is not None:
+                    self._freq.touch(key)
                 continue
             block = self._lookup(key)
             if block is not None:

@@ -40,6 +40,7 @@ from repro.core.transport_cookie import (
     COOKIE_BYTE_START,
     TransportCookieCodec,
 )
+from repro.core.user_stats import UserEngagementTracker, UserQuantileConfig
 from repro.crypto.aes import decrypt_blocks_many
 from repro.obs.registry import MetricsRegistry
 from repro.quic.connection_id import ConnectionID, MAX_CONNECTION_ID_BYTES
@@ -77,6 +78,22 @@ class RegisteredApp:
     dedup: Optional[BloomFilter] = None
     digest_features: List[str] = field(default_factory=list)
     version: int = 0
+    users: Optional[UserEngagementTracker] = None
+
+    def user_key(
+        self, region: bytes, values: Dict[str, Any]
+    ) -> Optional[bytes]:
+        """The identity this app's engagement tracker keys on: the
+        configured feature's decoded value when one is named (the
+        cookie region is not unique per user for low-cardinality
+        schemas), else the preserved cookie region bytes."""
+        feature = self.users.config.key_feature if self.users else None
+        if feature is None:
+            return region
+        value = values.get(feature)
+        if value is None:
+            return None
+        return int(value).to_bytes(8, "big")
 
 
 @dataclass(slots=True)
@@ -96,7 +113,8 @@ class LarkSwitch:
     """A Snatch-programmed ISP switch."""
 
     def __init__(self, name: str = "lark", rng: Optional[random.Random] = None,
-                 registry: Optional["MetricsRegistry"] = None):
+                 registry: Optional["MetricsRegistry"] = None,
+                 decode_memo_capacity: Optional[int] = None):
         self.name = name
         self.alive = True
         self.crashes = 0
@@ -131,6 +149,14 @@ class LarkSwitch:
         # control-plane change to an app's key/schema; the scalar path
         # never consults it.  ``_batch_decode_cache`` points at the
         # memo only while a batch is in flight.
+        # Optional bound on the memo: unbounded is fine for the small
+        # demographic schemas (a few thousand distinct cookies), but a
+        # per-user feature makes distinct cookies grow with the user
+        # population, and the memo with them.  Decode is pure, so a
+        # FIFO bound only costs re-decrypts, never correctness.
+        if decode_memo_capacity is not None and decode_memo_capacity <= 0:
+            raise ValueError("decode_memo_capacity must be positive")
+        self._decode_memo_capacity = decode_memo_capacity
         self._decode_memo: Dict[
             Tuple[int, int, bytes], Optional[Dict[str, Any]]
         ] = {}
@@ -154,13 +180,25 @@ class LarkSwitch:
         dedup: bool = False,
         digest_features: Optional[List[str]] = None,
         version: int = 0,
+        user_quantiles: Optional[UserQuantileConfig] = None,
     ) -> RegisteredApp:
         """Install an application's parameters (table entry, AES key,
-        cookie format, statistics program)."""
+        cookie format, statistics program).  ``user_quantiles``
+        additionally tracks per-user engagement (distinct users +
+        per-user request-count quantiles); in sketch mode the sample's
+        value cells are allocated from this switch's register SRAM."""
         if app_id in self._apps:
             raise ValueError("app-ID %d already registered" % app_id)
         if mode == ForwardingMode.PERIODICAL and period_ms <= 0:
             raise ValueError("periodical forwarding needs a positive period")
+        users = None
+        if user_quantiles is not None:
+            users = UserEngagementTracker(
+                user_quantiles,
+                name="%s.app%02x.users" % (self.name, app_id),
+                registers=self.pipeline.registers
+                if user_quantiles.mode == "sketch" else None,
+            )
         app = RegisteredApp(
             app_id=app_id,
             schema=schema,
@@ -180,6 +218,7 @@ class LarkSwitch:
             else None,
             digest_features=list(digest_features or []),
             version=version,
+            users=users,
         )
         self._apps[app_id] = app
         self._app_table.insert(
@@ -262,6 +301,17 @@ class LarkSwitch:
         cache[memo_key] = values
         return values
 
+    def _trim_decode_memo(self) -> None:
+        """Enforce the optional memo bound, FIFO (insertion order is
+        the only recency signal a plain dict gives us, and decode is
+        pure, so evicting a hot entry merely costs one re-decrypt)."""
+        cap = self._decode_memo_capacity
+        if cap is None:
+            return
+        memo = self._decode_memo
+        while len(memo) > cap:
+            del memo[next(iter(memo))]
+
     def _warm_decode_memo(self, dcids: Sequence[ConnectionID]) -> None:
         """Pre-decrypt the unique not-yet-memoized cookie regions of a
         batch in one batched AES pass (:func:`decrypt_blocks_many`),
@@ -322,6 +372,14 @@ class LarkSwitch:
             phv.metadata["decode_failed"] = True
             self._m_decode_failures.inc()
             return
+        if app.users is not None:
+            # Engagement counts every decoded request (dedup below only
+            # shapes the distinct-count statistics, not per-user load).
+            user_key = app.user_key(
+                raw[COOKIE_BYTE_START:COOKIE_BYTE_END], values
+            )
+            if user_key is not None:
+                app.users.observe(user_key)
         if app.dedup is not None:
             # Dedup on the raw encrypted cookie bytes: stable per user
             # across connections (the Snatch CID policy preserves them).
@@ -435,6 +493,7 @@ class LarkSwitch:
             )
         finally:
             self._batch_decode_cache = None
+            self._trim_decode_memo()
         return out
 
     # -- columnar fast path -------------------------------------------------
@@ -506,6 +565,7 @@ class LarkSwitch:
                 rep = sub[firsts[group]]
                 memo[(app.app_id, len(rep), keys[group])] = values
                 out[group] = values
+        self._trim_decode_memo()
         return out
 
     def process_quic_columnar(
@@ -563,6 +623,29 @@ class LarkSwitch:
                 sub, COOKIE_BYTE_START, COOKIE_BYTE_END
             )
             group_values = self._decode_groups(app, sub, keys, firsts)
+            if app.users is not None:
+                # Engagement folds per unique cookie group with its
+                # packet multiplicity (dedup below only shapes the
+                # distinct-count statistics).  The sketch sample is a
+                # pure function of the update multiset, so grouped
+                # folds land on the same state as the scalar path's
+                # per-packet observes.
+                counts = np.bincount(
+                    np.asarray(inverse, dtype=np.int64),
+                    minlength=len(keys),
+                )
+                user_keys: List[bytes] = []
+                user_counts: List[int] = []
+                for g in range(len(keys)):
+                    values_g = group_values[g]
+                    if values_g is None:
+                        continue
+                    ukey = app.user_key(keys[g], values_g)
+                    if ukey is None:
+                        continue
+                    user_keys.append(ukey)
+                    user_counts.append(int(counts[g]))
+                app.users.observe_many(user_keys, user_counts)
             dup_first = [False] * len(keys)
             if app.dedup is not None:
                 # Bloom state evolves at first occurrences only, so
@@ -753,26 +836,55 @@ class LarkSwitch:
     def stats_report(self, app_id: int) -> Dict[str, Any]:
         return self._apps[app_id].stats.report()
 
+    # -- per-user engagement (bounded-memory scale path) -----------------------
+
+    def drain_user_stats(self, app_id: int) -> Optional[Dict[str, Any]]:
+        """Snapshot-and-reset the app's engagement tracker — the
+        period-boundary handoff the AggSwitch absorbs.  The sketch
+        state does *not* ride :func:`flatten_snapshot` (whose tag
+        format caps arrays at 1024 cells and carries no key bytes);
+        it travels as its own snapshot payload.  Returns ``None`` when
+        the app has no tracker."""
+        app = self._apps.get(app_id)
+        if app is None:
+            raise KeyError("no application %d registered" % app_id)
+        if app.users is None:
+            return None
+        return app.users.drain()
+
+    def user_report(self, app_id: int) -> Optional[Dict[str, Any]]:
+        app = self._apps[app_id]
+        return app.users.report() if app.users is not None else None
+
     # -- checkpointing (supervised shard runtime) ------------------------------
 
-    def checkpoint(self, app_id: int) -> Dict[str, List[int]]:
+    def checkpoint(self, app_id: int) -> Dict[str, Any]:
         """Raw register snapshot of an application's statistics — the
         unit the supervised shard runtime persists at epoch flushes.
         The per-kind folds are associative, so a crashed replica
         restored from this and replayed from the matching stream
-        position reproduces the uninterrupted registers cell for cell."""
+        position reproduces the uninterrupted registers cell for cell.
+        When the app tracks per-user engagement, its tracker state
+        rides along under the reserved ``"user_quantiles"`` key."""
         app = self._apps.get(app_id)
         if app is None:
             raise KeyError("no application %d registered" % app_id)
-        return app.stats.snapshot()
+        snapshot: Dict[str, Any] = app.stats.snapshot()
+        if app.users is not None:
+            snapshot["user_quantiles"] = app.users.snapshot()
+        return snapshot
 
-    def restore(self, app_id: int, snapshot: Dict[str, List[int]]) -> None:
+    def restore(self, app_id: int, snapshot: Dict[str, Any]) -> None:
         """Inverse of :meth:`checkpoint`: overwrite the registers with a
         saved snapshot (crash recovery before replaying the tail)."""
         app = self._apps.get(app_id)
         if app is None:
             raise KeyError("no application %d registered" % app_id)
+        snapshot = dict(snapshot)
+        user_state = snapshot.pop("user_quantiles", None)
         app.stats.load_snapshot(snapshot)
+        if user_state is not None and app.users is not None:
+            app.users.load_snapshot(user_state)
 
 
 _MIN_SENTINEL = (1 << 48) - 1  # matches repro.core.stats

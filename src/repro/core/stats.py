@@ -427,9 +427,10 @@ class SwitchStatistics:
         """Overwrite the registers with a raw snapshot (AggSwitch
         periodical merge write-back)."""
         for name, cells in snapshot.items():
-            array = self._arrays[name]
-            for index, value in enumerate(cells):
-                array.write(index, value)
+            # Bulk overwrite instead of a per-cell write loop — this is
+            # on the epoch-restore path, which at scale walks millions
+            # of cells.
+            self._arrays[name].load(cells)
 
 
     def load_report(self, report: Dict[str, Any]) -> None:

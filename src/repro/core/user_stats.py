@@ -1,0 +1,252 @@
+"""Per-user engagement tracking: exact dict or bounded-memory sketch.
+
+The statistics specs on the switches aggregate by *class* (a few
+hundred register cells per application).  Per-*user* questions — "how
+many distinct users this period, and what are the p50/p90/p99 of
+per-user request counts" — have cardinality equal to the user
+population, which is exactly the state the paper keeps off the
+switches.  This module gives the pipeline both options:
+
+* ``mode="exact"`` — a plain dict keyed by user, one counter each.
+  This is the control-plane baseline: always correct, linear memory.
+* ``mode="sketch"`` — a :class:`~repro.switch.quantile_sketch.
+  SampledQuantileSketch` sized from an ``(epsilon, delta)`` accuracy
+  target.  Memory is bounded by the sample capacity regardless of the
+  user population, and the sample merges associatively, so the tracker
+  rides the same drain/absorb path as the register banks: the
+  LarkSwitch drains its period-local tracker and the AggSwitch absorbs
+  the snapshot into its cumulative one.
+
+Both modes answer quantiles with the same nearest-rank convention
+(element ``ceil(q * m) - 1`` of the sorted per-user totals), so the
+differential harness can compare exact and sketch reports directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.switch.quantile_sketch import (
+    SampledQuantileSketch,
+    capacity_for,
+    epsilon_for,
+)
+from repro.switch.registers import RegisterFile
+
+__all__ = ["UserQuantileConfig", "UserEngagementTracker"]
+
+_DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class UserQuantileConfig:
+    """How an application tracks per-user engagement.
+
+    ``mode`` selects exact dict tracking or the sampled sketch;
+    ``epsilon``/``delta`` size the sketch (``capacity`` overrides);
+    ``quantiles`` are the ranks reported; ``key_feature`` optionally
+    names a schema feature whose decoded value identifies the user
+    (when unset, the raw cookie bytes are the key — correct only when
+    cookies are unique per user).
+    """
+
+    mode: str = "exact"
+    epsilon: float = 0.05
+    delta: float = 0.01
+    capacity: Optional[int] = None
+    quantiles: Tuple[float, ...] = _DEFAULT_QUANTILES
+    seed: int = 0x51D0
+    key_feature: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in ("exact", "sketch"):
+            raise ValueError("mode must be 'exact' or 'sketch'")
+        for q in self.quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError("quantiles must be in [0, 1]")
+
+    def sketch_capacity(self) -> int:
+        if self.capacity is not None:
+            return self.capacity
+        return capacity_for(self.epsilon, self.delta)
+
+
+def _nearest_rank(ordered: Sequence[int], q: float) -> Optional[int]:
+    m = len(ordered)
+    if m == 0:
+        return None
+    return ordered[min(max(math.ceil(q * m) - 1, 0), m - 1)]
+
+
+def _quantile_label(q: float) -> str:
+    """0.5 -> 'p50', 0.99 -> 'p99', 0.999 -> 'p99.9'."""
+    pct = q * 100.0
+    if abs(pct - round(pct)) < 1e-9:
+        return "p%d" % round(pct)
+    return ("p%g" % pct)
+
+
+class UserEngagementTracker:
+    """Distinct users + per-user engagement quantiles, in one of two
+    memory regimes (see the module docstring)."""
+
+    def __init__(
+        self,
+        config: UserQuantileConfig,
+        name: str = "users",
+        registers: Optional[RegisterFile] = None,
+    ):
+        self.config = config
+        self.name = name
+        self._exact: Optional[Dict[bytes, int]] = None
+        self._sketch: Optional[SampledQuantileSketch] = None
+        if config.mode == "exact":
+            self._exact = {}
+        else:
+            self._sketch = SampledQuantileSketch(
+                capacity=config.sketch_capacity(),
+                delta=config.delta,
+                name=name,
+                registers=registers,
+                seed=config.seed,
+            )
+        self.events = 0
+
+    @property
+    def mode(self) -> str:
+        return self.config.mode
+
+    # -- updates ------------------------------------------------------------
+
+    def observe(self, key: bytes, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._exact is not None:
+            self._exact[key] = self._exact.get(key, 0) + count
+        else:
+            self._sketch.add(key, count)
+        self.events += count
+
+    def observe_many(
+        self, keys: Sequence[bytes], counts: Optional[Sequence[int]] = None
+    ) -> None:
+        if counts is not None and len(counts) != len(keys):
+            raise ValueError("counts must align with keys")
+        if self._exact is not None:
+            exact = self._exact
+            for i, key in enumerate(keys):
+                count = 1 if counts is None else int(counts[i])
+                if count < 0:
+                    raise ValueError("count must be non-negative")
+                exact[key] = exact.get(key, 0) + count
+                self.events += count
+        else:
+            self._sketch.add_many(keys, counts)
+            self.events += (
+                len(keys) if counts is None else sum(int(c) for c in counts)
+            )
+
+    # -- read-out -----------------------------------------------------------
+
+    def distinct_users(self) -> int:
+        if self._exact is not None:
+            return len(self._exact)
+        return self._sketch.distinct_estimate()
+
+    def _ordered_totals(self) -> List[int]:
+        if self._exact is not None:
+            return sorted(self._exact.values())
+        return self._sketch.sampled_values()
+
+    def report(self) -> Dict[str, Any]:
+        """The per-user engagement block of an application report."""
+        ordered = self._ordered_totals()
+        quantiles = {
+            _quantile_label(q): _nearest_rank(ordered, q)
+            for q in self.config.quantiles
+        }
+        out: Dict[str, Any] = {
+            "mode": self.mode,
+            "users": self.distinct_users(),
+            "events": self.events,
+            "quantiles": quantiles,
+        }
+        if self._sketch is not None:
+            out["error_bound"] = self._sketch.error_bound()
+            out["sampled_users"] = len(self._sketch)
+        return out
+
+    # -- merge / snapshot algebra -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full-state checkpoint; also the cross-tier wire form."""
+        if self._exact is not None:
+            return {
+                "mode": "exact",
+                "events": self.events,
+                "counts": [
+                    [key, count]
+                    for key, count in sorted(self._exact.items())
+                ],
+            }
+        snap = self._sketch.snapshot()
+        snap["mode"] = "sketch"
+        snap["events"] = self.events
+        return snap
+
+    def load_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        if snapshot.get("mode") != self.mode:
+            raise ValueError(
+                "snapshot mode %r does not match tracker mode %r"
+                % (snapshot.get("mode"), self.mode)
+            )
+        if self._exact is not None:
+            self._exact = {
+                bytes(key): int(count)
+                for key, count in snapshot["counts"]
+            }
+        else:
+            self._sketch.load_snapshot(snapshot)
+        self.events = int(snapshot.get("events", 0))
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another tracker's :meth:`snapshot` into this one (the
+        AggSwitch absorbing a LarkSwitch period drain)."""
+        if snapshot.get("mode") != self.mode:
+            raise ValueError(
+                "snapshot mode %r does not match tracker mode %r"
+                % (snapshot.get("mode"), self.mode)
+            )
+        if self._exact is not None:
+            exact = self._exact
+            for key, count in snapshot["counts"]:
+                key = bytes(key)
+                exact[key] = exact.get(key, 0) + int(count)
+        else:
+            self._sketch.absorb(snapshot)
+        self.events += int(snapshot.get("events", 0))
+
+    def merge(self, other: "UserEngagementTracker") -> None:
+        self.absorb(other.snapshot())
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot-then-reset: the period-boundary handoff a
+        LarkSwitch performs when its forwarding window closes."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def reset(self) -> None:
+        if self._exact is not None:
+            self._exact.clear()
+        else:
+            self._sketch.reset()
+        self.events = 0
+
+    @property
+    def bits(self) -> int:
+        """Register SRAM footprint (sketch mode only; the exact dict
+        is control-plane memory, not switch SRAM)."""
+        return self._sketch.bits if self._sketch is not None else 0

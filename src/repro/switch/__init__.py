@@ -53,6 +53,11 @@ from repro.switch.parser import (
     snatch_parser,
 )
 from repro.switch.sketch import CountMinSketch, dimensions_for
+from repro.switch.quantile_sketch import (
+    SampledQuantileSketch,
+    capacity_for,
+    epsilon_for,
+)
 from repro.switch.registers import (
     RegisterArray,
     RegisterFile,
@@ -92,6 +97,9 @@ __all__ = [
     "PipelineResult",
     "RegisterArray",
     "RegisterFile",
+    "SampledQuantileSketch",
+    "capacity_for",
+    "epsilon_for",
     "SUPPORTED_OPS",
     "SramExhaustedError",
     "Stage",

@@ -155,8 +155,10 @@ class BloomFilter:
                 "snapshot has %d bits, filter has %d"
                 % (len(bits), self.size_bits)
             )
-        for index, bit in enumerate(bits):
-            self._bits.write(index, bit)
+        # One bulk register load instead of a bit-by-bit write loop —
+        # at 1M-user sizing (~9.6M bits at 1% FPR) the per-cell loop
+        # dominated every epoch restore.
+        self._bits.load(bits)
         self.items_added = int(snapshot["items_added"])
 
     def false_positive_rate(self, items: Optional[int] = None) -> float:

@@ -1,0 +1,448 @@
+"""Sampled quantile sketch (SQUID-style) on switch registers.
+
+The exact per-user paths (a dict entry per distinct user) are linear in
+the user population — fine at the 2,000 users the early benchmarks
+used, hopeless at the millions the north star calls for.  SQUID
+(arxiv 2211.01726) shows that quantiles over per-flow aggregates can be
+estimated from a bounded *sample* of flows, provided the sample is a
+uniform draw over the distinct keys and each sampled key's aggregate is
+tracked exactly.
+
+:class:`SampledQuantileSketch` realizes that as a keyed bottom-k
+(KMV) sampler:
+
+* every key gets a fixed pseudo-random **priority** from a seeded
+  :class:`~repro.switch.hashing.HashUnit` pair (64 bits, so collisions
+  are negligible and broken deterministically by key bytes);
+* the sketch keeps the ``capacity`` keys with the *smallest*
+  priorities; each kept key's updates fold exactly into one cell of a
+  register-backed value array (the same SRAM accounting as every other
+  switch primitive);
+* because a key's priority never changes, the admission threshold (the
+  k-th smallest priority) only decreases over time — a key is either
+  admitted at its first update or permanently excluded, and an evicted
+  key can never re-enter.  The retained sample is therefore a pure
+  function of the *multiset* of updates, independent of arrival order
+  or how the stream was split across devices.  That gives the merge
+  algebra the AggSwitch folds rely on::
+
+      merge(feed(A), feed(B)) == feed(A ++ B)      -- state-identical
+
+* quantiles are read off the sorted sampled aggregates; by the DKW
+  inequality a uniform sample of ``k`` distinct keys bounds the rank
+  error of every quantile simultaneously:
+  ``P(sup_q |F_sample(q) - F(q)| > eps) <= 2 exp(-2 k eps^2)``,
+  inverted by :func:`capacity_for` to size the sample for a target
+  ``(epsilon, delta)`` — the accuracy-vs-throughput/SRAM knob.
+
+The threshold priority doubles as a KMV distinct-count estimator
+(``distinct_estimate``), so one sketch answers both "how many users"
+and "the p50/p90/p99 of per-user engagement" in bounded memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.switch.columns import PacketColumns, get_numpy
+from repro.switch.hashing import HashUnit
+from repro.switch.registers import RegisterArray, RegisterFile
+
+__all__ = [
+    "SampledQuantileSketch",
+    "capacity_for",
+    "epsilon_for",
+]
+
+# Priorities are (h1 << 32) | h2 over two independently seeded 32-bit
+# hash units: 64 bits, so the chance of any collision within a sample
+# of a few thousand keys is ~k^2 / 2^65 — and a full collision is still
+# broken deterministically by the key bytes.
+_PRIORITY_BITS = 64
+_PRIORITY_RANGE = 1 << _PRIORITY_BITS
+
+_DEFAULT_EPSILON = 0.05
+_DEFAULT_DELTA = 0.01
+
+
+def capacity_for(epsilon: float, delta: float = _DEFAULT_DELTA) -> int:
+    """Sample size guaranteeing rank error <= ``epsilon`` for *all*
+    quantiles simultaneously with probability >= 1 - ``delta``
+    (Dvoretzky-Kiefer-Wolfowitz): ``k >= ln(2/delta) / (2 eps^2)``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon ** 2)))
+
+
+def epsilon_for(capacity: int, delta: float = _DEFAULT_DELTA) -> float:
+    """Inverse of :func:`capacity_for`: the rank-error bound a sample
+    of ``capacity`` keys provides at confidence 1 - ``delta``."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * capacity))
+
+
+class _HeapEntry:
+    """Max-heap adaptor for Python's min-heap: the entry with the
+    *largest* (priority, key) — the next eviction victim — sorts
+    first.  Key bytes break priority ties so the order is total and
+    identical on every device."""
+
+    __slots__ = ("prio", "key")
+
+    def __init__(self, prio: int, key: bytes):
+        self.prio = prio
+        self.key = key
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return (self.prio, self.key) > (other.prio, other.key)
+
+
+class SampledQuantileSketch:
+    """Bounded-memory mergeable quantile sketch over keyed aggregates.
+
+    ``add(key, delta)`` folds ``delta`` into ``key``'s running sum if
+    the key is sampled; quantiles are over the distribution of per-key
+    sums.  Size the sample either directly (``capacity``) or from an
+    accuracy target (``epsilon``/``delta`` via :func:`capacity_for`).
+
+    When a :class:`RegisterFile` is supplied the value cells are
+    allocated from it (named ``<name>.values``), so the sketch
+    competes for stage SRAM like every other statistics primitive;
+    standalone construction keeps a private array.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        delta: float = _DEFAULT_DELTA,
+        name: str = "qsketch",
+        registers: Optional[RegisterFile] = None,
+        value_bits: int = 48,
+        seed: int = 0x51D0,
+    ):
+        if capacity is None:
+            capacity = capacity_for(epsilon or _DEFAULT_EPSILON, delta)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.delta = delta
+        self.epsilon = (
+            epsilon if epsilon is not None else epsilon_for(capacity, delta)
+        )
+        self.name = name
+        self.seed = seed
+        self._hash_hi = HashUnit(1 << 32, seed=seed * 2 + 0x9E37)
+        self._hash_lo = HashUnit(1 << 32, seed=seed * 3 + 0x79B9)
+        if registers is not None:
+            self._values = registers.allocate(
+                "%s.values" % name, capacity, value_bits
+            )
+        else:
+            self._values = RegisterArray(
+                "%s.values" % name, capacity, value_bits
+            )
+        # key -> (slot, priority); bounded by capacity.
+        self._sample: Dict[bytes, Tuple[int, int]] = {}
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        # Lazy max-heap over live sample entries (stale entries from
+        # evicted keys are skipped on pop and purged by _compact).
+        self._heap: List[_HeapEntry] = []
+        self.items = 0      # updates folded into sampled keys
+        self.dropped = 0    # updates discarded (key above threshold)
+        self.evictions = 0
+
+    # -- priorities ---------------------------------------------------------
+
+    def _priority(self, key: bytes) -> int:
+        return (self._hash_hi.hash(key) << 32) | self._hash_lo.hash(key)
+
+    def _priorities_many(self, keys: Sequence[bytes]) -> List[int]:
+        """Vectorized :meth:`_priority` over a batch of keys."""
+        columns = PacketColumns(keys)
+        hi = self._hash_hi.hash_many(columns)
+        lo = self._hash_lo.hash_many(columns)
+        np = get_numpy()
+        if np is not None and hasattr(hi, "dtype"):
+            return (
+                (hi.astype(np.uint64) << np.uint64(32))
+                | lo.astype(np.uint64)
+            ).tolist()
+        return [(int(h) << 32) | int(l) for h, l in zip(hi, lo)]
+
+    # -- eviction machinery -------------------------------------------------
+
+    def _peek_max(self) -> _HeapEntry:
+        """The live entry with the largest (priority, key): the
+        current admission threshold.  Callers guarantee the sample is
+        non-empty."""
+        heap = self._heap
+        sample = self._sample
+        while True:
+            top = heap[0]
+            live = sample.get(top.key)
+            if live is not None and live[1] == top.prio:
+                return top
+            heapq.heappop(heap)  # stale: key was evicted earlier
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries once stale ones dominate
+        (bounds heap memory at O(capacity) under adversarial churn)."""
+        if len(self._heap) > 4 * self.capacity:
+            self._heap = [
+                _HeapEntry(prio, key)
+                for key, (_slot, prio) in self._sample.items()
+            ]
+            heapq.heapify(self._heap)
+
+    def _admit(self, key: bytes, prio: int, value: int) -> None:
+        slot = self._free.pop()
+        self._sample[key] = (slot, prio)
+        self._values.write(slot, value)
+        heapq.heappush(self._heap, _HeapEntry(prio, key))
+        self._compact()
+
+    def _evict_max(self) -> None:
+        top = self._peek_max()
+        heapq.heappop(self._heap)
+        slot, _prio = self._sample.pop(top.key)
+        value = self._values.read(slot)
+        # The evicted key's updates are no longer represented: move
+        # them from items to dropped so items + dropped always equals
+        # the total updates offered.
+        self.items -= value
+        self.dropped += value
+        self._values.write(slot, 0)
+        self._free.append(slot)
+        self.evictions += 1
+
+    # -- updates ------------------------------------------------------------
+
+    def add(self, key: bytes, delta: int = 1) -> bool:
+        """Fold one update; returns True when it landed in the sample.
+
+        A key present in the sample folds exactly; a new key is
+        admitted iff its priority beats the current threshold (evicting
+        the threshold key when full).  Keys above the threshold are
+        dropped — and since the threshold only ever decreases, such a
+        key can never enter later, which is what makes the sample
+        order-insensitive.
+        """
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        entry = self._sample.get(key)
+        if entry is not None:
+            self._values.add(entry[0], delta)
+            self.items += delta
+            return True
+        return self._add_new(key, self._priority(key), delta)
+
+    def _add_new(self, key: bytes, prio: int, delta: int) -> bool:
+        if len(self._sample) < self.capacity:
+            self._admit(key, prio, delta)
+            self.items += delta
+            return True
+        top = self._peek_max()
+        if (prio, key) < (top.prio, top.key):
+            self._evict_max()
+            self._admit(key, prio, delta)
+            self.items += delta
+            return True
+        self.dropped += delta
+        return False
+
+    def add_many(
+        self,
+        keys: Sequence[bytes],
+        deltas: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Fold a batch of updates; state-identical to ``add`` per
+        element in order (the expensive hash pass is vectorized, the
+        admission walk stays sequential because the threshold evolves
+        within the batch)."""
+        if not keys:
+            return
+        if deltas is not None and len(deltas) != len(keys):
+            raise ValueError("deltas must align with keys")
+        sample = self._sample
+        values = self._values
+        prios: Optional[List[int]] = None
+        for i, key in enumerate(keys):
+            delta = 1 if deltas is None else int(deltas[i])
+            if delta < 0:
+                raise ValueError("delta must be non-negative")
+            entry = sample.get(key)
+            if entry is not None:
+                values.add(entry[0], delta)
+                self.items += delta
+                continue
+            if prios is None:
+                prios = self._priorities_many(keys)
+            self._add_new(key, prios[i], delta)
+
+    # -- read-out -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def sampled_values(self) -> List[int]:
+        """The sampled per-key aggregates, sorted ascending."""
+        values = self._values
+        return sorted(
+            values.read(slot) for slot, _prio in self._sample.values()
+        )
+
+    def quantile(self, q: float) -> Optional[int]:
+        """The q-quantile of the sampled per-key aggregates (nearest
+        rank: element ``ceil(q * m) - 1`` of the sorted sample), or
+        ``None`` when the sketch is empty."""
+        return self.quantiles((q,))[0]
+
+    def quantiles(self, qs: Sequence[float]) -> List[Optional[int]]:
+        """Several quantiles off one sort of the sample."""
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError("quantile must be in [0, 1]")
+        ordered = self.sampled_values()
+        m = len(ordered)
+        if m == 0:
+            return [None for _ in qs]
+        return [
+            ordered[min(max(math.ceil(q * m) - 1, 0), m - 1)] for q in qs
+        ]
+
+    def rank(self, value: int) -> float:
+        """Estimated CDF at ``value``: the fraction of keys whose
+        aggregate is <= ``value`` (0.0 on an empty sketch)."""
+        ordered = self.sampled_values()
+        if not ordered:
+            return 0.0
+        count = 0
+        for v in ordered:
+            if v <= value:
+                count += 1
+            else:
+                break
+        return count / len(ordered)
+
+    def distinct_estimate(self) -> int:
+        """KMV estimate of the number of distinct keys ever offered:
+        exact while the sample is not full, else ``(k - 1) * M /
+        threshold`` with M the priority range."""
+        k = len(self._sample)
+        if k < self.capacity:
+            return k
+        threshold = self._peek_max().prio
+        if threshold <= 0:
+            return k
+        return max(k, round((k - 1) * _PRIORITY_RANGE / threshold))
+
+    def error_bound(self) -> float:
+        """The DKW rank-error bound of the configured capacity."""
+        return epsilon_for(self.capacity, self.delta)
+
+    @property
+    def bits(self) -> int:
+        """Register SRAM footprint of the value cells."""
+        return self._values.bits
+
+    # -- merge / snapshot algebra -------------------------------------------
+
+    def _entries(self) -> List[Tuple[int, bytes, int]]:
+        """Live entries as (priority, key, value), sorted by the
+        canonical (priority, key) order — the deterministic wire form
+        shared by snapshots and merges."""
+        values = self._values
+        return sorted(
+            (prio, key, values.read(slot))
+            for key, (slot, prio) in self._sample.items()
+        )
+
+    def merge(self, other: "SampledQuantileSketch") -> None:
+        """Fold another sketch's sample into this one.
+
+        Requires identical capacity and hash seeds (the controller
+        installs the same parameters everywhere, as it does for
+        count-min dimensions).  Because both sides sampled by the same
+        fixed priorities, the result is *state-identical* to a single
+        sketch fed the concatenation of both input streams.
+        """
+        if other.capacity != self.capacity or other.seed != self.seed:
+            raise ValueError(
+                "cannot merge sketches with different capacity/seed"
+            )
+        self.absorb(
+            {
+                "entries": other._entries(),
+                "items": other.items,
+                "dropped": other.dropped,
+            }
+        )
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Merge a :meth:`snapshot` payload (the cross-tier wire form:
+        a LarkSwitch drains its period sketch and the AggSwitch absorbs
+        it without reconstructing a sketch object)."""
+        sample = self._sample
+        values = self._values
+        for prio, key, value in snapshot["entries"]:
+            key = bytes(key)
+            prio = int(prio)
+            value = int(value)
+            entry = sample.get(key)
+            if entry is not None:
+                values.add(entry[0], value)
+                self.items += value
+            elif not self._add_new(key, prio, value):
+                continue
+        # items for sampled keys were counted per entry above; the
+        # other side's dropped updates stay dropped.
+        self.dropped += int(snapshot.get("dropped", 0))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic full-state checkpoint: two sketches with equal
+        sample state produce equal snapshots (entries are in canonical
+        priority order)."""
+        return {
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "entries": [
+                [prio, bytes(key), value]
+                for prio, key, value in self._entries()
+            ],
+            "items": self.items,
+            "dropped": self.dropped,
+            "evictions": self.evictions,
+        }
+
+    def load_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot` (crash recovery)."""
+        if int(snapshot.get("capacity", self.capacity)) != self.capacity:
+            raise ValueError("snapshot capacity does not match the sketch")
+        entries = snapshot["entries"]
+        if len(entries) > self.capacity:
+            raise ValueError("snapshot larger than the sketch capacity")
+        self.reset()
+        for prio, key, value in entries:
+            self._admit(bytes(key), int(prio), int(value))
+            self.items += int(value)
+        self.items = int(snapshot.get("items", self.items))
+        self.dropped = int(snapshot.get("dropped", 0))
+        self.evictions = int(snapshot.get("evictions", 0))
+
+    def reset(self) -> None:
+        """Control-plane reset (period boundary)."""
+        self._values.reset()
+        self._sample.clear()
+        self._free = list(range(self.capacity - 1, -1, -1))
+        self._heap = []
+        self.items = 0
+        self.dropped = 0
+        self.evictions = 0

@@ -110,11 +110,14 @@ class CountMinSketch:
         if not 0 < threshold_fraction <= 1:
             raise ValueError("threshold_fraction must be in (0, 1]")
         floor = threshold_fraction * self.total
-        out = [
-            (key, self.estimate(key))
-            for key in candidates
-            if self.estimate(key) >= floor
-        ]
+        # One estimate per candidate: each estimate costs depth hash
+        # evaluations, and this control-plane path used to pay it
+        # twice (once for the filter, once for the kept value).
+        out = []
+        for key in candidates:
+            estimate = self.estimate(key)
+            if estimate >= floor:
+                out.append((key, estimate))
         out.sort(key=lambda kv: (-kv[1], kv[0]))
         return out
 
@@ -125,10 +128,7 @@ class CountMinSketch:
         if (self.width, self.depth) != (other.width, other.depth):
             raise ValueError("cannot merge sketches of different shapes")
         for mine, theirs in zip(self._rows, other._rows):
-            snapshot = theirs.snapshot()
-            for index, value in enumerate(snapshot):
-                if value:
-                    mine.add(index, value)
+            mine.add_vector(theirs.snapshot())
         self.total += other.total
 
     def snapshot(self) -> List[List[int]]:
@@ -146,10 +146,7 @@ class CountMinSketch:
         ):
             raise ValueError("snapshot shape does not match the sketch")
         for mine, saved in zip(self._rows, rows):
-            mine.reset()
-            for index, value in enumerate(saved):
-                if value:
-                    mine.add(index, value)
+            mine.load(saved)
         self.total = sum(rows[0]) if total is None else total
 
     def reset(self) -> None:

@@ -40,6 +40,7 @@ from repro.core.aggswitch import AggSwitch
 from repro.core.cookie_cache import CookieEncodeCache
 from repro.core.larkswitch import LarkSwitch
 from repro.core.transport_cookie import TransportCookieCodec
+from repro.core.user_stats import UserQuantileConfig
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.columns import PacketColumns, get_numpy
 
@@ -119,6 +120,9 @@ class PipelineResult:
     dead_letters: int = 0
     # Period-boundary checkpoints taken (checkpoint_every_periods > 0).
     checkpoints: int = 0
+    # Per-user engagement quantiles (user_stats enabled), from the
+    # AggSwitch's cumulative tracker after the final drain.
+    user_report: Optional[Dict[str, Any]] = None
 
     def counts_match_reference(self) -> bool:
         for stat, expected in self.reference.items():
@@ -189,6 +193,11 @@ class StreamingPipeline:
         corrupt_probability: float = 0.0,
         checkpoint_every_periods: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        user_stats: Optional[str] = None,
+        quantile_epsilon: float = 0.05,
+        quantile_capacity: Optional[int] = None,
+        decode_memo_capacity: Optional[int] = None,
+        cache_admission: str = "lru",
     ):
         if backend not in BACKENDS:
             raise ValueError("backend must be one of %s" % (BACKENDS,))
@@ -200,6 +209,8 @@ class StreamingPipeline:
             raise ValueError("corrupt_probability must be in [0, 1]")
         if checkpoint_every_periods < 0:
             raise ValueError("checkpoint_every_periods must be >= 0")
+        if user_stats is not None and user_stats not in ("exact", "sketch"):
+            raise ValueError("user_stats must be None, 'exact' or 'sketch'")
         self.workload = workload
         self.app_id = app_id
         self.mode = mode
@@ -214,16 +225,40 @@ class StreamingPipeline:
         self._key = bytes(key_rng.getrandbits(8) for _ in range(16))
         schema = workload.schema()
         specs = workload.specs()
-        self.lark = LarkSwitch("lark-pipe", random.Random(1))
+        self.user_stats = user_stats
+        quantiles: Optional[UserQuantileConfig] = None
+        if user_stats is not None:
+            # Key per-user engagement on the workload's explicit user
+            # feature when the schema carries one; otherwise fall back
+            # to the whole cookie region (distinct cookies).
+            key_feature = (
+                "user" if "user" in schema.feature_names() else None
+            )
+            quantiles = UserQuantileConfig(
+                mode=user_stats,
+                epsilon=quantile_epsilon,
+                capacity=quantile_capacity,
+                key_feature=key_feature,
+            )
+        self.lark = LarkSwitch(
+            "lark-pipe",
+            random.Random(1),
+            decode_memo_capacity=decode_memo_capacity,
+        )
         self.lark.register_application(
-            app_id, schema, self._key, specs, mode=mode, period_ms=period_ms
+            app_id, schema, self._key, specs, mode=mode,
+            period_ms=period_ms, user_quantiles=quantiles,
         )
         self.agg = AggSwitch("agg-pipe", random.Random(2))
-        self.agg.register_application(app_id, schema, self._key, specs)
+        self.agg.register_application(
+            app_id, schema, self._key, specs, user_quantiles=quantiles
+        )
         self.codec = TransportCookieCodec(
             app_id, schema, self._key, random.Random(3)
         )
-        self.cache = CookieEncodeCache(self.codec, capacity=cache_capacity)
+        self.cache = CookieEncodeCache(
+            self.codec, capacity=cache_capacity, admission=cache_admission
+        )
         self.injector: Optional[ReorderInjector] = None
         if reorder_probability > 0.0:
             self.injector = ReorderInjector(
@@ -279,6 +314,7 @@ class StreamingPipeline:
         payload = self.lark.end_period(self.app_id)
         if payload is not None:
             payloads.append(payload)
+        self._drain_user_stats()
         if (
             self.checkpoint_every_periods
             and self.periods % self.checkpoint_every_periods == 0
@@ -292,6 +328,17 @@ class StreamingPipeline:
             }
             self._checkpoints_taken += 1
             self.registry.counter("pipeline.checkpoints").inc()
+
+    def _drain_user_stats(self) -> None:
+        """Period-boundary engagement handoff: snapshot-and-reset the
+        lark tracker, fold it into the agg's cumulative one.  The
+        sketch merge is exact (bottom-k of a union), so chunking by
+        period changes nothing downstream."""
+        if self.user_stats is None:
+            return
+        self.agg.absorb_user_stats(
+            self.app_id, self.lark.drain_user_stats(self.app_id)
+        )
 
     def _lark_segment(self, cids: Any, lo: int, hi: int) -> List[Any]:
         if hi <= lo:
@@ -456,6 +503,9 @@ class StreamingPipeline:
             held = self.injector.flush()  # counted at lark emission
             if held:
                 self._deliver(held, agg_results)
+        # Final engagement handoff (covers per-packet mode, which has
+        # no period flushes; idempotent after a periodical tail flush).
+        self._drain_user_stats()
         merged = sum(1 for r in agg_results if getattr(r, "merged", False))
         return PipelineResult(
             events=events,
@@ -471,4 +521,9 @@ class StreamingPipeline:
             agg_results=agg_results if collect_results else [],
             dead_letters=self.dead_letters,
             checkpoints=self._checkpoints_taken,
+            user_report=(
+                self.agg.user_report(self.app_id)
+                if self.user_stats is not None
+                else None
+            ),
         )

@@ -22,6 +22,7 @@ from repro.workloads.crowd import (
     INTERESTS,
     REGIONS,
 )
+from repro.workloads.scale import ScaleEventStream, ScaleWorkload
 from repro.workloads.ysb import (
     YsbEvent,
     YsbEventStream,
@@ -53,6 +54,8 @@ __all__ = [
     "REGIONS",
     "ResourceDemandWorkload",
     "ResourceEventStream",
+    "ScaleEventStream",
+    "ScaleWorkload",
     "Tenant",
     "UserProfile",
     "YsbEvent",

@@ -1,0 +1,185 @@
+"""User engagement tracker: exact/sketch parity, merge, drain/absorb."""
+
+import random
+
+import pytest
+
+from repro.core.user_stats import UserEngagementTracker, UserQuantileConfig
+from repro.switch.registers import RegisterFile
+
+
+def _feed(tracker, rng, n_users, events):
+    for _ in range(events):
+        tracker.observe(b"user-%06d" % rng.randrange(n_users))
+
+
+class TestConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            UserQuantileConfig(mode="approximate")
+
+    def test_quantiles_validated(self):
+        with pytest.raises(ValueError):
+            UserQuantileConfig(quantiles=(0.5, 1.5))
+
+    def test_capacity_override(self):
+        assert UserQuantileConfig(capacity=64).sketch_capacity() == 64
+        assert UserQuantileConfig(
+            mode="sketch", epsilon=0.05, delta=0.01
+        ).sketch_capacity() == 1060
+
+
+class TestExactMode:
+    def test_counts_and_quantiles(self):
+        tracker = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        for key, n in ((b"a", 1), (b"b", 2), (b"c", 3), (b"d", 4)):
+            tracker.observe(key, n)
+        report = tracker.report()
+        assert report["mode"] == "exact"
+        assert report["users"] == 4
+        assert report["events"] == 10
+        assert report["quantiles"] == {"p50": 2, "p90": 4, "p99": 4}
+        assert "error_bound" not in report
+
+    def test_observe_many_matches_observe(self):
+        a = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        b = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        keys = [b"u%d" % (i % 7) for i in range(50)]
+        counts = [(i % 3) for i in range(50)]
+        for key, c in zip(keys, counts):
+            a.observe(key, c)
+        b.observe_many(keys, counts)
+        assert a.snapshot() == b.snapshot()
+
+    def test_snapshot_roundtrip_and_absorb(self):
+        rng = random.Random(3)
+        a = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        b = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        whole = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        for _ in range(300):
+            key = b"u%d" % rng.randrange(40)
+            (a if rng.random() < 0.5 else b).observe(key)
+            whole.observe(key)
+        restored = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        restored.load_snapshot(a.snapshot())
+        assert restored.snapshot() == a.snapshot()
+        a.absorb(b.drain())
+        assert a.snapshot() == whole.snapshot()
+        assert b.events == 0 and b.distinct_users() == 0
+
+    def test_negative_count_rejected(self):
+        tracker = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        with pytest.raises(ValueError):
+            tracker.observe(b"u", -1)
+        with pytest.raises(ValueError):
+            tracker.observe_many([b"u"], [-1])
+
+
+class TestSketchMode:
+    def _config(self, **kw):
+        kw.setdefault("mode", "sketch")
+        kw.setdefault("capacity", 256)
+        return UserQuantileConfig(**kw)
+
+    def test_memory_bounded(self):
+        tracker = UserEngagementTracker(self._config(capacity=64))
+        rng = random.Random(1)
+        _feed(tracker, rng, n_users=50000, events=20000)
+        report = tracker.report()
+        assert report["sampled_users"] == 64
+        assert report["mode"] == "sketch"
+        assert report["error_bound"] > 0
+
+    def test_register_accounting(self):
+        registers = RegisterFile()
+        tracker = UserEngagementTracker(
+            self._config(capacity=128), name="app.users",
+            registers=registers,
+        )
+        assert "app.users.values" in registers.names()
+        assert tracker.bits == registers.used_bits > 0
+
+    def test_quantiles_close_to_exact(self):
+        config_s = self._config(capacity=1060)
+        exact = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        sketch = UserEngagementTracker(config_s)
+        rng = random.Random(9)
+        for _ in range(30000):
+            key = b"user-%06d" % min(
+                int(rng.paretovariate(1.3)) - 1, 3999
+            )
+            exact.observe(key)
+            sketch.observe(key)
+        exact_q = exact.report()["quantiles"]
+        totals = sorted(
+            c for _k, c in exact.snapshot()["counts"]
+        )
+        n = len(totals)
+        for label in ("p50", "p90"):
+            answer = sketch.report()["quantiles"][label]
+            q = {"p50": 0.5, "p90": 0.9}[label]
+            lo = sum(1 for v in totals if v < answer) / n
+            hi = sum(1 for v in totals if v <= answer) / n
+            assert lo - 0.08 <= q <= hi + 0.08, (label, answer, exact_q)
+
+    def test_drain_absorb_equals_single_tracker(self):
+        rng = random.Random(5)
+        lark = UserEngagementTracker(self._config(capacity=96))
+        agg = UserEngagementTracker(self._config(capacity=96))
+        whole = UserEngagementTracker(self._config(capacity=96))
+        for period in range(4):
+            for _ in range(1500):
+                key = b"u%d" % rng.randrange(800)
+                lark.observe(key)
+                whole.observe(key)
+            agg.absorb(lark.drain())
+        assert agg.snapshot()["entries"] == whole.snapshot()["entries"]
+        assert agg.events == whole.events
+        assert agg.report()["quantiles"] == whole.report()["quantiles"]
+
+    def test_merge_equals_absorb(self):
+        rng = random.Random(6)
+        a1 = UserEngagementTracker(self._config(capacity=48))
+        a2 = UserEngagementTracker(self._config(capacity=48))
+        b = UserEngagementTracker(self._config(capacity=48))
+        for _ in range(1000):
+            key = b"u%d" % rng.randrange(300)
+            a1.observe(key)
+            a2.observe(key)
+        _feed(b, rng, 300, 1000)
+        a1.merge(b)
+        a2.absorb(b.snapshot())
+        assert a1.snapshot() == a2.snapshot()
+
+    def test_mode_mismatch_rejected(self):
+        exact = UserEngagementTracker(UserQuantileConfig(mode="exact"))
+        sketch = UserEngagementTracker(self._config())
+        with pytest.raises(ValueError):
+            exact.absorb(sketch.snapshot())
+        with pytest.raises(ValueError):
+            sketch.load_snapshot(exact.snapshot())
+
+
+class TestConventionParity:
+    def test_same_nearest_rank_convention_below_capacity(self):
+        """With fewer users than sketch capacity the two modes must
+        report *identical* quantiles — this is what the differential
+        harness leans on."""
+        exact = UserEngagementTracker(
+            UserQuantileConfig(mode="exact", quantiles=(0.1, 0.5, 0.9, 1.0))
+        )
+        sketch = UserEngagementTracker(
+            UserQuantileConfig(
+                mode="sketch", capacity=512,
+                quantiles=(0.1, 0.5, 0.9, 1.0),
+            )
+        )
+        rng = random.Random(11)
+        for _ in range(5000):
+            key = b"u%03d" % rng.randrange(400)
+            exact.observe(key)
+            sketch.observe(key)
+        er = exact.report()
+        sr = sketch.report()
+        assert er["quantiles"] == sr["quantiles"]
+        assert er["users"] == sr["users"]

@@ -1,0 +1,249 @@
+"""Properties of the sampled quantile sketch (SQUID-style bottom-k).
+
+Two families:
+
+* **Error bounds** — the DKW sizing must hold up empirically: for any
+  quantile, the exact rank of the sketch's answer stays within the
+  configured epsilon (plus a small allowance for the delta tail) of
+  the requested rank, across seeds and skews.
+* **Merge algebra** — the sample is a pure function of the update
+  multiset, so ``merge(feed(A), feed(B))`` must be *state-identical*
+  to ``feed(A ++ B)`` for any split and any interleaving, and
+  ``absorb(snapshot)`` must equal ``merge``.  This is what lets the
+  sketch ride the AggSwitch shard folds and epoch checkpoints.
+"""
+
+import random
+
+import pytest
+
+from repro.switch.columns import force_numpy
+from repro.switch.quantile_sketch import (
+    SampledQuantileSketch,
+    capacity_for,
+    epsilon_for,
+)
+
+QUANTILES = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def _zipf_counts(rng, n_keys, updates):
+    """Per-key totals drawn from a heavy-tailed engagement profile."""
+    counts = {}
+    for _ in range(updates):
+        key = min(int(rng.paretovariate(1.2)) - 1, n_keys - 1)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _key(i):
+    return b"user-%08d" % i
+
+
+def _feed(sketch, updates):
+    for key, delta in updates:
+        sketch.add(key, delta)
+
+
+def _exact_rank_bracket(values, answer):
+    """(P(X < answer), P(X <= answer)) over the exact distribution."""
+    n = len(values)
+    below = sum(1 for v in values if v < answer)
+    at_or_below = sum(1 for v in values if v <= answer)
+    return below / n, at_or_below / n
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 101])
+    def test_rank_error_within_epsilon(self, seed):
+        epsilon = 0.05
+        rng = random.Random(seed)
+        counts = _zipf_counts(rng, n_keys=4000, updates=20000)
+        sketch = SampledQuantileSketch(epsilon=epsilon, delta=0.01)
+        updates = [(_key(k), c) for k, c in counts.items()]
+        rng.shuffle(updates)
+        # Split each key's total into several interleaved updates so
+        # admission happens mid-stream, not on final totals.
+        pieces = []
+        for key, total in updates:
+            while total > 1:
+                half = total // 2
+                pieces.append((key, half))
+                total -= half
+            if total:
+                pieces.append((key, total))
+        rng.shuffle(pieces)
+        _feed(sketch, pieces)
+        exact = list(counts.values())
+        # delta=0.01 per sketch; the seeds are fixed, so a small slack
+        # above epsilon keeps the test deterministic-by-construction
+        # without weakening the bound being exercised.
+        slack = epsilon + 0.02
+        for q in QUANTILES:
+            answer = sketch.quantile(q)
+            assert answer is not None
+            lo, hi = _exact_rank_bracket(exact, answer)
+            assert lo - slack <= q <= hi + slack, (
+                "q=%.2f answer=%d bracket=(%.3f, %.3f)" % (q, answer, lo, hi)
+            )
+
+    def test_exact_below_capacity(self):
+        # With fewer distinct keys than capacity nothing is sampled
+        # away: quantiles are exact.
+        sketch = SampledQuantileSketch(capacity=256)
+        values = {_key(i): (i * 13) % 97 + 1 for i in range(200)}
+        for key, v in values.items():
+            sketch.add(key, v)
+        ordered = sorted(values.values())
+        assert sketch.sampled_values() == ordered
+        assert sketch.distinct_estimate() == 200
+        assert sketch.quantile(0.5) == ordered[len(ordered) // 2 - 1 + len(ordered) % 2]
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_distinct_estimate_within_bound(self, seed):
+        rng = random.Random(seed)
+        n_keys = 5000
+        sketch = SampledQuantileSketch(capacity=1024)
+        keys = [_key(i) for i in range(n_keys)]
+        rng.shuffle(keys)
+        for key in keys:
+            sketch.add(key)
+        estimate = sketch.distinct_estimate()
+        # KMV relative error ~ 1/sqrt(k-1) ≈ 3.1%; allow 4 sigma.
+        assert abs(estimate - n_keys) / n_keys < 0.13
+
+    def test_capacity_for_matches_dkw(self):
+        assert capacity_for(0.05, 0.01) == 1060
+        assert capacity_for(0.1, 0.01) == 265
+        # Round-trip: the epsilon of the sized capacity never exceeds
+        # the requested epsilon.
+        for eps in (0.01, 0.05, 0.1, 0.2):
+            assert epsilon_for(capacity_for(eps, 0.01), 0.01) <= eps + 1e-12
+
+
+def _random_stream(rng, n_keys, updates):
+    return [
+        (_key(rng.randrange(n_keys)), rng.randrange(1, 5))
+        for _ in range(updates)
+    ]
+
+
+def _state(sketch):
+    snap = sketch.snapshot()
+    # Sample state only: items/dropped are order-dependent diagnostics.
+    return snap["entries"]
+
+
+class TestMergeAlgebra:
+    @pytest.mark.parametrize("seed", [1, 9, 42])
+    @pytest.mark.parametrize("split", [0.1, 0.5, 0.9])
+    def test_merge_equals_concatenated_stream(self, seed, split):
+        rng = random.Random(seed)
+        stream = _random_stream(rng, n_keys=900, updates=4000)
+        cut = int(len(stream) * split)
+        a = SampledQuantileSketch(capacity=128)
+        b = SampledQuantileSketch(capacity=128)
+        union = SampledQuantileSketch(capacity=128)
+        _feed(a, stream[:cut])
+        _feed(b, stream[cut:])
+        _feed(union, stream)
+        a.merge(b)
+        assert _state(a) == _state(union)
+        assert a.quantiles(QUANTILES) == union.quantiles(QUANTILES)
+        assert a.distinct_estimate() == union.distinct_estimate()
+
+    @pytest.mark.parametrize("seed", [5, 33])
+    def test_merge_order_insensitive(self, seed):
+        rng = random.Random(seed)
+        stream = _random_stream(rng, n_keys=600, updates=3000)
+        thirds = [stream[0::3], stream[1::3], stream[2::3]]
+        forward = SampledQuantileSketch(capacity=96)
+        backward = SampledQuantileSketch(capacity=96)
+        parts = []
+        for part in thirds:
+            s = SampledQuantileSketch(capacity=96)
+            _feed(s, part)
+            parts.append(s)
+        _feed(forward, stream)
+        for s in parts:
+            backward.merge(s)
+        assert _state(backward) == _state(forward)
+
+    @pytest.mark.parametrize("seed", [2, 71])
+    def test_absorb_snapshot_equals_merge(self, seed):
+        rng = random.Random(seed)
+        stream = _random_stream(rng, n_keys=500, updates=2500)
+        a1 = SampledQuantileSketch(capacity=64)
+        a2 = SampledQuantileSketch(capacity=64)
+        b = SampledQuantileSketch(capacity=64)
+        _feed(a1, stream[:1200])
+        _feed(a2, stream[:1200])
+        _feed(b, stream[1200:])
+        a1.merge(b)
+        a2.absorb(b.snapshot())
+        assert _state(a1) == _state(a2)
+
+    def test_merge_rejects_mismatched_parameters(self):
+        a = SampledQuantileSketch(capacity=32)
+        with pytest.raises(ValueError):
+            a.merge(SampledQuantileSketch(capacity=64))
+        with pytest.raises(ValueError):
+            a.merge(SampledQuantileSketch(capacity=32, seed=0xBEEF))
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("seed", [4, 19])
+    def test_snapshot_roundtrip(self, seed):
+        rng = random.Random(seed)
+        sketch = SampledQuantileSketch(capacity=80)
+        _feed(sketch, _random_stream(rng, n_keys=400, updates=2000))
+        snap = sketch.snapshot()
+        fresh = SampledQuantileSketch(capacity=80)
+        fresh.load_snapshot(snap)
+        assert fresh.snapshot() == snap
+        assert fresh.quantiles(QUANTILES) == sketch.quantiles(QUANTILES)
+        # The restored sketch keeps evolving identically.
+        tail = _random_stream(rng, n_keys=400, updates=500)
+        _feed(sketch, tail)
+        _feed(fresh, tail)
+        assert _state(fresh) == _state(sketch)
+
+    def test_load_rejects_wrong_capacity(self):
+        sketch = SampledQuantileSketch(capacity=16)
+        donor = SampledQuantileSketch(capacity=32)
+        with pytest.raises(ValueError):
+            sketch.load_snapshot(donor.snapshot())
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("numpy_on", [True, False])
+    def test_add_many_matches_scalar_adds(self, numpy_on):
+        force_numpy(numpy_on if numpy_on else False)
+        try:
+            rng = random.Random(13)
+            stream = _random_stream(rng, n_keys=700, updates=3000)
+            scalar = SampledQuantileSketch(capacity=128)
+            batched = SampledQuantileSketch(capacity=128)
+            _feed(scalar, stream)
+            for lo in range(0, len(stream), 257):
+                chunk = stream[lo:lo + 257]
+                batched.add_many(
+                    [k for k, _ in chunk], [d for _, d in chunk]
+                )
+            assert batched.snapshot() == scalar.snapshot()
+        finally:
+            force_numpy(None)
+
+    def test_numpy_and_fallback_priorities_agree(self):
+        keys = [_key(i) for i in range(64)]
+        force_numpy(True)
+        try:
+            on = SampledQuantileSketch(capacity=8)._priorities_many(keys)
+        finally:
+            force_numpy(None)
+        force_numpy(False)
+        try:
+            off = SampledQuantileSketch(capacity=8)._priorities_many(keys)
+        finally:
+            force_numpy(None)
+        assert list(on) == list(off)

@@ -1,0 +1,171 @@
+"""Sampled quantile sketch: bounded memory, eviction, register accounting."""
+
+import random
+
+import pytest
+
+from repro.switch.quantile_sketch import (
+    SampledQuantileSketch,
+    capacity_for,
+    epsilon_for,
+)
+from repro.switch.registers import RegisterFile, SramExhaustedError
+
+
+class TestConstruction:
+    def test_sizing_from_epsilon(self):
+        sketch = SampledQuantileSketch(epsilon=0.05, delta=0.01)
+        assert sketch.capacity == capacity_for(0.05, 0.01) == 1060
+        assert sketch.error_bound() <= 0.05
+
+    def test_explicit_capacity_reports_its_epsilon(self):
+        sketch = SampledQuantileSketch(capacity=512)
+        assert sketch.epsilon == epsilon_for(512, sketch.delta)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SampledQuantileSketch(capacity=0)
+        with pytest.raises(ValueError):
+            capacity_for(0.0)
+        with pytest.raises(ValueError):
+            capacity_for(0.05, delta=1.5)
+        with pytest.raises(ValueError):
+            epsilon_for(0)
+
+    def test_register_file_accounting(self):
+        registers = RegisterFile()
+        sketch = SampledQuantileSketch(
+            capacity=100, registers=registers, name="q", value_bits=48
+        )
+        assert "q.values" in registers.names()
+        assert sketch.bits == 100 * 48
+        assert registers.used_bits == sketch.bits
+
+    def test_register_budget_enforced(self):
+        registers = RegisterFile(sram_budget_bits=100)
+        with pytest.raises(SramExhaustedError):
+            SampledQuantileSketch(capacity=100, registers=registers)
+
+
+class TestBoundedMemory:
+    def test_sample_never_exceeds_capacity(self):
+        sketch = SampledQuantileSketch(capacity=32)
+        for i in range(5000):
+            sketch.add(b"k%d" % i)
+        assert len(sketch) == 32
+        assert len(sketch._free) == 0
+        assert sketch.evictions > 0
+        assert sketch.items + sketch.dropped == 5000
+
+    def test_heap_stays_bounded_under_churn(self):
+        sketch = SampledQuantileSketch(capacity=16)
+        for i in range(20000):
+            sketch.add(b"churn-%d" % i)
+        assert len(sketch._heap) <= 4 * sketch.capacity
+
+    def test_evicted_key_never_readmitted(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        keys = [b"k%d" % i for i in range(400)]
+        for key in keys:
+            sketch.add(key)
+        survivors = set(sketch._sample)
+        # Replaying every key: survivors fold, evictees stay out.
+        for key in keys:
+            sketch.add(key)
+        assert set(sketch._sample) == survivors
+        assert sorted(sketch.sampled_values()) == [2] * 8
+
+    def test_slots_are_recycled_and_zeroed(self):
+        sketch = SampledQuantileSketch(capacity=4)
+        for i in range(100):
+            sketch.add(b"x%d" % i, 7)
+        # All value cells outside live slots must be zero.
+        live = {slot for slot, _prio in sketch._sample.values()}
+        for slot in range(sketch.capacity):
+            if slot not in live:
+                assert sketch._values.read(slot) == 0
+
+
+class TestReadout:
+    def test_empty_sketch(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        assert sketch.quantile(0.5) is None
+        assert sketch.quantiles((0.1, 0.9)) == [None, None]
+        assert sketch.rank(10) == 0.0
+        assert sketch.distinct_estimate() == 0
+        assert sketch.sampled_values() == []
+
+    def test_quantile_bounds_checked(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            sketch.quantile(-0.1)
+
+    def test_nearest_rank_convention(self):
+        sketch = SampledQuantileSketch(capacity=16)
+        for i, v in enumerate([10, 20, 30, 40]):
+            sketch.add(b"k%d" % i, v)
+        assert sketch.quantile(0.0) == 10
+        assert sketch.quantile(0.25) == 10
+        assert sketch.quantile(0.5) == 20
+        assert sketch.quantile(0.75) == 30
+        assert sketch.quantile(1.0) == 40
+
+    def test_rank_is_cdf(self):
+        sketch = SampledQuantileSketch(capacity=16)
+        for i, v in enumerate([1, 2, 2, 5]):
+            sketch.add(b"k%d" % i, v)
+        assert sketch.rank(0) == 0.0
+        assert sketch.rank(1) == 0.25
+        assert sketch.rank(2) == 0.75
+        assert sketch.rank(5) == 1.0
+
+    def test_negative_delta_rejected(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        with pytest.raises(ValueError):
+            sketch.add(b"k", -1)
+        with pytest.raises(ValueError):
+            sketch.add_many([b"k"], [-1])
+
+    def test_add_many_alignment_checked(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        with pytest.raises(ValueError):
+            sketch.add_many([b"a", b"b"], [1])
+
+
+class TestDeterminism:
+    def test_same_stream_same_state_across_instances(self):
+        rng = random.Random(77)
+        stream = [b"u%d" % rng.randrange(300) for _ in range(2000)]
+        a = SampledQuantileSketch(capacity=64)
+        b = SampledQuantileSketch(capacity=64)
+        for key in stream:
+            a.add(key)
+            b.add(key)
+        assert a.snapshot() == b.snapshot()
+
+    def test_seed_changes_the_sample(self):
+        keys = [b"user-%d" % i for i in range(500)]
+        a = SampledQuantileSketch(capacity=32)
+        b = SampledQuantileSketch(capacity=32, seed=0xBEEF)
+        for key in keys:
+            a.add(key)
+            b.add(key)
+        assert set(a._sample) != set(b._sample)
+
+    def test_reset_restores_pristine_state(self):
+        sketch = SampledQuantileSketch(capacity=8)
+        for i in range(50):
+            sketch.add(b"k%d" % i, 3)
+        sketch.reset()
+        assert len(sketch) == 0
+        assert sketch.items == sketch.dropped == sketch.evictions == 0
+        assert sketch.sampled_values() == []
+        assert sketch._values.snapshot() == [0] * 8
+        # And it behaves like a fresh sketch afterwards.
+        fresh = SampledQuantileSketch(capacity=8)
+        for i in range(50):
+            sketch.add(b"k%d" % i, 3)
+            fresh.add(b"k%d" % i, 3)
+        assert sketch.snapshot() == fresh.snapshot()

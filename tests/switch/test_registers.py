@@ -107,3 +107,33 @@ class TestRegisterFile:
         rf.allocate("z", 1)
         rf.allocate("a", 1)
         assert rf.names() == ["a", "z"]
+
+
+class TestBulkLoad:
+    def test_load_equals_per_cell_writes(self):
+        bulk = RegisterArray("bulk", 8, width=16)
+        loop = RegisterArray("loop", 8, width=16)
+        values = [0, 1, 0xFFFF, 0x10000, 12345, 7, 0x1FFFF, 42]
+        bulk.load(values)
+        for i, v in enumerate(values):
+            loop.write(i, v)
+        assert bulk.snapshot() == loop.snapshot()
+
+    def test_load_masks_to_width(self):
+        array = RegisterArray("r", 2, width=8)
+        array.load([0x1FF, 0x100])
+        assert array.snapshot() == [0xFF, 0x00]
+
+    def test_load_length_checked(self):
+        array = RegisterArray("r", 4)
+        with pytest.raises(ValueError):
+            array.load([1, 2, 3])
+        with pytest.raises(ValueError):
+            array.load([1, 2, 3, 4, 5])
+
+    def test_load_copies_input(self):
+        array = RegisterArray("r", 3)
+        values = [1, 2, 3]
+        array.load(values)
+        values[0] = 99
+        assert array.read(0) == 1

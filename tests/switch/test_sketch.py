@@ -113,3 +113,27 @@ class TestResources:
     def test_invalid_shape(self):
         with pytest.raises(ValueError):
             CountMinSketch(width=0)
+
+
+class TestHeavyHitterCost:
+    def test_one_estimate_per_candidate(self, monkeypatch):
+        """Regression: heavy_hitters used to call estimate() twice per
+        candidate (filter + kept value) — at depth hashes per estimate
+        that doubled the control-plane read-out cost."""
+        cms = CountMinSketch(width=512, depth=4)
+        for _ in range(50):
+            cms.add(b"hot")
+        cms.add(b"cold")
+
+        calls = {"estimate": 0}
+        real_estimate = CountMinSketch.estimate
+
+        def spy(self, key):
+            calls["estimate"] += 1
+            return real_estimate(self, key)
+
+        monkeypatch.setattr(CountMinSketch, "estimate", spy)
+        candidates = [b"hot", b"cold", b"absent"]
+        hitters = cms.heavy_hitters(candidates, threshold_fraction=0.5)
+        assert calls["estimate"] == len(candidates)
+        assert hitters == [(b"hot", 50)]

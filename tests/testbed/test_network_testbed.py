@@ -99,7 +99,10 @@ class TestStreamingIngest:
         stats = testbed.cookie_cache.stats()
         assert stats["misses"] > 0
         assert stats["hits"] > 0
-        assert stats["hits"] + stats["misses"] == len(result.latencies_ms)
+        assert (
+            stats["hits"] + stats["queued_hits"] + stats["misses"]
+            == len(result.latencies_ms)
+        )
 
     def test_rekey_with_warm_cache_never_serves_stale_cookies(self):
         """Regression: a rekey must invalidate the encode cache along

@@ -1,0 +1,151 @@
+"""Scale workload: procedural users, zipf-head + uniform-tail traffic."""
+
+import pytest
+
+from repro.workloads.adcampaign import AGE_BRACKETS, GENDERS, GEOS
+from repro.workloads.scale import ScaleWorkload
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ScaleWorkload(num_users=0)
+        with pytest.raises(ValueError):
+            ScaleWorkload(num_campaigns=0)
+        with pytest.raises(ValueError):
+            ScaleWorkload(click_fraction=1.5)
+        with pytest.raises(ValueError):
+            ScaleWorkload(zipf_alpha=0.0)
+        with pytest.raises(ValueError):
+            ScaleWorkload(tail_fraction=-0.1)
+
+    def test_no_per_user_table(self):
+        # The whole point: constructing a million-user workload must
+        # not materialize a million of anything.
+        workload = ScaleWorkload(num_users=1_000_000)
+        per_user_attrs = [
+            v for v in vars(workload).values()
+            if isinstance(v, (list, dict, set)) and len(v) >= 1000
+        ]
+        assert per_user_attrs == []
+
+
+class TestDemographics:
+    def test_valid_and_stable(self):
+        workload = ScaleWorkload(num_users=1_000_000, seed=1)
+        for user in (0, 1, 999_999, 123_456):
+            gender, age, geo = workload.demographics(user)
+            assert gender in GENDERS
+            assert age in AGE_BRACKETS
+            assert geo in GEOS
+            assert workload.demographics(user) == (gender, age, geo)
+
+    def test_independent_of_workload_seed(self):
+        # Demographics are keyed by demo_seed only, so two runs with
+        # different traffic seeds agree on who each user is.
+        a = ScaleWorkload(num_users=1000, seed=1)
+        b = ScaleWorkload(num_users=1000, seed=99)
+        assert all(
+            a.demographics(u) == b.demographics(u) for u in range(200)
+        )
+
+    def test_demo_seed_changes_population(self):
+        a = ScaleWorkload(num_users=1000, demo_seed=1)
+        b = ScaleWorkload(num_users=1000, demo_seed=2)
+        assert any(
+            a.demographics(u) != b.demographics(u) for u in range(200)
+        )
+
+
+class TestSchema:
+    def test_fits_transport_at_one_million_users(self):
+        assert ScaleWorkload(num_users=1_000_000).schema().fits_transport()
+
+    def test_user_feature_covers_population(self):
+        schema = ScaleWorkload(num_users=12_345).schema()
+        feature = schema.feature("user")
+        assert feature.min_value == 0
+        assert feature.max_value == 12_344
+
+    def test_specs_match_ad_workload_program(self):
+        names = {spec.name for spec in ScaleWorkload().specs()}
+        assert names == {
+            "gender_by_campaign", "age_by_campaign", "geo_by_campaign"
+        }
+
+    def test_semantic_values_validate(self):
+        workload = ScaleWorkload(num_users=1_000_000, seed=3)
+        schema = workload.schema()
+        assert schema.validate_values(workload.semantic_values(999_999, 2, 1))
+
+
+class TestEventStream:
+    def test_deterministic(self):
+        a = ScaleWorkload(num_users=10_000, seed=5)
+        b = ScaleWorkload(num_users=10_000, seed=5)
+        batch_a = a.stream(1000, 2000).generate_batch(500)
+        batch_b = b.stream(1000, 2000).generate_batch(500)
+        assert batch_a.columns == batch_b.columns
+        assert batch_a.time_ms == batch_b.time_ms
+
+    def test_batched_matches_scalar_draws(self):
+        scalar = ScaleWorkload(num_users=10_000, seed=6)
+        batched = ScaleWorkload(num_users=10_000, seed=6)
+        events = scalar.stream(500, 2000).drain()
+        stream = batched.stream(500, 2000)
+        rows = []
+        while True:
+            batch = stream.generate_batch(64)
+            if not len(batch):
+                break
+            cols = batch.columns
+            rows.extend(zip(cols["user"], cols["campaign"], cols["click"]))
+        assert len(rows) == len(events)
+        for event, (user, campaign, click) in zip(events, rows):
+            assert event["values"]["user"] == user
+
+    def test_tail_reaches_deep_users(self):
+        # With a 50% uniform tail the distinct-user count must grow
+        # with traffic instead of saturating at the zipf head.
+        workload = ScaleWorkload(num_users=1_000_000, seed=7)
+        batch = workload.stream(10_000, 1000).generate_batch(10_000)
+        users = set(batch.columns["user"])
+        assert len(users) > 0.4 * len(batch)
+        assert max(users) > 500_000
+
+    def test_pure_head_concentrates(self):
+        workload = ScaleWorkload(
+            num_users=1_000_000, seed=7, tail_fraction=0.0
+        )
+        batch = workload.stream(10_000, 1000).generate_batch(10_000)
+        assert len(set(batch.columns["user"])) < 0.1 * len(batch)
+
+    def test_user_ids_in_range(self):
+        workload = ScaleWorkload(num_users=100, seed=8)
+        batch = workload.stream(5000, 1000).generate_batch(2000)
+        assert all(0 <= u < 100 for u in batch.columns["user"])
+
+
+class TestReference:
+    def test_reference_totals_consistent(self):
+        workload = ScaleWorkload(num_users=10_000, seed=9)
+        out = workload.new_reference()
+        stream = workload.stream(2000, 2000)
+        total = 0
+        while True:
+            batch = stream.generate_batch(256)
+            if not len(batch):
+                break
+            total += len(batch)
+            workload.accumulate_reference(batch, out)
+        assert total > 0
+        for stat in out.values():
+            assert sum(stat.values()) == total
+
+    def test_user_counts_ground_truth(self):
+        workload = ScaleWorkload(num_users=1000, seed=10)
+        batch = workload.stream(5000, 1000).generate_batch(3000)
+        counts = {}
+        workload.accumulate_user_counts(batch, counts)
+        assert sum(counts.values()) == len(batch)
+        assert set(counts) == set(batch.columns["user"])
