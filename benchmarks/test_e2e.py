@@ -17,7 +17,7 @@ import os
 
 from conftest import attach, emit_table
 from repro.switch.columns import numpy_enabled
-from repro.testbed.e2e_bench import BACKENDS, run_e2e_bench
+from repro.testbed.e2e_bench import E2E_BACKENDS, run_e2e_bench
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_e2e.json")
@@ -48,13 +48,14 @@ def test_e2e_ingest(benchmark):
         iterations=1,
     )
 
+    ran = result.get("backends", E2E_BACKENDS)
     emit_table(
         "End-to-end ingest: whole-run events/sec",
         ["backend", "events/s", "vs scalar"],
         [
             [b, "%.0f" % result[b]["events_per_second"],
              "%.2fx" % result["speedup_vs_scalar"][b]]
-            for b in BACKENDS
+            for b in ran
         ],
     )
 
@@ -67,6 +68,7 @@ def test_e2e_ingest(benchmark):
         benchmark,
         batch_vs_scalar=result["speedup_vs_scalar"]["batch"],
         columnar_vs_scalar=result["speedup_vs_scalar"]["columnar"],
+        persistent_vs_scalar=result["speedup_vs_scalar"].get("persistent"),
         events=result["events"],
         json_path=_JSON_PATH,
     )
@@ -79,7 +81,7 @@ def test_e2e_ingest(benchmark):
         # identity holds but the speedup bar is numpy-path-only.
         return
     best = max(
-        result["speedup_vs_scalar"][b] for b in BACKENDS if b != "scalar"
+        result["speedup_vs_scalar"][b] for b in ran if b != "scalar"
     )
     assert best >= CI_SPEEDUP_FLOOR, (
         "expected a fast-path backend >= %.1fx scalar e2e, measured %.2fx"

@@ -193,7 +193,7 @@ def _cmd_bench(args, out) -> int:
     )
     if args.e2e:
         from repro.testbed.e2e_bench import (
-            BACKENDS as E2E_BACKENDS,
+            E2E_BACKENDS,
             profile_e2e,
             run_e2e_bench,
         )
@@ -237,7 +237,7 @@ def _cmd_bench(args, out) -> int:
             [
                 [b, "%.0f" % result[b]["events_per_second"],
                  "%.2fx" % result["speedup_vs_scalar"][b]]
-                for b in E2E_BACKENDS
+                for b in result.get("backends", E2E_BACKENDS)
             ],
             out,
         )
@@ -532,9 +532,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=1024)
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--seed", type=int, default=42)
-    p.add_argument("--backend", choices=["scalar", "batch", "columnar"],
+    p.add_argument("--backend",
+                   choices=["scalar", "batch", "columnar", "persistent"],
                    default="batch",
-                   help="fast path to measure against scalar")
+                   help="fast path to measure against scalar "
+                        "(persistent applies to --e2e --profile only)")
     p.add_argument("--compare", action="store_true",
                    help="three-way scalar/batch/columnar comparison; "
                         "writes BENCH_columnar.json and exits nonzero "

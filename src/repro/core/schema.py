@@ -15,6 +15,7 @@ constrained by the 160-bit connection-ID budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -76,26 +77,38 @@ class Feature:
         else:
             raise ValueError("unknown feature type %r" % self.ftype)
 
-    @property
+    # cached_property writes straight into __dict__, which a frozen
+    # dataclass without __slots__ permits; Feature is immutable after
+    # __post_init__ so the derived widths can never go stale, and the
+    # generated __eq__/__hash__ look only at declared fields.
+    @cached_property
     def cardinality(self) -> int:
         if self.ftype == FeatureType.CLASS:
             return len(self.classes)
         return self.max_value - self.min_value + 1
 
-    @property
+    @cached_property
     def bits(self) -> int:
         """Wire width: enough bits for every valid value."""
         return max(1, (self.cardinality - 1).bit_length())
+
+    @cached_property
+    def _class_index(self) -> Dict[str, int]:
+        return {cls: i for i, cls in enumerate(self.classes)}
 
     def encode_value(self, value: Any) -> int:
         """Value -> wire integer; raises FeatureValueError when outside
         the valid range (Snatch aborts such data, section 3.5)."""
         if self.ftype == FeatureType.CLASS:
-            if value not in self.classes:
+            try:
+                wire = self._class_index.get(value)
+            except TypeError:  # unhashable value can't be a class
+                wire = None
+            if wire is None:
                 raise FeatureValueError(
                     "%r is not a class of feature %s" % (value, self.name)
                 )
-            return self.classes.index(value)
+            return wire
         if not isinstance(value, int) or isinstance(value, bool):
             raise FeatureValueError(
                 "feature %s needs an int, got %r" % (self.name, value)
@@ -145,11 +158,15 @@ class CookieSchema:
         if not self.features:
             raise ValueError("schema needs at least one feature")
 
+    @cached_property
+    def _feature_map(self) -> Dict[str, Feature]:
+        return {f.name: f for f in self.features}
+
     def feature(self, name: str) -> Feature:
-        for feature in self.features:
-            if feature.name == name:
-                return feature
-        raise KeyError("schema has no feature %r" % name)
+        found = self._feature_map.get(name)
+        if found is None:
+            raise KeyError("schema has no feature %r" % name)
+        return found
 
     def feature_names(self) -> List[str]:
         return [f.name for f in self.features]
@@ -158,7 +175,7 @@ class CookieSchema:
     def bitmap_bits(self) -> int:
         return len(self.features)
 
-    @property
+    @cached_property
     def stack_bits(self) -> int:
         return sum(f.bits for f in self.features)
 

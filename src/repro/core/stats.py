@@ -105,6 +105,20 @@ class SwitchStatistics:
         self._plan_cache: Dict[
             int, Tuple[Dict[str, Any], List[Optional[Tuple[int, int]]]]
         ] = {}
+        # Per-spec resolved features, precomputed once: the update hot
+        # path must not re-run schema lookups per packet per spec.
+        self._spec_rows: List[
+            Tuple[StatSpec, Any, Optional[Any]]
+        ] = [
+            (
+                spec,
+                self.schema.feature(spec.feature),
+                self.schema.feature(spec.group_by)
+                if spec.group_by is not None
+                else None,
+            )
+            for spec in self.specs
+        ]
 
     # -- setup ------------------------------------------------------------
 
@@ -178,13 +192,15 @@ class SwitchStatistics:
         commutes with the single-bank update.
         """
         self.updates += 1
-        for spec in self.specs:
+        for spec, feature, group in self._spec_rows:
             if spec.feature not in values:
                 continue
-            group_index = self._group_index(spec, values)
-            if group_index is None:
+            if group is None:
+                group_index = 0
+            elif spec.group_by not in values:
                 continue
-            feature = self.schema.feature(spec.feature)
+            else:
+                group_index = group.encode_value(values[spec.group_by])
             if spec.kind is StatKind.COUNT_BY_CLASS:
                 classes = feature.cardinality
                 wire = feature.encode_value(values[spec.feature])
@@ -245,13 +261,15 @@ class SwitchStatistics:
             self.update(values)
             return
         self.updates += times
-        for spec in self.specs:
+        for spec, feature, group in self._spec_rows:
             if spec.feature not in values:
                 continue
-            group_index = self._group_index(spec, values)
-            if group_index is None:
+            if group is None:
+                group_index = 0
+            elif spec.group_by not in values:
                 continue
-            feature = self.schema.feature(spec.feature)
+            else:
+                group_index = group.encode_value(values[spec.group_by])
             if spec.kind is StatKind.COUNT_BY_CLASS:
                 classes = feature.cardinality
                 wire = feature.encode_value(values[spec.feature])
@@ -283,15 +301,17 @@ class SwitchStatistics:
         if hit is not None and hit[0] is values:
             return hit[1]
         plan: List[Optional[Tuple[int, int]]] = []
-        for spec in self.specs:
+        for spec, feature, group in self._spec_rows:
             if spec.feature not in values:
                 plan.append(None)
                 continue
-            group_index = self._group_index(spec, values)
-            if group_index is None:
+            if group is None:
+                group_index = 0
+            elif spec.group_by not in values:
                 plan.append(None)
                 continue
-            feature = self.schema.feature(spec.feature)
+            else:
+                group_index = group.encode_value(values[spec.group_by])
             if spec.kind is StatKind.COUNT_BY_CLASS:
                 wire = feature.encode_value(values[spec.feature])
                 plan.append((group_index * feature.cardinality + wire, 0))

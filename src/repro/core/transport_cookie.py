@@ -128,6 +128,21 @@ class TransportCookieCodec:
         self._aes = AES(key)
         self._rng = rng or random.Random()
         self._app_byte = bytes([app_id])
+        # Decode plan: per-feature (name, width, mask, decoder fields)
+        # precomputed once so the per-packet parse is pure integer
+        # shifts with no attribute or property traffic.
+        self._decode_plan = tuple(
+            (
+                f.name,
+                f.bits,
+                (1 << f.bits) - 1,
+                f.cardinality,
+                f.classes if f.ftype == "class" else None,
+                f.min_value,
+                f,
+            )
+            for f in schema.features
+        )
 
     # -- encoding ------------------------------------------------------------
 
@@ -246,17 +261,38 @@ class TransportCookieCodec:
     def values_from_block(self, block: bytes) -> Dict[str, Any]:
         """Parse an already-decrypted cookie block into feature values
         (the post-AES half of :meth:`decode`; raises on malformed
-        bitmaps or out-of-range wire values)."""
-        reader = _BitReader(block)
-        present = [
-            reader.read(1) == 1 for _ in self.schema.features
-        ]
+        bitmaps or out-of-range wire values).
+
+        Equivalent to the old per-bit ``_BitReader`` walk — same bit
+        layout, same ``ValueError("bit underflow")`` on truncated
+        blocks and :class:`FeatureValueError` on out-of-range wire
+        values — but reads the whole block as one big integer and
+        extracts each field with a shift and a mask.
+        """
+        plan = self._decode_plan
+        total = len(block) * 8
+        n = len(plan)
+        if n > total:
+            raise ValueError("bit underflow")
+        acc = int.from_bytes(block, "big")
+        bitmap = acc >> (total - n)
         values: Dict[str, Any] = {}
-        for feature, is_present in zip(self.schema.features, present):
-            if is_present:
-                values[feature.name] = feature.decode_value(
-                    reader.read(feature.bits)
-                )
+        pos = n
+        for i, (name, width, mask, card, classes, min_value, feature) in (
+            enumerate(plan)
+        ):
+            if not (bitmap >> (n - 1 - i)) & 1:
+                continue
+            pos += width
+            if pos > total:
+                raise ValueError("bit underflow")
+            wire = (acc >> (total - pos)) & mask
+            if wire >= card:
+                # Delegate for the exact FeatureValueError message.
+                feature.decode_value(wire)
+            values[name] = (
+                classes[wire] if classes is not None else wire + min_value
+            )
         return values
 
     def decode(self, cid: ConnectionID) -> DecodedTransportCookie:

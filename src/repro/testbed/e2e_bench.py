@@ -24,10 +24,20 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.core.aggregation import ForwardingMode
-from repro.testbed.pipeline import BACKENDS, StreamingPipeline
+from repro.testbed.pipeline import (
+    BACKENDS,
+    PIPELINE_BACKENDS,
+    StreamingPipeline,
+)
+from repro.testbed.shm_ring import shared_memory_available
 from repro.workloads.adcampaign import AdCampaignWorkload
 
-__all__ = ["run_e2e_bench", "profile_e2e", "BACKENDS"]
+__all__ = ["run_e2e_bench", "profile_e2e", "BACKENDS", "E2E_BACKENDS"]
+
+# What `bench --e2e` measures: the in-process tiers plus the
+# persistent ring-fed worker tier (skipped automatically where POSIX
+# shared memory is unavailable).
+E2E_BACKENDS = PIPELINE_BACKENDS
 
 
 def _throughput(seconds: float, events: int) -> Dict[str, float]:
@@ -66,7 +76,10 @@ def run_e2e_bench(
     seed: int = 42,
     repeats: int = 3,
 ) -> Dict[str, Any]:
-    """Whole-run events/sec for scalar / batch / columnar ingest.
+    """Whole-run events/sec for scalar / batch / columnar / persistent
+    ingest (the persistent tier streams agg batches to a long-lived
+    shared-memory ring worker; it is skipped on hosts without POSIX
+    shared memory and the result's ``backends`` list says what ran).
 
     Returns a JSON-ready dict following the ``BENCH_columnar.json``
     conventions (seed, repeats, per-backend ``_throughput`` sections,
@@ -75,20 +88,27 @@ def run_e2e_bench(
     report matches the workload's independently accumulated ground
     truth).
     """
-    best = {backend: float("inf") for backend in BACKENDS}
+    backends = [
+        backend for backend in E2E_BACKENDS
+        if backend != "persistent" or shared_memory_available()
+    ]
+    best = {backend: float("inf") for backend in backends}
     reports: Dict[str, Any] = {}
     verified: Dict[str, bool] = {}
     events = 0
     cache_stats: Dict[str, Any] = {}
     for _ in range(max(1, repeats)):
-        for backend in BACKENDS:
+        for backend in backends:
             pipe = _new_pipeline(
                 backend, num_users, seed, mode, period_ms, batch_size
             )
-            gc.collect()  # same GC starting state for every timed run
-            t0 = time.perf_counter()
-            result = pipe.run(requests_per_second, duration_ms)
-            elapsed = time.perf_counter() - t0
+            try:
+                gc.collect()  # same GC starting state for every timed run
+                t0 = time.perf_counter()
+                result = pipe.run(requests_per_second, duration_ms)
+                elapsed = time.perf_counter() - t0
+            finally:
+                pipe.close()
             best[backend] = min(best[backend], elapsed)
             reports[backend] = result.report
             verified[backend] = result.counts_match_reference()
@@ -106,14 +126,15 @@ def run_e2e_bench(
         "batch_size": batch_size,
         "seed": seed,
         "repeats": repeats,
+        "backends": backends,
         **{backend: _throughput(best[backend], events)
-           for backend in BACKENDS},
+           for backend in backends},
         "speedup_vs_scalar": {
             backend: scalar_s / best[backend] if best[backend] > 0 else 0.0
-            for backend in BACKENDS
+            for backend in backends
         },
         "reports_match": all(
-            reports[backend] == reports["scalar"] for backend in BACKENDS
+            reports[backend] == reports["scalar"] for backend in backends
         ),
         "verified": all(verified.values()),
         "cache": cache_stats,
@@ -138,12 +159,15 @@ def profile_e2e(
         backend, num_users, seed, mode, period_ms, batch_size
     )
     profiler = cProfile.Profile()
-    gc.collect()
-    t0 = time.perf_counter()
-    profiler.enable()
-    result = pipe.run(requests_per_second, duration_ms)
-    profiler.disable()
-    elapsed = time.perf_counter() - t0
+    try:
+        gc.collect()
+        t0 = time.perf_counter()
+        profiler.enable()
+        result = pipe.run(requests_per_second, duration_ms)
+        profiler.disable()
+        elapsed = time.perf_counter() - t0
+    finally:
+        pipe.close()
     profiler.dump_stats(path)
     return {
         "backend": backend,

@@ -206,6 +206,9 @@ class ShardRunResult:
     # Why the pool path was abandoned ("TypeError: ...") — None when the
     # pool ran, or when the sequential path was requested outright.
     fallback_cause: Optional[str] = None
+    # True when long-lived ring-fed workers processed the run instead
+    # of per-run pool jobs.
+    used_workers: bool = False
 
     @property
     def total_packets(self) -> int:
@@ -229,6 +232,7 @@ class ShardExecutor:
         chunk_size: int = 4096,
         pool_timeout_s: float = 120.0,
         registry: Optional[MetricsRegistry] = None,
+        persistent: bool = False,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -244,6 +248,45 @@ class ShardExecutor:
         self.pool_timeout_s = pool_timeout_s
         self.registry = registry if registry is not None else get_registry()
         self.last_error: Optional[str] = None
+        # persistent=True keeps one ring-fed worker process alive per
+        # shard across run() calls (see repro.testbed.worker) instead
+        # of dispatching each run through a fresh pool; same API, same
+        # results, no per-run spawn/pickle tax.  Call close() (or use
+        # the executor as a context manager) to release the workers.
+        self.persistent = persistent
+        self._workers: List[Any] = []
+
+    # -- persistent workers ------------------------------------------------
+
+    def _ensure_workers(self) -> List[Any]:
+        from repro.testbed.worker import ShardWorker
+
+        while len(self._workers) < self.shards:
+            self._workers.append(
+                ShardWorker(
+                    self.spec,
+                    len(self._workers),
+                    backend=self.backend,
+                    row_capacity=max(self.chunk_size, 64),
+                    row_width=64,
+                )
+            )
+        return self._workers
+
+    def close(self) -> None:
+        """Shut down any persistent workers (no-op otherwise)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- partitioning ------------------------------------------------------
 
@@ -256,6 +299,30 @@ class ShardExecutor:
     def run(self, packets: Sequence[bytes]) -> ShardRunResult:
         """Process ``packets`` across all shards and fold the results."""
         parts = self.partition(packets)
+        worker_cause: Optional[str] = None
+        if self.persistent:
+            try:
+                return self._run_persistent(parts)
+            except Exception as exc:
+                # A dead or wedged worker must not fail the run: note
+                # the cause, drop the fleet and reprocess through the
+                # stateless path (identical results, slower).
+                self.last_error = worker_cause = "%s: %s" % (
+                    type(exc).__name__, exc,
+                )
+                self.registry.counter(
+                    "shard_executor.worker_fallbacks"
+                ).inc()
+                _LOG.warning(
+                    "persistent workers failed, pool fallback engaged",
+                    extra={
+                        "component": "shard_executor",
+                        "kind": self.spec.kind,
+                        "shards": self.shards,
+                        "cause": self.last_error,
+                    },
+                )
+                self.close()
         jobs = [
             (self.spec, shard, part, self.backend, self.chunk_size)
             for shard, part in enumerate(parts)
@@ -277,7 +344,50 @@ class ShardExecutor:
             shard_folded=[c["folded"] for _, _, c in outputs],
             used_pool=used_pool,
             shards=self.shards,
-            fallback_cause=self.last_error if not used_pool else None,
+            fallback_cause=worker_cause or (
+                self.last_error if not used_pool else None
+            ),
+        )
+
+    def _run_persistent(self, parts: List[List[bytes]]) -> ShardRunResult:
+        """One run over the long-lived worker fleet.
+
+        Batches stream to every shard's ring first (workers fold
+        concurrently), then a reset barrier collects each fold snapshot
+        and returns the replicas to a fresh state so consecutive runs
+        stay independent — exactly the lifecycle one pool dispatch had.
+        """
+        from repro.switch.columns import PacketColumns, numpy_enabled
+
+        workers = self._ensure_workers()
+        columnar = self.backend == "columnar" and numpy_enabled()
+        for shard, part in enumerate(parts):
+            worker = workers[shard]
+            for start in range(0, len(part), self.chunk_size):
+                chunk = part[start:start + self.chunk_size]
+                worker.push_batch(
+                    PacketColumns(chunk) if columnar else chunk
+                )
+        outputs = []
+        for shard, worker in enumerate(workers):
+            reply = worker.drain(reset=True)
+            outputs.append((shard, reply["snapshot"], reply["counters"]))
+        snapshot: Optional[Dict[str, List[int]]] = None
+        specs = list(self.spec.specs)
+        for _, shard_snapshot, _ in outputs:
+            snapshot = (
+                {name: list(cells) for name, cells in shard_snapshot.items()}
+                if snapshot is None
+                else merge_snapshots(specs, snapshot, shard_snapshot)
+            )
+        return ShardRunResult(
+            snapshot=snapshot or {},
+            report=render_report(self.spec, self.shards, snapshot),
+            shard_packets=[c["packets"] for _, _, c in outputs],
+            shard_folded=[c["folded"] for _, _, c in outputs],
+            used_pool=False,
+            shards=self.shards,
+            used_workers=True,
         )
 
     def _execute(self, jobs) -> Tuple[List[Any], bool]:
@@ -357,14 +467,15 @@ class AdaptiveBackend:
     ``clock`` is injectable so tests can script latency spikes.
     """
 
-    _MODES = ("scalar", "batch", "columnar", "auto")
-    _LADDER = ("scalar", "batch", "columnar")  # ascending tiers
+    _MODES = ("scalar", "batch", "columnar", "persistent", "auto")
+    _LADDER = ("scalar", "batch", "columnar", "persistent")  # ascending
 
     def __init__(
         self,
         scalar_fn: Callable[[Sequence[Any]], List[Any]],
         batch_fn: Callable[[Sequence[Any]], List[Any]],
         columnar_fn: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
+        persistent_fn: Optional[Callable[[Sequence[Any]], List[Any]]] = None,
         mode: str = "batch",
         calibration_rounds: int = 2,
         window: int = 32,
@@ -387,15 +498,22 @@ class AdaptiveBackend:
             "scalar": scalar_fn,
             "batch": batch_fn,
             "columnar": columnar_fn if columnar_fn is not None else batch_fn,
+            "persistent": (
+                persistent_fn
+                if persistent_fn is not None
+                else (columnar_fn if columnar_fn is not None else batch_fn)
+            ),
         }
         # Probe order: higher tiers first.  Without a real columnar_fn
         # the "columnar" entry aliases batch_fn, so probing it would
-        # double-charge the batch path — leave it out.
-        self._candidates: Tuple[str, ...] = (
-            ("columnar", "batch", "scalar")
-            if columnar_fn is not None
-            else ("batch", "scalar")
-        )
+        # double-charge the batch path — leave it out (likewise for a
+        # missing persistent_fn, which aliases the next tier down).
+        candidates = ["batch", "scalar"]
+        if columnar_fn is not None:
+            candidates.insert(0, "columnar")
+        if persistent_fn is not None:
+            candidates.insert(0, "persistent")
+        self._candidates: Tuple[str, ...] = tuple(candidates)
         self.mode = mode
         self.calibration_rounds = max(1, calibration_rounds)
         self.window = max(2, window)

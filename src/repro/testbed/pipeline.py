@@ -44,9 +44,21 @@ from repro.core.user_stats import UserQuantileConfig
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.columns import PacketColumns, get_numpy
 
-__all__ = ["ReorderInjector", "StreamingPipeline", "PipelineResult"]
+__all__ = [
+    "ReorderInjector",
+    "StreamingPipeline",
+    "PipelineResult",
+    "BACKENDS",
+    "PIPELINE_BACKENDS",
+]
 
 BACKENDS = ("scalar", "batch", "columnar")
+# The in-process tiers plus the persistent-worker tier (agg stage runs
+# in a long-lived ring-fed process; see repro.testbed.worker).  Kept
+# out of BACKENDS so suites that compare collected per-payload
+# AggResults — which never leave the worker — keep their parametrize
+# surface.
+PIPELINE_BACKENDS = BACKENDS + ("persistent",)
 
 
 class ReorderInjector:
@@ -156,6 +168,15 @@ class StreamingPipeline:
       :class:`PacketColumns` matrix straight into the vectorized
       switch kernels (falls back to the batch path when the numpy
       gate is closed).
+    * ``persistent`` — columnar generate/encode/lark in-process, agg
+      folded by a long-lived worker process fed through a
+      shared-memory ring (:mod:`repro.testbed.worker`): the parent
+      streams the next micro-batches while the worker folds the
+      previous ones.  Reports are byte-identical to the other tiers;
+      per-payload ``agg_results`` stay in the worker, so
+      ``collect_results`` returns an empty list.  Call :meth:`close`
+      (or use the pipeline as a context manager) to release the
+      worker.
 
     ``on_batch(pipeline, columns)`` runs before each micro-batch is
     encoded — the hook the rekey regression test uses to push a
@@ -199,8 +220,10 @@ class StreamingPipeline:
         decode_memo_capacity: Optional[int] = None,
         cache_admission: str = "lru",
     ):
-        if backend not in BACKENDS:
-            raise ValueError("backend must be one of %s" % (BACKENDS,))
+        if backend not in PIPELINE_BACKENDS:
+            raise ValueError(
+                "backend must be one of %s" % (PIPELINE_BACKENDS,)
+            )
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if max_inflight < 1:
@@ -276,17 +299,67 @@ class StreamingPipeline:
         self.corrupted = 0
         self.last_checkpoint: Optional[Dict[str, Any]] = None
         self._checkpoints_taken = 0
+        # Persistent tier: the agg stage runs in a long-lived worker
+        # process fed through a shared-memory ring; the parent keeps
+        # running generate/encode/lark while the worker folds, and the
+        # ring itself is the bounded hand-off queue between the two.
+        # The local AggSwitch stays around as the report renderer: the
+        # final drain restores the worker's fold snapshot into it, so
+        # every downstream read-out (report / merge / user stats) goes
+        # through exactly the code the in-process tiers use.
+        self._agg_worker = None
+        self._worker_folded_base = 0
+        self._worker_unmerged_base = 0
+        if backend == "persistent":
+            from repro.testbed.executor import ShardSpec
+            from repro.testbed.worker import ShardWorker
+
+            self._agg_spec = ShardSpec(
+                kind="agg",
+                app_id=app_id,
+                schema=schema,
+                key=self._key,
+                specs=tuple(specs),
+                seed=seed,
+            )
+            self._agg_worker = ShardWorker(
+                self._agg_spec,
+                0,
+                backend="columnar",
+                row_capacity=max(batch_size, 64),
+                row_width=64,
+                spill_bytes=1 << 22,
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent agg worker (no-op otherwise)."""
+        worker, self._agg_worker = self._agg_worker, None
+        if worker is not None:
+            worker.close()
+
+    def __enter__(self) -> "StreamingPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- mid-run control ---------------------------------------------------
 
     def rekey(self, new_key: bytes) -> None:
         """Swap the AES key on every tier *and* the encode cache (the
-        cache invalidates, so no stale cookie is ever minted)."""
+        cache invalidates, so no stale cookie is ever minted).  With a
+        persistent agg worker the rekey travels through the data ring,
+        so it lands after every payload already pushed — the same
+        ordering an in-process rekey gets for free."""
         self._key = new_key
         self.agg.rekey_application(self.app_id, new_key)
         self.lark.rekey_application(self.app_id, new_key)
         self.cache.rekey(new_key)
         self.codec = self.cache.codec
+        if self._agg_worker is not None:
+            self._agg_worker.rekey(new_key)
 
     # -- stages ------------------------------------------------------------
 
@@ -324,10 +397,23 @@ class StreamingPipeline:
             self.last_checkpoint = {
                 "period": self.periods,
                 "lark": self.lark.checkpoint(self.app_id),
-                "agg": self.agg.checkpoint(self.app_id),
+                "agg": self._agg_checkpoint(),
             }
             self._checkpoints_taken += 1
             self.registry.counter("pipeline.checkpoints").inc()
+
+    def _agg_checkpoint(self) -> Dict[str, Any]:
+        if self._agg_worker is None:
+            return self.agg.checkpoint(self.app_id)
+        # Barrier the worker (all payloads pushed so far fold first),
+        # then graft the parent-side engagement tracker on — user
+        # stats never cross into the worker.
+        checkpoint = self._agg_worker.drain(checkpoint=True)["checkpoint"]
+        if self.user_stats is not None:
+            parent = self.agg.checkpoint(self.app_id)
+            if "user_quantiles" in parent:
+                checkpoint["user_quantiles"] = parent["user_quantiles"]
+        return checkpoint
 
     def _drain_user_stats(self) -> None:
         """Period-boundary engagement handoff: snapshot-and-reset the
@@ -343,7 +429,7 @@ class StreamingPipeline:
     def _lark_segment(self, cids: Any, lo: int, hi: int) -> List[Any]:
         if hi <= lo:
             return []
-        if self.backend == "columnar":
+        if self.backend in ("columnar", "persistent"):
             return self.lark.process_quic_columnar(
                 _slice_columns(cids, lo, hi)
             )
@@ -405,6 +491,15 @@ class StreamingPipeline:
         return len(payloads)
 
     def _deliver(self, payloads: List[bytes], out: List[Any]) -> None:
+        if self._agg_worker is not None:
+            # Hand the batch to the persistent worker and keep going —
+            # the fold happens concurrently; merged/dead-letter counts
+            # settle at the end-of-run drain barrier.
+            np = get_numpy()
+            self._agg_worker.push_batch(
+                PacketColumns(payloads) if np is not None else payloads
+            )
+            return
         results = self._agg_process(payloads)
         dead = sum(1 for r in results if not r.merged)
         if dead:
@@ -439,7 +534,7 @@ class StreamingPipeline:
         batches = 0
         payload_count = 0
         scalar = self.backend == "scalar"
-        columnar = self.backend == "columnar"
+        columnar = self.backend in ("columnar", "persistent")
         workload = self.workload
         # Bounded in-flight micro-batches: the generate/encode stage
         # runs up to ``max_inflight`` batches ahead of the switch
@@ -506,7 +601,29 @@ class StreamingPipeline:
         # Final engagement handoff (covers per-packet mode, which has
         # no period flushes; idempotent after a periodical tail flush).
         self._drain_user_stats()
-        merged = sum(1 for r in agg_results if getattr(r, "merged", False))
+        if self._agg_worker is not None:
+            # Drain barrier: every pushed payload is folded before the
+            # read-out.  The worker's cumulative fold snapshot restores
+            # into the local AggSwitch, so report()/merge()/user stats
+            # below run through the same code as the in-process tiers
+            # (restore leaves the parent-side engagement tracker alone
+            # — the snapshot carries no "user_quantiles" key).
+            reply = self._agg_worker.drain()
+            counters = reply["counters"]
+            merged = counters["folded"] - self._worker_folded_base
+            unmerged = counters["unmerged"] - self._worker_unmerged_base
+            self._worker_folded_base = counters["folded"]
+            self._worker_unmerged_base = counters["unmerged"]
+            if unmerged:
+                self.dead_letters += unmerged
+                self.registry.counter("pipeline.dead_letters").inc(
+                    unmerged
+                )
+            self.agg.restore(self.app_id, reply["snapshot"])
+        else:
+            merged = sum(
+                1 for r in agg_results if getattr(r, "merged", False)
+            )
         return PipelineResult(
             events=events,
             batches=batches,

@@ -175,6 +175,8 @@ class SupervisedRunResult:
     salvaged: List[int]  # shards finished by the in-process fallback
     backends: List[str]  # backend dispatched per epoch index
     fallback_cause: Optional[str] = None
+    used_workers: bool = False  # persistent ring-fed workers ran the epochs
+    worker_respawns: int = 0  # dead persistent workers replaced mid-run
 
     @property
     def total_packets(self) -> int:
@@ -194,7 +196,13 @@ class ShardSupervisor:
     ``checkpoint_batches x chunk_size`` packets.  ``fault_plan`` — a
     :class:`ShardFaultPlan` scripting deterministic crashes and mid-run
     backend degradations.  ``sleep`` — injectable so tests can retry
-    without real backoff delays.
+    without real backoff delays.  ``persistent`` — run the epochs on
+    long-lived ring-fed :class:`~repro.testbed.worker.ShardWorker`
+    processes instead of per-epoch pool jobs: same checkpoint cadence
+    and retry/salvage machinery, but an injected crash becomes a real
+    ``SIGKILL`` of the worker and recovery is a respawn-restore-replay
+    on the same shared-memory ring (falls back to the pool/inline paths
+    when shared memory is unavailable).
     """
 
     def __init__(
@@ -212,6 +220,7 @@ class ShardSupervisor:
         fault_plan: Optional[ShardFaultPlan] = None,
         registry: Optional[MetricsRegistry] = None,
         sleep: Callable[[float], None] = time.sleep,
+        persistent: bool = False,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -242,6 +251,7 @@ class ShardSupervisor:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.fault_plan = fault_plan
+        self.persistent = bool(persistent)
         self.registry = registry if registry is not None else get_registry()
         self.last_error: Optional[str] = None
         self._sleep = sleep
@@ -252,6 +262,7 @@ class ShardSupervisor:
         self._recovered = 0
         self._checkpoints = 0
         self._salvaged: List[int] = []
+        self._respawns = 0
 
     # -- per-epoch dispatch helpers ----------------------------------------
 
@@ -360,21 +371,29 @@ class ShardSupervisor:
         self._crashes = self._timeouts = self._retries = 0
         self._recovered = self._checkpoints = 0
         self._salvaged = []
+        self._respawns = 0
         parts = partition_packets(self.spec, self.shards, packets)
         states = [
             _ShardState(shard, part, self.epoch_size)
             for shard, part in enumerate(parts)
         ]
         fallback_cause: Optional[str] = None
-        if self.processes > 1 and self.shards > 1:
-            used_pool = self._run_pool(states)
-            if not used_pool:
+        used_pool = False
+        used_workers = False
+        if self.persistent:
+            used_workers = self._run_persistent(states)
+            if not used_workers:
                 fallback_cause = self.last_error
-                self.registry.counter("supervisor.pool_fallbacks").inc()
+                self.registry.counter("supervisor.worker_fallbacks").inc()
+        if not used_workers:
+            if self.processes > 1 and self.shards > 1:
+                used_pool = self._run_pool(states)
+                if not used_pool:
+                    fallback_cause = self.last_error
+                    self.registry.counter("supervisor.pool_fallbacks").inc()
+                    self._run_inline(states)
+            else:
                 self._run_inline(states)
-        else:
-            used_pool = False
-            self._run_inline(states)
         # fold final checkpoints exactly like the bank read-out
         snapshot: Optional[Dict[str, List[int]]] = None
         specs = list(self.spec.specs)
@@ -411,6 +430,126 @@ class ShardSupervisor:
             salvaged=list(self._salvaged),
             backends=backends,
             fallback_cause=fallback_cause,
+            used_workers=used_workers,
+            worker_respawns=self._respawns,
+        )
+
+    def _run_persistent(self, states: List[_ShardState]) -> bool:
+        """Run the epoch chain on long-lived ring-fed workers.
+
+        One :class:`~repro.testbed.worker.ShardWorker` per shard lives
+        for the whole run; each epoch is ``set_epoch`` (arms the fault
+        injector) -> chunked ring pushes -> a checkpointing drain
+        barrier under ``job_timeout_s``.  A healthy worker carries its
+        replica state across epochs — bit-identical to the pool path
+        because ``restore(C_e); replay(e+1)`` and ``continue`` compute
+        the same register cells.  A dead or wedged worker surfaces as
+        :class:`WorkerDied`; the supervisor books the failure through
+        the same ``_on_failure`` retry/salvage machinery and respawns
+        the worker on the SAME ring segment, restoring its last
+        checkpoint so the retried epoch replays exactly.
+
+        Returns ``False`` (states untouched) if the fleet cannot be
+        built at all — no shared memory, spawn failure — so ``run()``
+        can fall back to the pool/inline paths.
+        """
+        try:
+            from repro.testbed.worker import ShardWorker, WorkerDied
+        except Exception as exc:
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            return False
+        workers: Dict[int, Any] = {}
+        try:
+            for state in states:
+                if state.n_epochs:
+                    workers[state.shard] = ShardWorker(
+                        self.spec,
+                        state.shard,
+                        backend=self.backend,
+                        row_capacity=max(self.chunk_size, 64),
+                        row_width=64,
+                        fault_plan=self.fault_plan,
+                        reply_timeout_s=self.job_timeout_s,
+                    )
+        except Exception as exc:
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            for worker in workers.values():
+                try:
+                    worker.close()
+                except Exception:
+                    pass
+            return False
+        # Cumulative worker counters -> per-epoch deltas.  Reset to
+        # zero whenever the worker process is replaced.
+        bases: Dict[int, Tuple[int, int]] = {s: (0, 0) for s in workers}
+        try:
+            while any(not s.done for s in states):
+                for state in states:
+                    if state.done:
+                        continue
+                    worker = workers[state.shard]
+                    try:
+                        self._persistent_epoch(state, worker, bases)
+                    except WorkerDied as exc:
+                        kind = (
+                            "crash" if worker.wait_dead(1.0) else "timeout"
+                        )
+                        self._on_failure(state, kind, str(exc))
+                    except Exception as exc:
+                        self._on_failure(
+                            state,
+                            "crash",
+                            "%s: %s" % (type(exc).__name__, exc),
+                        )
+                    else:
+                        continue
+                    if state.done:
+                        # Salvaged in-process; the stale worker is
+                        # reaped when the fleet closes.
+                        continue
+                    worker.respawn(state.checkpoint)
+                    bases[state.shard] = (0, 0)
+                    self._respawns += 1
+                    self.registry.counter(
+                        "supervisor.worker_respawns"
+                    ).inc()
+        finally:
+            for worker in workers.values():
+                try:
+                    worker.close()
+                except Exception:
+                    pass
+        return True
+
+    def _persistent_epoch(self, state: _ShardState, worker, bases) -> None:
+        """One epoch over a persistent worker: arm, stream, drain."""
+        from repro.switch.columns import PacketColumns, numpy_enabled
+
+        backend = self.epoch_backend(state.epoch)
+        worker.set_epoch(
+            state.epoch,
+            state.attempt,
+            chunk_offset=state.epoch * self.checkpoint_batches,
+            backend=backend,
+        )
+        items = state.epoch_packets()
+        columnar = backend == "columnar" and numpy_enabled()
+        for start in range(0, len(items), self.chunk_size):
+            chunk = items[start:start + self.chunk_size]
+            worker.push_batch(PacketColumns(chunk) if columnar else chunk)
+        reply = worker.drain(
+            checkpoint=True, timeout_s=self.job_timeout_s
+        )
+        counters = reply["counters"]
+        base_packets, base_folded = bases[state.shard]
+        bases[state.shard] = (counters["packets"], counters["folded"])
+        self._on_success(
+            state,
+            reply["checkpoint"],
+            {
+                "packets": counters["packets"] - base_packets,
+                "folded": counters["folded"] - base_folded,
+            },
         )
 
     def _run_inline(self, states: List[_ShardState]) -> None:
