@@ -13,9 +13,12 @@ Subcommands mirror the evaluation:
   ingest benchmark that writes ``BENCH_e2e.json`` (add ``--profile
   PATH`` for a cProfile dump), the ``--chaos`` crash-recovery
   benchmark on the supervised shard runtime that writes
-  ``BENCH_chaos.json``, or the ``--scale`` memory-vs-population
+  ``BENCH_chaos.json``, the ``--scale`` memory-vs-population
   benchmark (exact vs sampled-quantile per-user tracking at 10k /
-  100k / 1M users) that writes ``BENCH_scale.json``;
+  100k / 1M users) that writes ``BENCH_scale.json``, or the
+  ``--placement`` skew-aware shard-placement benchmark (static vs
+  rebalanced load, elastic-run identity, scalar vs vectorized
+  partition) that writes ``BENCH_placement.json``;
 * ``table1``    — DStream methods vs INSA support;
 * ``carriers``  — the Appendix-B.2 transport-carrier comparison;
 * ``metrics``   — run a chaos workload and dump the observability
@@ -246,6 +249,15 @@ def _cmd_bench(args, out) -> int:
             % ("yes" if result["reports_match"] else "NO",
                "yes" if result["verified"] else "NO")
         )
+        experiment = result["cache_experiment"]
+        out.write(
+            "cache admission: lru %.1f%% vs tinylfu %.1f%% hits "
+            "(delta %+.2fpp) -> %s kept; %s\n"
+            % (experiment["lru"]["hit_rate"] * 100.0,
+               experiment["tinylfu"]["hit_rate"] * 100.0,
+               experiment["hit_rate_delta"] * 100.0,
+               experiment["winner"], experiment["diagnosis"])
+        )
         json_path = args.json or "BENCH_e2e.json"
         with open(json_path, "w") as fh:
             json.dump(result, fh, indent=2, sort_keys=True)
@@ -315,6 +327,68 @@ def _cmd_bench(args, out) -> int:
             return 1
         if not result["sketch_rss_sublinear"]:
             out.write("FAIL: sketch-mode RSS grew superlinearly\n")
+            return 1
+        return 0
+    if args.placement:
+        # Skew-aware placement benchmark: static vs rebalanced shard
+        # load at 100k+ users (uniform and zipfian), supervised-run
+        # identity under rebalancing and a scripted crash, and the
+        # scalar vs vectorized partition path.
+        from repro.testbed.placement_bench import run_placement_bench
+
+        result = run_placement_bench(seed=args.seed)
+        out.write(
+            "placement: %d users, %d packets, %d shards x %d buckets, "
+            "%d epochs, zipf s=%.2f\n"
+            % (result["users"], result["packets"], result["shards"],
+               result["buckets"], result["epochs"], result["zipf_s"])
+        )
+        rows = []
+        for distribution in ("uniform", "zipfian"):
+            cell = result["skew"][distribution]
+            rows.append([
+                distribution,
+                "%.3f" % cell["static_imbalance"],
+                "%.3f" % cell["rebalanced_imbalance"],
+                cell["rebalances"], cell["moved_buckets"],
+                "%.1f us" % (cell["epoch_barrier_s"]["mean"] * 1e6),
+            ])
+        _print_rows(
+            ["distribution", "static max/mean", "rebalanced",
+             "rebalances", "moved buckets", "barrier"],
+            rows, out,
+        )
+        verify = result["verify"]
+        out.write(
+            "verify: static %s -> elastic %s shard packets, "
+            "%d rebalances, crash replayed %d packets\n"
+            % (verify["static_shard_packets"],
+               verify["elastic_shard_packets"],
+               verify["rebalances"], verify["recovered_packets"])
+        )
+        partition = result["partition"]
+        out.write(
+            "partition: scalar %.0f pkts/s, columnar %.0f pkts/s "
+            "(%.2fx, vectorized=%s)\n"
+            % (partition["scalar_packets_per_s"],
+               partition["columnar_packets_per_s"],
+               partition["speedup"], partition["vectorized"])
+        )
+        out.write(
+            "reports match: %s   zipfian balanced (<= 1.15): %s\n"
+            % ("yes" if result["all_match"] else "NO",
+               "yes" if result["zipfian_balanced"] else "NO")
+        )
+        json_path = args.json or "BENCH_placement.json"
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write("wrote %s\n" % json_path)
+        if not result["all_match"]:
+            out.write("FAIL: rebalanced/crashed runs diverged\n")
+            return 1
+        if not result["zipfian_balanced"]:
+            out.write("FAIL: zipfian imbalance above the 1.15 bar\n")
             return 1
         return 0
     if args.chaos:
@@ -543,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "if columnar is slower than batch")
     p.add_argument("--repeats", type=int, default=3,
                    help="interleaved best-of-N rounds for --compare/--e2e")
+    p.add_argument("--placement", action="store_true",
+                   help="skew-aware placement benchmark: static vs "
+                        "rebalanced shard load, elastic-run identity, "
+                        "scalar vs vectorized partition; writes "
+                        "BENCH_placement.json and exits nonzero if "
+                        "reports diverge or the zipfian imbalance "
+                        "stays above 1.15")
     p.add_argument("--chaos", action="store_true",
                    help="supervised-shard crash-recovery benchmark "
                         "(3 seeds x all backends); writes "

@@ -39,7 +39,9 @@ from repro.core.aggregation import ForwardingMode
 from repro.core.schema import CookieSchema
 from repro.core.stats import StatSpec, merge_snapshots
 from repro.obs.registry import MetricsRegistry, get_registry
-from repro.switch.hashing import crc32
+from repro.switch.columns import PacketColumns, get_numpy
+from repro.switch.hashing import crc32, crc32_many
+from repro.testbed.placement import PartitionMap
 
 __all__ = [
     "ShardSpec",
@@ -47,6 +49,7 @@ __all__ = [
     "ShardRunResult",
     "AdaptiveBackend",
     "partition_packets",
+    "partition_columns",
     "render_report",
 ]
 
@@ -158,26 +161,113 @@ def _run_shard(
 
 
 def partition_packets(
-    spec: ShardSpec, shards: int, packets: Sequence[bytes]
+    spec: ShardSpec,
+    shards: int,
+    packets: Sequence[bytes],
+    pmap: Optional[PartitionMap] = None,
+    bucket_loads: Optional[List[int]] = None,
 ) -> List[List[bytes]]:
     """Deterministic hash partition, preserving per-shard arrival
     order.  Lark streams split on the preserved cookie region so a
     user's packets (and their dedup state) stay on one shard; agg
     streams split on payload CRC-32 exactly like the in-switch bank
-    partition."""
+    partition.
+
+    With a :class:`~repro.testbed.placement.PartitionMap` the key
+    hashes to a virtual bucket first and the map says which shard owns
+    it (the default map is bit-identical to the bare modulo whenever
+    ``shards`` divides ``pmap.buckets``).  ``bucket_loads`` — a
+    caller-owned list of ``pmap.buckets`` counters — accumulates the
+    per-bucket packet counts the placement controller feeds on.
+    """
+    if pmap is not None:
+        shards = pmap.shards
     parts: List[List[bytes]] = [[] for _ in range(shards)]
-    if shards == 1:
+    if pmap is None and shards == 1:
         parts[0] = [bytes(p) for p in packets]
         return parts
-    if spec.kind == "lark":
+    lark = spec.kind == "lark"
+    if pmap is None:
         for packet in packets:
             raw = bytes(packet)
-            parts[crc32(raw[_COOKIE_REGION]) % shards].append(raw)
-    else:
-        for packet in packets:
-            raw = bytes(packet)
-            parts[crc32(raw) % shards].append(raw)
+            key = raw[_COOKIE_REGION] if lark else raw
+            parts[crc32(key) % shards].append(raw)
+        return parts
+    assignment = pmap.assignment
+    buckets = pmap.buckets
+    for packet in packets:
+        raw = bytes(packet)
+        key = raw[_COOKIE_REGION] if lark else raw
+        bucket = crc32(key) % buckets
+        if bucket_loads is not None:
+            bucket_loads[bucket] += 1
+        parts[assignment[bucket]].append(raw)
     return parts
+
+
+def partition_columns(
+    spec: ShardSpec,
+    pmap: PartitionMap,
+    rows: Any,
+) -> Tuple[List[PacketColumns], List[int]]:
+    """Vectorized map partition of one batch: numpy bucket assignment
+    (batched CRC-32 over the partition key region) plus a per-shard
+    stable gather, all without materializing per-row ``bytes``.
+
+    Returns ``(parts, bucket_counts)`` where ``parts[s]`` is the
+    shard-``s`` sub-batch in arrival order and ``bucket_counts`` the
+    per-bucket packet histogram for load accounting.  Falls back to
+    the scalar :func:`partition_packets` loop when the numpy gate is
+    closed — identical output, slower.
+    """
+    columns = rows if isinstance(rows, PacketColumns) else PacketColumns(rows)
+    np = get_numpy()
+    if np is None or not columns.vectorized or columns.n == 0:
+        counts = [0] * pmap.buckets
+        raw_parts = partition_packets(
+            spec, pmap.shards, columns.raw, pmap, counts
+        )
+        return [PacketColumns(part) for part in raw_parts], counts
+    if spec.kind == "lark":
+        start, stop = _COOKIE_REGION.start, _COOKIE_REGION.stop
+        stop = min(stop, columns.max_len)
+        width = max(0, stop - start)
+        sub_lengths = np.clip(columns.lengths - start, 0, width)
+        sub = PacketColumns.from_matrix(
+            columns.data[:, start:start + width]
+            if width
+            else np.zeros((columns.n, 0), dtype=np.uint8),
+            sub_lengths,
+        )
+        crcs = np.asarray(crc32_many(sub))
+    else:
+        crcs = np.asarray(crc32_many(columns))
+    buckets = crcs % pmap.buckets
+    shard_ids = np.asarray(pmap.assignment, dtype=np.int64)[buckets]
+    counts = np.bincount(buckets, minlength=pmap.buckets)
+    parts: List[PacketColumns] = []
+    for shard in range(pmap.shards):
+        index = np.flatnonzero(shard_ids == shard)
+        if len(index) == 0:
+            parts.append(PacketColumns([]))
+        else:
+            parts.append(
+                PacketColumns.from_matrix(
+                    columns.data[index], columns.lengths[index]
+                )
+            )
+    return parts, [int(c) for c in counts]
+
+
+def _slice_part(part: Any, lo: int, hi: int) -> Any:
+    """Chunk one shard part for ring pushes, whatever its container."""
+    if isinstance(part, PacketColumns):
+        if part.vectorized and get_numpy() is not None:
+            return PacketColumns.from_matrix(
+                part.data[lo:hi], part.lengths[lo:hi]
+            )
+        return PacketColumns(part.raw[lo:hi])
+    return part[lo:hi]
 
 
 def render_report(
@@ -233,7 +323,10 @@ class ShardExecutor:
         pool_timeout_s: float = 120.0,
         registry: Optional[MetricsRegistry] = None,
         persistent: bool = False,
+        placement: Optional[PartitionMap] = None,
     ):
+        if placement is not None:
+            shards = placement.shards
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if backend not in ("scalar", "batch", "columnar"):
@@ -242,8 +335,14 @@ class ShardExecutor:
             raise ValueError("chunk_size must be >= 1")
         self.spec = spec
         self.shards = shards
+        self._auto_processes = processes is None
         self.processes = shards if processes is None else processes
         self.backend = backend
+        # Weighted virtual-bucket placement (None = legacy modulo).
+        # last_bucket_counts holds the previous run()'s per-bucket
+        # packet histogram — the load feed for a PlacementController.
+        self.placement = placement
+        self.last_bucket_counts: Optional[List[int]] = None
         self.chunk_size = chunk_size
         self.pool_timeout_s = pool_timeout_s
         self.registry = registry if registry is not None else get_registry()
@@ -292,13 +391,53 @@ class ShardExecutor:
 
     def partition(self, packets: Sequence[bytes]) -> List[List[bytes]]:
         """Deterministic hash partition (see :func:`partition_packets`)."""
-        return partition_packets(self.spec, self.shards, packets)
+        return partition_packets(
+            self.spec, self.shards, packets, self.placement
+        )
+
+    def set_placement(self, pmap: PartitionMap) -> None:
+        """Adopt a new partition map between runs (epoch boundary).
+
+        An elastic resize retires surplus persistent workers here;
+        missing ones spawn lazily on the next run.  No state migrates:
+        run() folds all shard snapshots regardless of which shard
+        folded which bucket.
+        """
+        self.placement = pmap
+        if pmap.shards != self.shards:
+            self.shards = pmap.shards
+            if self._auto_processes:
+                self.processes = pmap.shards
+            while len(self._workers) > self.shards:
+                worker = self._workers.pop()
+                try:
+                    worker.close()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
 
     # -- execution ---------------------------------------------------------
 
     def run(self, packets: Sequence[bytes]) -> ShardRunResult:
-        """Process ``packets`` across all shards and fold the results."""
-        parts = self.partition(packets)
+        """Process ``packets`` across all shards and fold the results.
+
+        ``packets`` may be a :class:`PacketColumns` batch; with a
+        partition map attached the split then runs through the
+        vectorized :func:`partition_columns` kernel."""
+        pmap = self.placement
+        if pmap is not None:
+            if isinstance(packets, PacketColumns):
+                parts, counts = partition_columns(self.spec, pmap, packets)
+            else:
+                counts = [0] * pmap.buckets
+                parts = partition_packets(
+                    self.spec, self.shards, packets, pmap, counts
+                )
+            self.last_bucket_counts = counts
+        else:
+            self.last_bucket_counts = None
+            if isinstance(packets, PacketColumns):
+                packets = packets.raw
+            parts = self.partition(packets)
         worker_cause: Optional[str] = None
         if self.persistent:
             try:
@@ -324,7 +463,13 @@ class ShardExecutor:
                 )
                 self.close()
         jobs = [
-            (self.spec, shard, part, self.backend, self.chunk_size)
+            (
+                self.spec,
+                shard,
+                part.raw if isinstance(part, PacketColumns) else part,
+                self.backend,
+                self.chunk_size,
+            )
             for shard, part in enumerate(parts)
         ]
         outputs, used_pool = self._execute(jobs)
@@ -357,17 +502,19 @@ class ShardExecutor:
         and returns the replicas to a fresh state so consecutive runs
         stay independent — exactly the lifecycle one pool dispatch had.
         """
-        from repro.switch.columns import PacketColumns, numpy_enabled
+        from repro.switch.columns import numpy_enabled
 
         workers = self._ensure_workers()
         columnar = self.backend == "columnar" and numpy_enabled()
         for shard, part in enumerate(parts):
             worker = workers[shard]
             for start in range(0, len(part), self.chunk_size):
-                chunk = part[start:start + self.chunk_size]
-                worker.push_batch(
-                    PacketColumns(chunk) if columnar else chunk
-                )
+                chunk = _slice_part(part, start, start + self.chunk_size)
+                if columnar and not isinstance(chunk, PacketColumns):
+                    chunk = PacketColumns(chunk)
+                elif not columnar and isinstance(chunk, PacketColumns):
+                    chunk = chunk.raw
+                worker.push_batch(chunk)
         outputs = []
         for shard, worker in enumerate(workers):
             reply = worker.drain(reset=True)

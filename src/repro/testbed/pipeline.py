@@ -39,10 +39,12 @@ from repro.core.aggregation import ForwardingMode
 from repro.core.aggswitch import AggSwitch
 from repro.core.cookie_cache import CookieEncodeCache
 from repro.core.larkswitch import LarkSwitch
+from repro.core.stats import merge_snapshots
 from repro.core.transport_cookie import TransportCookieCodec
 from repro.core.user_stats import UserQuantileConfig
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.switch.columns import PacketColumns, get_numpy
+from repro.testbed.placement import PlacementController
 
 __all__ = [
     "ReorderInjector",
@@ -135,6 +137,12 @@ class PipelineResult:
     # Per-user engagement quantiles (user_stats enabled), from the
     # AggSwitch's cumulative tracker after the final drain.
     user_report: Optional[Dict[str, Any]] = None
+    # Elastic placement fleet (persistent backend + placement): the
+    # live map's shard count at end of run, per-shard packet counts
+    # pushed this run, and the controller's rebalance/resize history.
+    agg_shards: int = 1
+    agg_shard_packets: Optional[List[int]] = None
+    placement_history: List[Dict[str, Any]] = field(default_factory=list)
 
     def counts_match_reference(self) -> bool:
         for stat, expected in self.reference.items():
@@ -219,10 +227,15 @@ class StreamingPipeline:
         quantile_capacity: Optional[int] = None,
         decode_memo_capacity: Optional[int] = None,
         cache_admission: str = "lru",
+        placement: Optional[PlacementController] = None,
     ):
         if backend not in PIPELINE_BACKENDS:
             raise ValueError(
                 "backend must be one of %s" % (PIPELINE_BACKENDS,)
+            )
+        if placement is not None and backend != "persistent":
+            raise ValueError(
+                "placement requires the persistent backend"
             )
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -310,10 +323,27 @@ class StreamingPipeline:
         self._agg_worker = None
         self._worker_folded_base = 0
         self._worker_unmerged_base = 0
+        # Placement mode (persistent backend only): the agg stage fans
+        # out over an *elastic* fleet of ring-fed workers, one per
+        # shard of the controller's live PartitionMap.  Workers spawn
+        # lazily on first traffic, retire at period boundaries when
+        # the controller shrinks the map, and the final read-out
+        # merges retired ⊕ live fold snapshots into the local
+        # AggSwitch — so reports stay byte-identical to every other
+        # tier regardless of how buckets moved mid-run.
+        self.placement = placement
+        self._agg_workers: Dict[int, Any] = {}
+        self._worker_bases: Dict[int, Tuple[int, int]] = {}
+        self._fleet_packets: Dict[int, int] = {}
+        self._retired_snapshot: Optional[Dict[str, List[int]]] = None
+        self._retired_run_folded = 0
+        self._retired_run_unmerged = 0
         if backend == "persistent":
-            from repro.testbed.executor import ShardSpec
+            from repro.testbed.executor import ShardSpec, partition_columns
             from repro.testbed.worker import ShardWorker
 
+            self._partition_columns = partition_columns
+            self._ShardWorker = ShardWorker
             self._agg_spec = ShardSpec(
                 kind="agg",
                 app_id=app_id,
@@ -322,22 +352,26 @@ class StreamingPipeline:
                 specs=tuple(specs),
                 seed=seed,
             )
-            self._agg_worker = ShardWorker(
-                self._agg_spec,
-                0,
-                backend="columnar",
-                row_capacity=max(batch_size, 64),
-                row_width=64,
-                spill_bytes=1 << 22,
-            )
+            if placement is None:
+                self._agg_worker = ShardWorker(
+                    self._agg_spec,
+                    0,
+                    backend="columnar",
+                    row_capacity=max(batch_size, 64),
+                    row_width=64,
+                    spill_bytes=1 << 22,
+                )
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release the persistent agg worker (no-op otherwise)."""
+        """Release the persistent agg worker(s) (no-op otherwise)."""
         worker, self._agg_worker = self._agg_worker, None
         if worker is not None:
             worker.close()
+        fleet, self._agg_workers = self._agg_workers, {}
+        for shard_worker in fleet.values():
+            shard_worker.close()
 
     def __enter__(self) -> "StreamingPipeline":
         return self
@@ -360,6 +394,8 @@ class StreamingPipeline:
         self.codec = self.cache.codec
         if self._agg_worker is not None:
             self._agg_worker.rekey(new_key)
+        for worker in self._agg_workers.values():
+            worker.rekey(new_key)
 
     # -- stages ------------------------------------------------------------
 
@@ -388,6 +424,11 @@ class StreamingPipeline:
         if payload is not None:
             payloads.append(payload)
         self._drain_user_stats()
+        if self.placement is not None:
+            # Period flush == placement epoch boundary: fold the
+            # window's bucket loads, maybe rebalance/resize, and
+            # retire workers the new map no longer routes to.
+            self._placement_epoch()
         if (
             self.checkpoint_every_periods
             and self.periods % self.checkpoint_every_periods == 0
@@ -399,16 +440,98 @@ class StreamingPipeline:
                 "lark": self.lark.checkpoint(self.app_id),
                 "agg": self._agg_checkpoint(),
             }
+            if self.placement is not None:
+                # Rides outside the raw switch snapshots: restore()
+                # must see registers only, but replay needs to know
+                # which map was live at the checkpoint.
+                self.last_checkpoint["map_version"] = (
+                    self.placement.map.version
+                )
             self._checkpoints_taken += 1
             self.registry.counter("pipeline.checkpoints").inc()
 
+    # -- elastic placement fleet (persistent backend) ----------------------
+
+    def _placement_epoch(self) -> None:
+        before = self.placement.map.shards
+        new_map = self.placement.end_epoch()
+        if new_map.shards < before:
+            # The map shrank: every worker whose shard id fell off the
+            # end is drained (its cumulative fold snapshot and counter
+            # deltas move to the retired accumulator) and released.
+            for shard in sorted(self._agg_workers):
+                if shard >= new_map.shards:
+                    self._retire_worker(shard)
+
+    def _fleet_worker(self, shard: int):
+        worker = self._agg_workers.get(shard)
+        if worker is None:
+            worker = self._ShardWorker(
+                self._agg_spec,
+                shard,
+                backend="columnar",
+                row_capacity=max(self.batch_size, 64),
+                row_width=64,
+                spill_bytes=1 << 22,
+            )
+            self._agg_workers[shard] = worker
+            self._worker_bases[shard] = (0, 0)
+        return worker
+
+    def _retire_worker(self, shard: int) -> None:
+        worker = self._agg_workers.pop(shard)
+        try:
+            reply = worker.drain()
+            counters = reply["counters"]
+            base_folded, base_unmerged = self._worker_bases.pop(shard)
+            self._retired_run_folded += counters["folded"] - base_folded
+            self._retired_run_unmerged += (
+                counters["unmerged"] - base_unmerged
+            )
+            snapshot = reply["snapshot"]
+            self._retired_snapshot = (
+                snapshot
+                if self._retired_snapshot is None
+                else merge_snapshots(
+                    list(self._agg_spec.specs),
+                    self._retired_snapshot,
+                    snapshot,
+                )
+            )
+        finally:
+            worker.close()
+
     def _agg_checkpoint(self) -> Dict[str, Any]:
+        if self.placement is not None:
+            return self._fleet_checkpoint()
         if self._agg_worker is None:
             return self.agg.checkpoint(self.app_id)
         # Barrier the worker (all payloads pushed so far fold first),
         # then graft the parent-side engagement tracker on — user
         # stats never cross into the worker.
         checkpoint = self._agg_worker.drain(checkpoint=True)["checkpoint"]
+        if self.user_stats is not None:
+            parent = self.agg.checkpoint(self.app_id)
+            if "user_quantiles" in parent:
+                checkpoint["user_quantiles"] = parent["user_quantiles"]
+        return checkpoint
+
+    def _fleet_checkpoint(self) -> Dict[str, Any]:
+        """Barrier every live fleet worker, merge their fold snapshots
+        with the retired accumulator into one fleet-wide checkpoint."""
+        checkpoint = self._retired_snapshot
+        specs = list(self._agg_spec.specs)
+        for shard in sorted(self._agg_workers):
+            part = self._agg_workers[shard].drain(checkpoint=True)[
+                "checkpoint"
+            ]
+            checkpoint = (
+                part
+                if checkpoint is None
+                else merge_snapshots(specs, checkpoint, part)
+            )
+        if checkpoint is None:
+            checkpoint = self.agg.checkpoint(self.app_id)
         if self.user_stats is not None:
             parent = self.agg.checkpoint(self.app_id)
             if "user_quantiles" in parent:
@@ -491,6 +614,31 @@ class StreamingPipeline:
         return len(payloads)
 
     def _deliver(self, payloads: List[bytes], out: List[Any]) -> None:
+        if self.placement is not None:
+            # Elastic fleet: partition the batch under the live map
+            # (vectorized bucket assignment + stable gather), feed the
+            # controller's load accounting, and push each non-empty
+            # part to its shard's ring — spawning workers lazily the
+            # first time a shard sees traffic.
+            parts, counts = self._partition_columns(
+                self._agg_spec, self.placement.map, payloads
+            )
+            self.placement.observe(counts)
+            np = get_numpy()
+            for shard, part in enumerate(parts):
+                n = len(part)
+                if not n:
+                    continue
+                worker = self._fleet_worker(shard)
+                worker.push_batch(
+                    part
+                    if np is not None and part.vectorized
+                    else part.raw
+                )
+                self._fleet_packets[shard] = (
+                    self._fleet_packets.get(shard, 0) + n
+                )
+            return
         if self._agg_worker is not None:
             # Hand the batch to the persistent worker and keep going —
             # the fold happens concurrently; merged/dead-letter counts
@@ -529,6 +677,9 @@ class StreamingPipeline:
         self.corrupted = 0
         self.last_checkpoint = None
         self._checkpoints_taken = 0
+        self._fleet_packets = {}
+        self._retired_run_folded = 0
+        self._retired_run_unmerged = 0
         agg_results: List[Any] = []
         events = 0
         batches = 0
@@ -601,7 +752,40 @@ class StreamingPipeline:
         # Final engagement handoff (covers per-packet mode, which has
         # no period flushes; idempotent after a periodical tail flush).
         self._drain_user_stats()
-        if self._agg_worker is not None:
+        if self.placement is not None:
+            # Fleet drain barrier: every live worker settles, then the
+            # retired ⊕ live fold snapshots merge into the local
+            # AggSwitch so the read-out below is identical to every
+            # other tier no matter how buckets moved mid-run.
+            merged = self._retired_run_folded
+            unmerged = self._retired_run_unmerged
+            snapshot = self._retired_snapshot
+            specs = list(self._agg_spec.specs)
+            for shard in sorted(self._agg_workers):
+                reply = self._agg_workers[shard].drain()
+                counters = reply["counters"]
+                base_folded, base_unmerged = self._worker_bases[shard]
+                merged += counters["folded"] - base_folded
+                unmerged += counters["unmerged"] - base_unmerged
+                self._worker_bases[shard] = (
+                    counters["folded"],
+                    counters["unmerged"],
+                )
+                snapshot = (
+                    reply["snapshot"]
+                    if snapshot is None
+                    else merge_snapshots(
+                        specs, snapshot, reply["snapshot"]
+                    )
+                )
+            if unmerged:
+                self.dead_letters += unmerged
+                self.registry.counter("pipeline.dead_letters").inc(
+                    unmerged
+                )
+            if snapshot is not None:
+                self.agg.restore(self.app_id, snapshot)
+        elif self._agg_worker is not None:
             # Drain barrier: every pushed payload is folded before the
             # read-out.  The worker's cumulative fold snapshot restores
             # into the local AggSwitch, so report()/merge()/user stats
@@ -642,5 +826,28 @@ class StreamingPipeline:
                 self.agg.user_report(self.app_id)
                 if self.user_stats is not None
                 else None
+            ),
+            agg_shards=(
+                self.placement.map.shards
+                if self.placement is not None
+                else 1
+            ),
+            agg_shard_packets=(
+                [
+                    self._fleet_packets.get(shard, 0)
+                    for shard in range(
+                        max(
+                            [self.placement.map.shards]
+                            + [s + 1 for s in self._fleet_packets]
+                        )
+                    )
+                ]
+                if self.placement is not None
+                else None
+            ),
+            placement_history=(
+                list(self.placement.history)
+                if self.placement is not None
+                else []
             ),
         )

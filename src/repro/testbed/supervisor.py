@@ -45,12 +45,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.chaos.shard_faults import ShardCrash, ShardFaultPlan
 from repro.core.stats import merge_snapshots
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.switch.columns import PacketColumns
 from repro.testbed.executor import (
     ShardSpec,
     _build_switch,
+    partition_columns,
     partition_packets,
     render_report,
 )
+from repro.testbed.placement import PlacementController
 
 __all__ = ["ShardSupervisor", "SupervisedRunResult"]
 
@@ -155,6 +158,36 @@ class _ShardState:
         return self.packets[lo:lo + self.epoch_size]
 
 
+class _ElasticShard:
+    """Bookkeeping for one shard of the placement-driven runtime.
+
+    Unlike :class:`_ShardState` there is no per-shard packet list —
+    the global stream is cut into *windows* and each window is
+    partitioned under the map that is live when it is cut, so a
+    shard's work arrives window by window.  ``map_version`` records
+    which map stamped the last completed checkpoint, and
+    ``chunks_done`` the shard's cumulative chunk offset (the fault
+    plan's kill coordinates stay whole-stream, exactly like the
+    static runtime).
+    """
+
+    __slots__ = (
+        "shard", "checkpoint", "processed", "folded", "epochs",
+        "attempt", "chunks_done", "map_version", "salvaged",
+    )
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.checkpoint: Optional[Dict[str, List[int]]] = None
+        self.processed = 0
+        self.folded = 0
+        self.epochs = 0
+        self.attempt = 0
+        self.chunks_done = 0
+        self.map_version = 0
+        self.salvaged = False
+
+
 @dataclass
 class SupervisedRunResult:
     """Merged outcome of a supervised sharded run."""
@@ -177,6 +210,10 @@ class SupervisedRunResult:
     fallback_cause: Optional[str] = None
     used_workers: bool = False  # persistent ring-fed workers ran the epochs
     worker_respawns: int = 0  # dead persistent workers replaced mid-run
+    # elastic placement bookkeeping (placement runs only)
+    map_versions: List[int] = field(default_factory=list)  # map per window
+    placement_history: List[Dict[str, Any]] = field(default_factory=list)
+    final_shards: int = 0  # fleet size after the last window (0 = static)
 
     @property
     def total_packets(self) -> int:
@@ -221,7 +258,10 @@ class ShardSupervisor:
         registry: Optional[MetricsRegistry] = None,
         sleep: Callable[[float], None] = time.sleep,
         persistent: bool = False,
+        placement: Optional[PlacementController] = None,
     ):
+        if placement is not None:
+            shards = placement.map.shards
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if backend not in ("scalar", "batch", "columnar"):
@@ -252,6 +292,12 @@ class ShardSupervisor:
         self.backoff_max_s = backoff_max_s
         self.fault_plan = fault_plan
         self.persistent = bool(persistent)
+        # A PlacementController switches run() into the elastic
+        # windowed mode: the global stream is cut into windows of
+        # epoch_size x shards packets, each window partitioned under
+        # the live PartitionMap, with rebalance/resize decisions taken
+        # at the window barrier.  None = the static legacy runtime.
+        self.placement = placement
         self.registry = registry if registry is not None else get_registry()
         self.last_error: Optional[str] = None
         self._sleep = sleep
@@ -372,6 +418,10 @@ class ShardSupervisor:
         self._recovered = self._checkpoints = 0
         self._salvaged = []
         self._respawns = 0
+        if self.placement is not None:
+            return self._run_elastic(packets)
+        if isinstance(packets, PacketColumns):
+            packets = packets.raw
         parts = partition_packets(self.spec, self.shards, packets)
         states = [
             _ShardState(shard, part, self.epoch_size)
@@ -551,6 +601,374 @@ class ShardSupervisor:
                 "folded": counters["folded"] - base_folded,
             },
         )
+
+    # -- elastic placement runtime -----------------------------------------
+
+    def _run_elastic(self, packets) -> SupervisedRunResult:
+        """Windowed execution under a live :class:`PlacementController`.
+
+        The global stream is cut into windows of ``epoch_size x
+        shards`` packets.  Each window is partitioned ONCE under the
+        map that is live when it is cut (cached for the window), so
+        retries and crash replays of a window job always run the map
+        that was live — never a later one.  At the window barrier the
+        per-bucket packet counts feed the controller, which may
+        rebalance or resize the fleet for the *next* window; surplus
+        persistent workers retire at the barrier and new ones spawn
+        lazily, with their shard's last checkpoint restored (state
+        lives in the supervisor, so placement changes migrate
+        nothing).
+        """
+        from repro.testbed.executor import _slice_part
+
+        controller = self.placement
+        states: Dict[int, _ElasticShard] = {}
+        workers: Dict[int, Any] = {}
+        bases: Dict[int, Tuple[int, int]] = {}
+        self._elastic_persistent = self.persistent
+        self._elastic_fallback: Optional[str] = None
+        used_workers = False
+        map_versions: List[int] = []
+        backends: List[str] = []
+        columns = isinstance(packets, PacketColumns)
+        n = len(packets)
+        pos = 0
+        window = 0
+        try:
+            while pos < n:
+                pmap = controller.map
+                shards = pmap.shards
+                window_size = self.epoch_size * shards
+                window_packets = (
+                    _slice_part(packets, pos, pos + window_size)
+                    if columns
+                    else packets[pos:pos + window_size]
+                )
+                if columns:
+                    parts, counts = partition_columns(
+                        self.spec, pmap, window_packets
+                    )
+                else:
+                    counts = [0] * pmap.buckets
+                    parts = partition_packets(
+                        self.spec, shards, window_packets, pmap, counts
+                    )
+                map_versions.append(pmap.version)
+                backend = self.epoch_backend(window)
+                backends.append(backend)
+                for shard in range(shards):
+                    part = parts[shard]
+                    if not len(part):
+                        continue
+                    state = states.setdefault(
+                        shard, _ElasticShard(shard)
+                    )
+                    self._elastic_shard_window(
+                        state, part, window, pmap.version, backend,
+                        workers, bases,
+                    )
+                    if self._elastic_persistent:
+                        used_workers = True
+                controller.observe(counts)
+                new_map = controller.end_epoch()
+                if new_map.shards < shards:
+                    for shard in [
+                        s for s in workers if s >= new_map.shards
+                    ]:
+                        try:
+                            workers.pop(shard).close()
+                        except Exception:  # pragma: no cover - teardown
+                            pass
+                        bases.pop(shard, None)
+                pos += window_size
+                window += 1
+        finally:
+            for worker in workers.values():
+                try:
+                    worker.close()
+                except Exception:  # pragma: no cover - teardown
+                    pass
+        snapshot: Optional[Dict[str, List[int]]] = None
+        specs = list(self.spec.specs)
+        width = max(
+            [controller.map.shards] + [s + 1 for s in states]
+        )
+        for shard in sorted(states):
+            checkpoint = states[shard].checkpoint
+            if checkpoint is None:
+                continue
+            snapshot = (
+                {name: list(c) for name, c in checkpoint.items()}
+                if snapshot is None
+                else merge_snapshots(specs, snapshot, checkpoint)
+            )
+        for prev, cur in zip(backends, backends[1:]):
+            if cur != prev:
+                self.registry.counter("supervisor.degradations").inc()
+        if backends:
+            self.registry.gauge("supervisor.backend_tier").set(
+                _TIERS[backends[-1]]
+            )
+        return SupervisedRunResult(
+            snapshot=snapshot or {},
+            report=render_report(self.spec, self.shards, snapshot),
+            shard_packets=[
+                states[s].processed if s in states else 0
+                for s in range(width)
+            ],
+            shard_folded=[
+                states[s].folded if s in states else 0
+                for s in range(width)
+            ],
+            used_pool=False,
+            shards=width,
+            epochs=[
+                states[s].epochs if s in states else 0
+                for s in range(width)
+            ],
+            crashes=self._crashes,
+            timeouts=self._timeouts,
+            retries=self._retries,
+            recovered_packets=self._recovered,
+            checkpoints=self._checkpoints,
+            salvaged=list(self._salvaged),
+            backends=backends,
+            fallback_cause=self._elastic_fallback,
+            used_workers=used_workers,
+            worker_respawns=self._respawns,
+            map_versions=map_versions,
+            placement_history=list(controller.history),
+            final_shards=controller.map.shards,
+        )
+
+    def _elastic_worker(
+        self,
+        shard: int,
+        checkpoint: Optional[Dict[str, List[int]]],
+        workers: Dict[int, Any],
+        bases: Dict[int, Tuple[int, int]],
+    ):
+        """Spawn-on-demand persistent worker for one shard.  A shard
+        re-entering the fleet (growth after a shrink) restores its last
+        checkpoint so the cumulative fold picks up where it left off.
+        Returns ``None`` — and permanently disables the persistent
+        path for this run — when the fleet cannot be built."""
+        if not self._elastic_persistent:
+            return None
+        worker = workers.get(shard)
+        if worker is not None:
+            return worker
+        try:
+            from repro.testbed.worker import ShardWorker
+
+            worker = ShardWorker(
+                self.spec,
+                shard,
+                backend=self.backend,
+                row_capacity=max(self.chunk_size, 64),
+                row_width=64,
+                fault_plan=self.fault_plan,
+                reply_timeout_s=self.job_timeout_s,
+            )
+            if checkpoint is not None:
+                worker.restore(checkpoint)
+        except Exception as exc:
+            self.last_error = "%s: %s" % (type(exc).__name__, exc)
+            self._elastic_persistent = False
+            self._elastic_fallback = self.last_error
+            self.registry.counter("supervisor.worker_fallbacks").inc()
+            return None
+        workers[shard] = worker
+        bases[shard] = (0, 0)
+        return worker
+
+    def _elastic_shard_window(
+        self,
+        state: _ElasticShard,
+        part: Any,
+        window: int,
+        map_version: int,
+        backend: str,
+        workers: Dict[int, Any],
+        bases: Dict[int, Tuple[int, int]],
+    ) -> None:
+        """One shard's slice of one window under the retry machinery."""
+        raw = part.raw if isinstance(part, PacketColumns) else part
+        chunks = (len(raw) + self.chunk_size - 1) // self.chunk_size
+        state.attempt = 0
+        while True:
+            worker = self._elastic_worker(
+                state.shard, state.checkpoint, workers, bases
+            )
+            try:
+                if worker is not None:
+                    snapshot, counters = self._elastic_persistent_window(
+                        state, part, window, map_version, backend,
+                        worker, bases,
+                    )
+                else:
+                    _, _, snapshot, counters = _run_shard_epoch((
+                        self.spec, state.shard, raw, backend,
+                        self.chunk_size, state.checkpoint,
+                        self.fault_plan, window, state.attempt,
+                        state.chunks_done,
+                    ))
+            except Exception as exc:
+                kind = "crash"
+                if worker is not None:
+                    from repro.testbed.worker import WorkerDied
+
+                    if isinstance(exc, WorkerDied):
+                        kind = (
+                            "crash" if worker.wait_dead(1.0) else "timeout"
+                        )
+                self._elastic_failure(
+                    state, len(raw), kind,
+                    "%s: %s" % (type(exc).__name__, exc),
+                )
+                if worker is not None:
+                    worker.respawn(state.checkpoint)
+                    bases[state.shard] = (0, 0)
+                    self._respawns += 1
+                    self.registry.counter(
+                        "supervisor.worker_respawns"
+                    ).inc()
+                if state.attempt > self.max_retries:
+                    self._elastic_salvage(
+                        state, raw, window, map_version, backend, chunks
+                    )
+                    return
+                continue
+            self._elastic_success(
+                state, snapshot, counters, map_version, chunks
+            )
+            return
+
+    def _elastic_persistent_window(
+        self,
+        state: _ElasticShard,
+        part: Any,
+        window: int,
+        map_version: int,
+        backend: str,
+        worker,
+        bases: Dict[int, Tuple[int, int]],
+    ) -> Tuple[Dict[str, List[int]], Dict[str, int]]:
+        """Arm, stream and checkpoint-drain one window slice."""
+        from repro.switch.columns import numpy_enabled
+        from repro.testbed.executor import _slice_part
+
+        worker.set_epoch(
+            window,
+            state.attempt,
+            chunk_offset=state.chunks_done,
+            backend=backend,
+            map_version=map_version,
+        )
+        columnar = backend == "columnar" and numpy_enabled()
+        for start in range(0, len(part), self.chunk_size):
+            chunk = _slice_part(part, start, start + self.chunk_size)
+            if columnar and not isinstance(chunk, PacketColumns):
+                chunk = PacketColumns(chunk)
+            elif not columnar and isinstance(chunk, PacketColumns):
+                chunk = chunk.raw
+            worker.push_batch(chunk)
+        reply = worker.drain(
+            checkpoint=True, timeout_s=self.job_timeout_s
+        )
+        counters = reply["counters"]
+        base_packets, base_folded = bases[state.shard]
+        bases[state.shard] = (counters["packets"], counters["folded"])
+        return reply["checkpoint"], {
+            "packets": counters["packets"] - base_packets,
+            "folded": counters["folded"] - base_folded,
+        }
+
+    def _elastic_success(
+        self,
+        state: _ElasticShard,
+        snapshot: Dict[str, List[int]],
+        counters: Dict[str, int],
+        map_version: int,
+        chunks: int,
+    ) -> None:
+        state.checkpoint = snapshot
+        state.map_version = map_version
+        state.processed += counters["packets"]
+        state.folded += counters["folded"]
+        state.epochs += 1
+        state.chunks_done += chunks
+        state.attempt = 0
+        self._checkpoints += 1
+        self.registry.counter("supervisor.checkpoints").inc()
+        self.registry.counter("supervisor.epochs").inc()
+
+    def _elastic_failure(
+        self, state: _ElasticShard, n_packets: int, kind: str, cause: str
+    ) -> None:
+        self.last_error = cause
+        if kind == "timeout":
+            self._timeouts += 1
+            self.registry.counter("supervisor.timeouts").inc()
+        else:
+            self._crashes += 1
+            self.registry.counter("supervisor.crashes").inc()
+        self._recovered += n_packets
+        self.registry.counter("supervisor.recovered_packets").inc(
+            n_packets
+        )
+        _LOG.warning(
+            "elastic shard window job failed",
+            extra={
+                "component": "shard_supervisor",
+                "shard": state.shard,
+                "map_version": state.map_version,
+                "attempt": state.attempt,
+                "failure": kind,
+                "cause": cause,
+            },
+        )
+        state.attempt += 1
+        if state.attempt <= self.max_retries:
+            self._retries += 1
+            self.registry.counter("supervisor.retries").inc()
+            backoff = min(
+                self.backoff_max_s,
+                self.backoff_base_s * (2 ** (state.attempt - 1)),
+            )
+            if backoff > 0:
+                self._sleep(backoff)
+
+    def _elastic_salvage(
+        self,
+        state: _ElasticShard,
+        raw: List[bytes],
+        window: int,
+        map_version: int,
+        backend: str,
+        chunks: int,
+    ) -> None:
+        """Window-scoped salvage: finish this slice in-process with
+        faults off, from the last checkpoint (the live map's partition
+        is unchanged — salvage replays the same packets)."""
+        if not state.salvaged:
+            state.salvaged = True
+            self._salvaged.append(state.shard)
+            self.registry.counter("supervisor.salvages").inc()
+        _LOG.warning(
+            "elastic shard retries exhausted, salvaging in-process",
+            extra={
+                "component": "shard_supervisor",
+                "shard": state.shard,
+                "window": window,
+            },
+        )
+        _, _, snapshot, counters = _run_shard_epoch((
+            self.spec, state.shard, raw, backend, self.chunk_size,
+            state.checkpoint, None, window, state.attempt,
+            state.chunks_done,
+        ))
+        self._elastic_success(state, snapshot, counters, map_version, chunks)
 
     def _run_inline(self, states: List[_ShardState]) -> None:
         """In-process execution: same worker, same retry machinery."""

@@ -124,6 +124,7 @@ def _worker_main(
     local_batch = 0
     packets = 0
     folded = 0
+    map_version = 0
     parent = os.getppid()
     # Readiness handshake: the parent blocks until the replica is
     # built, so the spawn import storm cannot bleed into (and distort)
@@ -155,9 +156,10 @@ def _worker_main(
                 ring.release()
                 op = command[0]
                 if op == "epoch":
-                    _op, epoch, attempt, chunk_offset, epoch_backend = (
-                        command
-                    )
+                    (
+                        _op, epoch, attempt, chunk_offset, epoch_backend,
+                        map_version,
+                    ) = command
                     if epoch_backend:
                         process = backends[epoch_backend]
                     local_batch = 0
@@ -186,6 +188,12 @@ def _worker_main(
                             if want_checkpoint
                             else None
                         ),
+                        # The placement-map version last armed via the
+                        # epoch command — rides OUTSIDE the raw switch
+                        # checkpoint (restore() must see registers
+                        # only), so supervisors can verify that crash
+                        # replay uses the map that was live.
+                        "map_version": map_version,
                     }
                     if spec.kind == "lark" and want_user_stats:
                         # Destructive (snapshot-and-reset), so only on
@@ -461,10 +469,14 @@ class ShardWorker:
         attempt: int = 0,
         chunk_offset: int = 0,
         backend: Optional[str] = None,
+        map_version: int = 0,
     ) -> None:
-        """Arm fault injection / switch backend for the coming epoch."""
+        """Arm fault injection / switch backend for the coming epoch.
+        ``map_version`` stamps which partition map cut the epoch's
+        stream; the worker echoes it in every barrier reply."""
         self._push_control(
-            ("epoch", epoch, attempt, chunk_offset, backend), timeout=30.0
+            ("epoch", epoch, attempt, chunk_offset, backend, map_version),
+            timeout=30.0,
         )
 
     def rekey(self, new_key: bytes) -> None:
